@@ -1,0 +1,78 @@
+// Ablation (extension) — is the paper's prefix ladder {1}, {1,3},
+// {1,3,5,7} the best choice of alphabets? Exhaustive search over all
+// k-alphabet sets containing 1, under (a) a uniform weight model and
+// (b) the empirical weight distribution of a trained digit-MLP layer.
+#include <iostream>
+
+#include "bench_common.h"
+#include "man/core/alphabet_optimizer.h"
+#include "man/nn/dense.h"
+
+int main() {
+  using man::core::AlphabetSet;
+  using man::core::QuartetLayout;
+
+  man::bench::print_banner(
+      "Ablation: exhaustive alphabet-set search vs the paper's ladder");
+
+  man::util::Table table({"Bits", "k", "Ladder set", "Ladder cost",
+                          "Best set", "Best cost", "Improvement (%)"});
+  for (int bits : {8, 12}) {
+    const QuartetLayout layout(bits);
+    for (std::size_t k : {2u, 3u, 4u}) {
+      const auto result = man::core::optimize_uniform(layout, k);
+      table.add_row({
+          std::to_string(bits),
+          std::to_string(k),
+          AlphabetSet::first_n(k).to_string(),
+          man::util::format_double(result.ladder_cost, 4),
+          result.best.to_string(),
+          man::util::format_double(result.best_cost, 4),
+          man::util::format_percent(
+              result.ladder_cost > 0.0
+                  ? 1.0 - result.best_cost / result.ladder_cost
+                  : 0.0),
+      });
+    }
+    table.add_separator();
+  }
+  std::cout << table.to_string();
+
+  // Empirical: weights of a trained hidden layer (cached digit MLP).
+  man::bench::print_banner(
+      "Empirical search on a trained digit-MLP hidden layer");
+  const double scale = man::bench::bench_scale();
+  man::apps::ModelCache cache;
+  const auto& app = man::apps::get_app(man::apps::AppId::kDigitMlp8);
+  const auto dataset = app.make_dataset(scale);
+  auto net = cache.baseline(app, dataset, scale);
+
+  auto* hidden = dynamic_cast<man::nn::Dense*>(&net.layer(0));
+  const auto fmt = app.quant().weight_format;
+  std::vector<int> raw;
+  raw.reserve(hidden->weights().size());
+  for (float w : hidden->weights()) {
+    raw.push_back(fmt.quantize(static_cast<double>(w)));
+  }
+
+  man::util::Table emp({"k", "Ladder MSE", "Best set", "Best MSE",
+                        "Improvement (%)"});
+  const QuartetLayout layout(app.weight_bits);
+  for (std::size_t k : {2u, 3u, 4u}) {
+    const auto result = man::core::optimize_empirical(layout, k, raw);
+    emp.add_row({std::to_string(k),
+                 man::util::format_double(result.ladder_cost, 4),
+                 result.best.to_string(),
+                 man::util::format_double(result.best_cost, 4),
+                 man::util::format_percent(
+                     result.ladder_cost > 0.0
+                         ? 1.0 - result.best_cost / result.ladder_cost
+                         : 0.0)});
+  }
+  std::cout << emp.to_string();
+  std::cout << "\nReading: trained weight distributions are concentrated "
+               "near zero, where the small odd alphabets already cover the "
+               "frequent quartet values — the paper's ladder is close to "
+               "optimal in practice, and the search quantifies the gap.\n";
+  return 0;
+}

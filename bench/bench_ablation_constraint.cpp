@@ -1,0 +1,59 @@
+// Ablation — weight-constraint algorithm variants (paper Algorithm 1):
+// nearest-representable (midpoint-up LUT) vs the greedy hierarchical
+// quartet rounding, plus representable-set statistics per alphabet set
+// and bit width.
+#include <iostream>
+
+#include "bench_common.h"
+#include "man/core/weight_constraint.h"
+
+int main() {
+  using man::core::AlphabetSet;
+  using man::core::QuartetLayout;
+  using man::core::WeightConstraint;
+
+  man::bench::print_banner(
+      "Ablation: constraint rounding — nearest vs hierarchical "
+      "(Algorithm 1)");
+
+  man::util::Table table({"Bits", "Alphabets", "Representable",
+                          "Coverage (%)", "MAE nearest", "MAE hierarchical",
+                          "Divergent magnitudes (%)"});
+  for (int bits : {8, 12}) {
+    const QuartetLayout layout(bits);
+    for (std::size_t n : {1u, 2u, 4u, 8u}) {
+      const AlphabetSet set = AlphabetSet::first_n(n);
+      const WeightConstraint wc(layout, set);
+      const int max_mag = layout.max_magnitude();
+
+      double hier_error = 0.0;
+      int divergent = 0;
+      for (int mag = 0; mag <= max_mag; ++mag) {
+        const int nearest = wc.constrain_magnitude(mag);
+        const int hier = wc.constrain_magnitude_hierarchical(mag);
+        hier_error += std::abs(mag - hier);
+        if (nearest != hier) ++divergent;
+      }
+      table.add_row({
+          std::to_string(bits),
+          set.to_string(),
+          std::to_string(wc.representable().size()),
+          man::util::format_percent(
+              static_cast<double>(wc.representable().size()) /
+              (max_mag + 1)),
+          man::util::format_double(wc.mean_absolute_error(), 3),
+          man::util::format_double(hier_error / (max_mag + 1), 3),
+          man::util::format_percent(static_cast<double>(divergent) /
+                                    (max_mag + 1)),
+      });
+    }
+    table.add_separator();
+  }
+  std::cout << table.to_string();
+  std::cout << "\nReading: the nearest-LUT (our default, matching the "
+               "paper's 'minimum loss of information' requirement) is "
+               "optimal by construction; greedy quartet-local rounding "
+               "diverges on a small fraction of magnitudes where a carry "
+               "lands on an unsupported neighbour.\n";
+  return 0;
+}

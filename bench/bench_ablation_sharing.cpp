@@ -1,0 +1,41 @@
+// Ablation — pre-computer sharing degree (CSHM, Fig 3): how per-MAC
+// energy and per-lane area change as 1..16 ASM lanes share one bank.
+// The paper fixes 4 lanes; this sweep shows why that is a good point
+// (bank amortization saturates quickly while buses keep costing).
+#include <iostream>
+
+#include "bench_common.h"
+#include "man/hw/neuron_cost.h"
+
+int main() {
+  using man::core::AlphabetSet;
+  using man::hw::NeuronDatapathSpec;
+
+  man::bench::print_banner(
+      "Ablation: CSHM sharing degree (lanes per pre-computer bank)");
+
+  for (int bits : {8, 12}) {
+    std::cout << "\n" << bits << "-bit, ASM 4 {1,3,5,7}\n";
+    man::util::Table table({"Lanes", "Energy/MAC (pJ)", "Area/lane (um2)",
+                            "vs conventional power (%)"});
+    const auto conventional =
+        man::hw::price_neuron(NeuronDatapathSpec::conventional(bits));
+    for (int lanes : {1, 2, 4, 8, 16}) {
+      NeuronDatapathSpec spec =
+          NeuronDatapathSpec::asm_neuron(bits, AlphabetSet::four());
+      spec.shared_lanes = lanes;
+      const auto priced = man::hw::price_neuron(spec);
+      table.add_row(
+          {std::to_string(lanes),
+           man::util::format_double(priced.cost.energy_per_mac_pj(), 4),
+           man::util::format_double(priced.area_um2, 1),
+           man::util::format_percent(1.0 - priced.power_mw /
+                                               conventional.power_mw)});
+    }
+    std::cout << table.to_string();
+  }
+  std::cout << "\nShape: savings improve steeply from 1 to 4 lanes and "
+               "flatten beyond — the bank is amortized away while per-lane "
+               "select/shift and bus costs remain.\n";
+  return 0;
+}

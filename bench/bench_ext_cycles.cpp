@@ -1,0 +1,36 @@
+// Extension — cycle schedule of every Table IV network on the 4-lane
+// CSHM engine at the Table V clocks: per-layer cycle shares (the
+// quantity behind the paper's "3.84% of total processing cycles"
+// remark), latency and throughput.
+#include <iostream>
+
+#include "bench_common.h"
+#include "man/hw/cycle_model.h"
+
+int main() {
+  man::bench::print_banner(
+      "Extension: CSHM engine cycle schedules (4 lanes, Table V clocks)");
+
+  for (const auto& app : man::apps::all_apps()) {
+    const auto report = man::hw::schedule_network(app.energy_spec(), 4);
+    std::cout << "\n" << app.name << " @ " << report.frequency_ghz
+              << " GHz — " << report.total_cycles << " cycles, "
+              << man::util::format_double(report.latency_us(), 2)
+              << " us/inference, "
+              << man::util::format_double(
+                     report.inferences_per_second() / 1e3, 1)
+              << "k inferences/s\n";
+    man::util::Table table({"Layer", "MACs", "Cycles", "Share (%)"});
+    for (const auto& layer : report.layers) {
+      table.add_row({layer.name, std::to_string(layer.macs),
+                     std::to_string(layer.cycles),
+                     man::util::format_percent(layer.share)});
+    }
+    std::cout << table.to_string();
+    std::cout << "tail (last 2 layers) share: "
+              << man::util::format_percent(
+                     man::hw::tail_cycle_share(report, 2))
+              << "%  (paper quotes 3.84% for its SVHN network)\n";
+  }
+  return 0;
+}

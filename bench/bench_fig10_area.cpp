@@ -1,0 +1,53 @@
+// Reproduces Fig 10 — neuron area normalized to the conventional
+// neuron at iso-speed, 8-bit (a) and 12-bit (b).
+//
+// Paper's numbers: 8-bit ASM4 ~5%, ASM2 ~25%, MAN ~37% reduction;
+// 12-bit ASM2 ~19%, MAN ~62%.
+#include <iostream>
+
+#include "bench_common.h"
+#include "man/hw/neuron_cost.h"
+
+int main() {
+  man::bench::print_banner(
+      "Fig 10: neuron area at iso-speed, normalized to conventional");
+
+  for (int bits : {8, 12}) {
+    std::cout << "\n(" << (bits == 8 ? "a" : "b") << ") " << bits
+              << "-bit neurons\n";
+    man::util::Table table(
+        {"Scheme", "Area (um2)", "Normalized", "Reduction (%)"});
+    for (const auto& row : man::hw::compare_neuron_schemes(bits)) {
+      table.add_row({row.spec.label(),
+                     man::util::format_double(row.area_um2, 1),
+                     man::util::format_double(row.normalized_area, 3),
+                     man::util::format_percent(row.area_reduction())});
+    }
+    std::cout << table.to_string();
+  }
+
+  // Itemized breakdown for the 8-bit pair — shows *where* MAN's saving
+  // comes from (no multiplier, no pre-computer, no select units).
+  man::bench::print_banner("Breakdown: conventional vs MAN, 8-bit");
+  const auto conv = man::hw::price_neuron(
+      man::hw::NeuronDatapathSpec::conventional(8));
+  const auto man_row =
+      man::hw::price_neuron(man::hw::NeuronDatapathSpec::man_neuron(8));
+  man::util::Table breakdown({"Item", "conventional (um2)", "MAN (um2)"});
+  for (const auto& item : conv.cost.items) {
+    const auto* other = man_row.cost.find(item.name);
+    breakdown.add_row({item.name,
+                       man::util::format_double(item.cost.area_um2, 1),
+                       other ? man::util::format_double(
+                                   other->cost.area_um2, 1)
+                             : "-"});
+  }
+  for (const auto& item : man_row.cost.items) {
+    if (conv.cost.find(item.name) == nullptr) {
+      breakdown.add_row({item.name, "-",
+                         man::util::format_double(item.cost.area_um2, 1)});
+    }
+  }
+  std::cout << breakdown.to_string();
+  return 0;
+}

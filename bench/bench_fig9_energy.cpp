@@ -1,0 +1,75 @@
+// Reproduces Fig 9 — network energy per inference normalized to the
+// conventional implementation, grouped as in the paper: (a) 2-layer
+// MLPs, (b) 5-6 layer MLPs, (c) 6-layer CNN.
+#include <iostream>
+
+#include "bench_common.h"
+#include "man/hw/network_cost.h"
+
+namespace {
+
+using man::apps::AppId;
+using man::core::AlphabetSet;
+using man::core::MultiplierKind;
+using man::hw::compute_network_energy;
+using man::hw::with_uniform_scheme;
+
+void print_group(const char* title, const std::vector<AppId>& ids) {
+  std::cout << "\n" << title << "\n";
+  man::util::Table table({"Application", "conv (nJ)", "4 {1,3,5,7}",
+                          "2 {1,3}", "1 {1} (MAN)", "MAN saving (%)"});
+  for (AppId id : ids) {
+    const auto spec = man::apps::get_app(id).energy_spec();
+    const double conv =
+        compute_network_energy(spec).total_energy_pj;
+    std::vector<std::string> cells{
+        man::apps::get_app(id).name,
+        man::util::format_double(conv * 1e-3, 2)};
+    double man_energy = conv;
+    for (std::size_t n : {4u, 2u, 1u}) {
+      const AlphabetSet set = AlphabetSet::first_n(n);
+      const auto kind = n == 1 ? MultiplierKind::kMan : MultiplierKind::kAsm;
+      const double energy =
+          compute_network_energy(with_uniform_scheme(spec, kind, set))
+              .total_energy_pj;
+      if (n == 1) man_energy = energy;
+      cells.push_back(man::util::format_double(energy / conv, 3));
+    }
+    cells.push_back(man::util::format_percent(1.0 - man_energy / conv));
+    table.add_row(cells);
+  }
+  std::cout << table.to_string();
+}
+
+}  // namespace
+
+int main() {
+  man::bench::print_banner(
+      "Fig 9: network energy per inference, normalized to conventional");
+
+  print_group("(a) 2-layer MLPs",
+              {AppId::kDigitMlp8, AppId::kFaceMlp12});
+  print_group("(b) 5-6 layer MLPs",
+              {AppId::kSvhnMlp8, AppId::kTichMlp8});
+  print_group("(c) 6-layer CNN", {AppId::kDigitCnn12});
+
+  // Paper: "the amount of energy savings increases almost linearly
+  // with the increase in NN size" — absolute savings per app:
+  man::bench::print_banner("Absolute MAN savings vs network size");
+  man::util::Table table({"Application", "MACs/inference",
+                          "conv energy (nJ)", "MAN saving (nJ)"});
+  for (const auto& app : man::apps::all_apps()) {
+    const auto spec = app.energy_spec();
+    const double conv = compute_network_energy(spec).total_energy_pj;
+    const double man_energy =
+        compute_network_energy(
+            with_uniform_scheme(spec, MultiplierKind::kMan,
+                                AlphabetSet::man()))
+            .total_energy_pj;
+    table.add_row({app.name, std::to_string(spec.total_macs()),
+                   man::util::format_double(conv * 1e-3, 2),
+                   man::util::format_double((conv - man_energy) * 1e-3, 2)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Table III — NN accuracy results for digit recognition:
+// 8-bit MLP (1024-100-10) and 12-bit CNN (LeNet-style), conventional
+// vs ASM 4/2/1 alphabets after constrained retraining.
+//
+// Paper reference values (synthetic-digits substitute here):
+//   8 bits (MLP): conv 97.45 | 4:97.41 (0.04) | 2:97.39 (0.06) | 1:97.11 (0.35)
+//   12 bits (CNN): conv 97.63 | 4:97.60 (0.03) | 2:97.44 (0.19) | 1:97.38 (0.25)
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using man::apps::AppId;
+
+  const double scale = man::bench::bench_scale();
+  man::apps::ModelCache cache;
+  man::bench::print_banner(
+      "Table III: NN accuracy results for digit recognition");
+  std::cout << "dataset scale " << scale
+            << " (MAN_BENCH_SCALE to change)\n";
+
+  man::util::Table table({"Size of Synapse", "Model", "No. of Alphabets",
+                          "Accuracy (%)", "Accuracy Loss (%)"});
+
+  for (const AppId id : {AppId::kDigitMlp8, AppId::kDigitCnn12}) {
+    const auto& app = man::apps::get_app(id);
+    const auto dataset = app.make_dataset(scale);
+    const auto rows =
+        man::bench::run_accuracy_ladder(app, cache, dataset, scale);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      table.add_row({i == 0 ? std::to_string(app.weight_bits) + " bits" : "",
+                     i == 0 ? app.model_kind : "", rows[i].scheme_label,
+                     man::util::format_percent(rows[i].accuracy),
+                     i == 0 ? "--"
+                            : man::util::format_double(
+                                  rows[i].loss_vs_conventional)});
+    }
+    table.add_separator();
+  }
+  std::cout << table.to_string();
+  std::cout << "\nPaper Table III (MNIST): max loss 0.35% (8b MLP), 0.25% "
+               "(12b CNN); note our synthetic test split cannot resolve "
+               "the paper's 0.0x% deltas — the reproduction target is the "
+               "monotone 4->2->1 trend at a few tenths of a percent.\n";
+  return 0;
+}

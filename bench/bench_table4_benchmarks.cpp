@@ -1,0 +1,32 @@
+// Reproduces Table IV — the benchmark inventory — printing the paper's
+// figures next to the metrics of our actually-built networks.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  man::bench::print_banner("Table IV: benchmarks");
+
+  man::util::Table table({"Application", "Dataset", "NN Model", "Layers",
+                          "Neurons", "Synapses", "Layers (paper)",
+                          "Neurons (paper)", "Synapses (paper)"});
+  for (const auto& app : man::apps::all_apps()) {
+    const auto metrics = man::apps::compute_metrics(app);
+    table.add_row({
+        app.name,
+        app.dataset_name + " (synthetic)",
+        app.model_kind,
+        std::to_string(metrics.paper_style_layers),
+        std::to_string(metrics.neurons),
+        std::to_string(metrics.synapses),
+        std::to_string(app.paper_layers),
+        std::to_string(app.paper_neurons),
+        std::to_string(app.paper_synapses),
+    });
+  }
+  std::cout << table.to_string();
+  std::cout << "\nArchitectures are reverse-engineered from the paper's "
+               "synapse counts; the digit MLP and face MLP match exactly, "
+               "the rest within a few percent (see DESIGN.md).\n";
+  return 0;
+}

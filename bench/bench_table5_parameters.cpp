@@ -1,0 +1,60 @@
+// Reproduces Table V — experimental parameters — plus the cell-level
+// constants of the structural 45 nm model standing in for the paper's
+// IBM 45nm / Synopsys DC flow (see DESIGN.md substitution notes).
+#include <iostream>
+
+#include "bench_common.h"
+#include "man/hw/tech.h"
+
+int main() {
+  using man::hw::ClockPlan;
+  using man::hw::TechParams;
+
+  man::bench::print_banner("Table V: experimental parameters");
+  man::util::Table table({"Metric", "Value"});
+  table.add_row({"Feature Size", "45nm (structural model)"});
+  table.add_row({"Clock Frequency for 8 bits Neuron",
+                 man::util::format_double(
+                     ClockPlan::for_weight_bits(8).frequency_ghz, 1) +
+                     " GHz"});
+  table.add_row({"Clock Frequency for 12 bits Neuron",
+                 man::util::format_double(
+                     ClockPlan::for_weight_bits(12).frequency_ghz, 1) +
+                     " GHz"});
+  std::cout << table.to_string();
+
+  man::bench::print_banner("Structural model cell constants");
+  const TechParams& tech = TechParams::generic45nm();
+  man::util::Table cells({"Cell", "Energy (pJ/op)", "Area (um2)",
+                          "Delay (ps)"});
+  cells.add_row({"full adder", man::util::format_double(tech.fa_energy_pj, 4),
+                 man::util::format_double(tech.fa_area_um2, 1),
+                 man::util::format_double(tech.fa_delay_ps, 0)});
+  cells.add_row({"2:1 mux", man::util::format_double(tech.mux2_energy_pj, 4),
+                 man::util::format_double(tech.mux2_area_um2, 1),
+                 man::util::format_double(tech.mux2_delay_ps, 0)});
+  cells.add_row({"AND", man::util::format_double(tech.and_energy_pj, 4),
+                 man::util::format_double(tech.and_area_um2, 1),
+                 man::util::format_double(tech.and_delay_ps, 0)});
+  cells.add_row({"XOR", man::util::format_double(tech.xor_energy_pj, 4),
+                 man::util::format_double(tech.xor_area_um2, 1),
+                 man::util::format_double(tech.xor_delay_ps, 0)});
+  cells.add_row({"DFF (per bit)",
+                 man::util::format_double(tech.reg_energy_pj, 4),
+                 man::util::format_double(tech.reg_area_um2, 1),
+                 man::util::format_double(tech.reg_delay_ps, 0)});
+  cells.add_row({"bus wire (per bit)",
+                 man::util::format_double(tech.bus_energy_pj_per_bit, 4),
+                 man::util::format_double(tech.bus_area_um2_per_bit, 1),
+                 "-"});
+  std::cout << cells.to_string();
+
+  std::cout << "\nCalibration factors (see EXPERIMENTS.md): multiplier "
+               "glitch growth ^"
+            << tech.mult_glitch_growth_exponent << ", multiplier area x"
+            << tech.mult_area_factor << " growth ^"
+            << tech.mult_area_growth_exponent << ", wire growth ^"
+            << tech.wire_growth_exponent << ", conv pipeline cut x"
+            << tech.conv_pipe_cut_factor << ".\n";
+  return 0;
+}

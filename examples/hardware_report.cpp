@@ -1,0 +1,59 @@
+// Hardware report: prices an arbitrary neuron configuration with the
+// structural 45 nm model — itemized area/energy/delay breakdown,
+// iso-speed pipeline depth, and the comparison ladder of Figs 8/10.
+//
+// Usage: hardware_report [weight_bits] [num_alphabets]
+//        (defaults: 8 bits, ladder of all schemes)
+#include <cstdio>
+#include <cstdlib>
+
+#include "man/hw/neuron_cost.h"
+#include "man/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace man;
+
+  const int bits = argc > 1 ? std::atoi(argv[1]) : 8;
+  const hw::ClockPlan clock = hw::ClockPlan::for_weight_bits(bits);
+
+  std::printf("== structural 45nm neuron report, %d-bit @ %.1f GHz ==\n\n",
+              bits, clock.frequency_ghz);
+
+  // Detailed breakdown for one spec.
+  hw::NeuronDatapathSpec spec =
+      argc > 2 ? hw::NeuronDatapathSpec::asm_neuron(
+                     bits, core::AlphabetSet::first_n(
+                               static_cast<std::size_t>(std::atoi(argv[2]))))
+               : hw::NeuronDatapathSpec::man_neuron(bits);
+  const auto priced = hw::price_neuron(spec);
+  std::printf("datapath: %s\n", spec.label().c_str());
+  std::printf("combinational path %.0f ps -> %d pipeline stage(s)\n\n",
+              priced.cost.combinational_delay_ps,
+              priced.cost.pipeline_stages);
+
+  util::Table items({"Item", "Area (um2)", "Energy (pJ/MAC)", "Delay (ps)"});
+  for (const auto& item : priced.cost.items) {
+    items.add_row({item.name, util::format_double(item.cost.area_um2, 1),
+                   util::format_double(item.cost.energy_pj, 4),
+                   util::format_double(item.cost.delay_ps, 0)});
+  }
+  items.add_separator();
+  items.add_row({"TOTAL", util::format_double(priced.area_um2, 1),
+                 util::format_double(priced.cost.energy_per_mac_pj(), 4),
+                 "-"});
+  std::printf("%s", items.to_string().c_str());
+  std::printf("power at %.1f GHz: %.3f mW\n\n", clock.frequency_ghz,
+              priced.power_mw);
+
+  // The full comparison ladder.
+  util::Table ladder({"Scheme", "Power (mW)", "Power red. (%)",
+                      "Area (um2)", "Area red. (%)"});
+  for (const auto& row : hw::compare_neuron_schemes(bits)) {
+    ladder.add_row({row.spec.label(), util::format_double(row.power_mw, 3),
+                    util::format_percent(row.power_reduction()),
+                    util::format_double(row.area_um2, 1),
+                    util::format_percent(row.area_reduction())});
+  }
+  std::printf("%s", ladder.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "man/apps/activity_energy.h"
+
+#include <stdexcept>
+
+#include "man/hw/components.h"
+
+namespace man::apps {
+
+using man::engine::EngineStats;
+using man::engine::LayerAlphabetPlan;
+using man::hw::ComponentCost;
+using man::hw::TechParams;
+
+ActivityEnergyReport energy_from_activity(const EngineStats& stats,
+                                          const LayerAlphabetPlan& plan,
+                                          int weight_bits,
+                                          const TechParams& tech) {
+  if (stats.layers.size() != plan.size()) {
+    throw std::invalid_argument(
+        "energy_from_activity: stats cover " +
+        std::to_string(stats.layers.size()) + " layers but the plan has " +
+        std::to_string(plan.size()));
+  }
+
+  const int ibits = weight_bits;
+  const int multiple_bits = ibits + 4;
+  const int product_bits = 2 * weight_bits;
+  const int acc_bits = product_bits + 4;
+
+  // Per-operation energies from the same component library the static
+  // model uses.
+  const double e_bank_add = man::hw::fast_adder(multiple_bits, tech).energy_pj;
+  const double e_shift =
+      man::hw::barrel_shifter(multiple_bits, 3, tech).energy_pj;
+  const double e_partial_add =
+      man::hw::fast_adder(product_bits, tech).energy_pj;
+  const double e_acc_add = man::hw::fast_adder(acc_bits, tech).energy_pj;
+  const double e_sign = product_bits * tech.xor_energy_pj;
+  // Per-MAC overhead that fires regardless of data: operand registers,
+  // accumulator register, activation LUT read (amortized per MAC).
+  const double e_overhead =
+      man::hw::register_bank(weight_bits, tech).energy_pj +
+      man::hw::register_bank(ibits, tech).energy_pj +
+      man::hw::register_bank(acc_bits, tech).energy_pj +
+      man::hw::activation_lut(6, ibits, tech).energy_pj;
+
+  ActivityEnergyReport report;
+  report.inferences = stats.inferences;
+  for (std::size_t i = 0; i < stats.layers.size(); ++i) {
+    const auto& layer = stats.layers[i];
+    const auto& scheme = plan.scheme(i);
+    const int num_alphabets =
+        static_cast<int>(scheme.effective_alphabets().size());
+    const double e_select =
+        man::hw::mux_tree(num_alphabets, multiple_bits, tech).energy_pj;
+
+    LayerActivityEnergy energy;
+    energy.name = layer.name;
+    energy.precomputer_pj =
+        static_cast<double>(layer.ops.precomputer_adds) * e_bank_add;
+    energy.select_pj = static_cast<double>(layer.ops.selects) * e_select;
+    energy.shift_pj = static_cast<double>(layer.ops.shifts) * e_shift;
+    // ops.adds mixes partial-product adds and accumulator adds; the
+    // accumulator fires exactly once per MAC, the rest are partials.
+    const double acc_adds = static_cast<double>(layer.macs);
+    const double partial_adds =
+        static_cast<double>(layer.ops.adds) > acc_adds
+            ? static_cast<double>(layer.ops.adds) - acc_adds
+            : 0.0;
+    energy.adder_pj = partial_adds * e_partial_add + acc_adds * e_acc_add;
+    energy.sign_pj = static_cast<double>(layer.ops.negates) * e_sign;
+    energy.overhead_pj = static_cast<double>(layer.macs) * e_overhead;
+
+    report.total_pj += energy.total_pj();
+    report.layers.push_back(energy);
+  }
+  return report;
+}
+
+}  // namespace man::apps

@@ -1,0 +1,58 @@
+// Activity-based energy accounting (extension over the paper's static
+// model). The paper prices energy as MACs × per-MAC energy with every
+// unit firing every cycle. The fixed-point engine, however, records
+// the *actual* datapath activity of a workload: zero quartets gate
+// their select/shift/add off, signs only sometimes negate, and the
+// shared pre-computer fires once per input per lane group. This
+// adapter converts man::engine::EngineStats into energy using the same
+// per-component costs as the static model, exposing the data-dependent
+// slack the paper's numbers leave on the table.
+#ifndef MAN_APPS_ACTIVITY_ENERGY_H
+#define MAN_APPS_ACTIVITY_ENERGY_H
+
+#include <string>
+#include <vector>
+
+#include "man/engine/engine_stats.h"
+#include "man/engine/layer_alphabet_plan.h"
+#include "man/hw/tech.h"
+
+namespace man::apps {
+
+/// Per-layer activity-energy breakdown (per inference).
+struct LayerActivityEnergy {
+  std::string name;
+  double precomputer_pj = 0.0;
+  double select_pj = 0.0;
+  double shift_pj = 0.0;
+  double adder_pj = 0.0;
+  double sign_pj = 0.0;
+  double overhead_pj = 0.0;  ///< registers + activation LUT per MAC
+
+  [[nodiscard]] double total_pj() const noexcept {
+    return precomputer_pj + select_pj + shift_pj + adder_pj + sign_pj +
+           overhead_pj;
+  }
+};
+
+/// Whole-network activity energy.
+struct ActivityEnergyReport {
+  std::vector<LayerActivityEnergy> layers;
+  double total_pj = 0.0;
+  std::uint64_t inferences = 0;
+
+  [[nodiscard]] double per_inference_pj() const noexcept {
+    return inferences == 0 ? 0.0 : total_pj / static_cast<double>(inferences);
+  }
+};
+
+/// Prices the recorded activity of an engine run. `stats` must come
+/// from a FixedNetwork built with `plan` at `weight_bits`.
+[[nodiscard]] ActivityEnergyReport energy_from_activity(
+    const man::engine::EngineStats& stats,
+    const man::engine::LayerAlphabetPlan& plan, int weight_bits,
+    const man::hw::TechParams& tech = man::hw::TechParams::generic45nm());
+
+}  // namespace man::apps
+
+#endif  // MAN_APPS_ACTIVITY_ENERGY_H

@@ -1,0 +1,228 @@
+#include "man/apps/app_registry.h"
+
+#include <stdexcept>
+
+#include "man/core/activation.h"
+#include "man/data/synth_digits.h"
+#include "man/data/synth_faces.h"
+#include "man/data/synth_svhn.h"
+#include "man/data/synth_tich.h"
+#include "man/nn/activation_layer.h"
+#include "man/nn/conv2d.h"
+#include "man/nn/dense.h"
+#include "man/nn/pool.h"
+#include "man/util/rng.h"
+
+namespace man::apps {
+
+using man::core::ActivationKind;
+using man::nn::ActivationLayer;
+using man::nn::AvgPool2D;
+using man::nn::Conv2D;
+using man::nn::Dense;
+using man::nn::Network;
+
+namespace {
+
+/// Hidden-layer widths of the MLP apps (reverse-engineered from the
+/// paper's synapse counts; see header comment).
+const std::vector<int>& mlp_widths(AppId id) {
+  static const std::vector<int> digit{1024, 100, 10};
+  static const std::vector<int> face{1024, 100, 2};
+  static const std::vector<int> svhn{1024, 580, 460, 300, 120, 90, 10};
+  static const std::vector<int> tich{1024, 300, 200, 150, 100, 36};
+  switch (id) {
+    case AppId::kDigitMlp8: return digit;
+    case AppId::kFaceMlp12: return face;
+    case AppId::kSvhnMlp8: return svhn;
+    case AppId::kTichMlp8: return tich;
+    default:
+      throw std::logic_error("mlp_widths: not an MLP app");
+  }
+}
+
+Network build_mlp(const std::vector<int>& widths, std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  Network net;
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    auto& dense = net.add<Dense>(widths[i], widths[i + 1]);
+    dense.init_xavier(rng);
+    if (i + 2 < widths.size()) {
+      net.add<ActivationLayer>(ActivationKind::kTanh);
+    }
+  }
+  return net;
+}
+
+Network build_lenet(std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  Network net;
+  auto& c1 = net.add<Conv2D>(1, 6, 5, 32, 32);        // 6 @ 28x28
+  c1.init_xavier(rng);
+  net.add<ActivationLayer>(ActivationKind::kTanh);
+  net.add<AvgPool2D>(6, 28, 28, 2);                   // 6 @ 14x14
+  auto& c3 = net.add<Conv2D>(6, 12, 5, 14, 14);       // 12 @ 10x10
+  c3.init_xavier(rng);
+  net.add<ActivationLayer>(ActivationKind::kTanh);
+  net.add<AvgPool2D>(12, 10, 10, 2);                  // 12 @ 5x5 = 300
+  auto& f5 = net.add<Dense>(300, 160);
+  f5.init_xavier(rng);
+  net.add<ActivationLayer>(ActivationKind::kTanh);
+  auto& f6 = net.add<Dense>(160, 10);
+  f6.init_xavier(rng);
+  return net;
+}
+
+}  // namespace
+
+man::data::Dataset AppSpec::make_dataset(double scale) const {
+  const auto scaled = [scale](int count) {
+    return std::max(1, static_cast<int>(count * scale));
+  };
+  switch (id) {
+    case AppId::kDigitMlp8:
+    case AppId::kDigitCnn12: {
+      man::data::DigitOptions opts;
+      opts.train_per_class = scaled(opts.train_per_class);
+      opts.test_per_class = scaled(opts.test_per_class);
+      return man::data::make_synthetic_digits(opts);
+    }
+    case AppId::kFaceMlp12: {
+      man::data::FaceOptions opts;
+      opts.train_per_class = scaled(opts.train_per_class);
+      opts.test_per_class = scaled(opts.test_per_class);
+      return man::data::make_synthetic_faces(opts);
+    }
+    case AppId::kSvhnMlp8: {
+      man::data::SvhnOptions opts;
+      opts.train_per_class = scaled(opts.train_per_class);
+      opts.test_per_class = scaled(opts.test_per_class);
+      return man::data::make_synthetic_svhn(opts);
+    }
+    case AppId::kTichMlp8: {
+      man::data::TichOptions opts;
+      opts.train_per_class = scaled(opts.train_per_class);
+      opts.test_per_class = scaled(opts.test_per_class);
+      return man::data::make_synthetic_tich(opts);
+    }
+  }
+  throw std::logic_error("AppSpec::make_dataset: unknown app");
+}
+
+man::nn::Network AppSpec::build_network(std::uint64_t seed) const {
+  if (id == AppId::kDigitCnn12) return build_lenet(seed);
+  return build_mlp(mlp_widths(id), seed);
+}
+
+man::nn::TrainerConfig AppSpec::baseline_training() const {
+  man::nn::TrainerConfig cfg;
+  cfg.batch_size = 16;
+  cfg.lr_decay = 0.93;
+  switch (id) {
+    case AppId::kDigitMlp8: cfg.epochs = 18; break;
+    case AppId::kDigitCnn12: cfg.epochs = 12; break;
+    case AppId::kFaceMlp12: cfg.epochs = 16; break;
+    case AppId::kSvhnMlp8: cfg.epochs = 18; break;
+    case AppId::kTichMlp8: cfg.epochs = 20; break;
+  }
+  return cfg;
+}
+
+man::nn::TrainerConfig AppSpec::retraining() const {
+  man::nn::TrainerConfig cfg = baseline_training();
+  cfg.epochs = std::max(3, cfg.epochs / 2);
+  cfg.lr_decay = 0.9;
+  return cfg;
+}
+
+double AppSpec::baseline_lr() const {
+  // Deeper stacks need smaller steps (6-layer SVHN diverges above
+  // ~0.01 with momentum 0.9).
+  switch (id) {
+    case AppId::kDigitCnn12: return 0.08;
+    case AppId::kSvhnMlp8: return 0.01;
+    case AppId::kTichMlp8: return 0.02;
+    default: return 0.05;
+  }
+}
+
+double AppSpec::retrain_lr() const {
+  // Algorithm 2 step 3: "lower learning rate".
+  return baseline_lr() * 0.2;
+}
+
+man::hw::NetworkEnergySpec AppSpec::energy_spec() const {
+  man::hw::NetworkEnergySpec spec;
+  spec.name = name;
+  spec.weight_bits = weight_bits;
+  if (id == AppId::kDigitCnn12) {
+    spec.layers = {
+        {"C1 conv 6@28x28", 6ull * 28 * 28 * 25, {}, {}},
+        {"C3 conv 12@10x10", 12ull * 10 * 10 * 6 * 25, {}, {}},
+        {"F5 dense 300-160", 300ull * 160, {}, {}},
+        {"F6 dense 160-10", 160ull * 10, {}, {}},
+    };
+    return spec;
+  }
+  const auto& widths = mlp_widths(id);
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    man::hw::LayerEnergySpec layer;
+    layer.name = "dense " + std::to_string(widths[i]) + "-" +
+                 std::to_string(widths[i + 1]);
+    layer.macs = static_cast<std::uint64_t>(widths[i]) * widths[i + 1];
+    spec.layers.push_back(layer);
+  }
+  return spec;
+}
+
+AppMetrics compute_metrics(const AppSpec& spec) {
+  man::nn::Network net = spec.build_network(/*seed=*/1);
+  AppMetrics metrics;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    man::nn::Layer& layer = net.layer(i);
+    if (auto* dense = dynamic_cast<Dense*>(&layer)) {
+      metrics.weight_layers += 1;
+      metrics.paper_style_layers += 1;
+      metrics.neurons += static_cast<std::size_t>(dense->out_features());
+      metrics.synapses += layer.num_params();
+    } else if (auto* conv = dynamic_cast<Conv2D*>(&layer)) {
+      metrics.weight_layers += 1;
+      metrics.paper_style_layers += 1;
+      metrics.neurons += static_cast<std::size_t>(conv->out_channels()) *
+                         conv->out_height() * conv->out_width();
+      metrics.synapses += layer.num_params();
+    } else if (auto* pool = dynamic_cast<AvgPool2D*>(&layer)) {
+      metrics.paper_style_layers += 1;
+      metrics.neurons += static_cast<std::size_t>(pool->channels()) *
+                         pool->out_height() * pool->out_width();
+    }
+  }
+  return metrics;
+}
+
+const std::vector<AppSpec>& all_apps() {
+  static const std::vector<AppSpec> apps = [] {
+    std::vector<AppSpec> list;
+    list.push_back(AppSpec{AppId::kDigitMlp8, "Digit Recognition (8bit)",
+                           "MNIST", "MLP", 8, 2, 110, 103510});
+    list.push_back(AppSpec{AppId::kDigitCnn12, "Digit Recognition (12bit)",
+                           "MNIST", "CNN (LeNet)", 12, 6, 8010, 51946});
+    list.push_back(AppSpec{AppId::kFaceMlp12, "Face Detection (12bit)",
+                           "YUV Faces", "MLP", 12, 2, 102, 102702});
+    list.push_back(AppSpec{AppId::kSvhnMlp8, "House Number Recognition",
+                           "SVHN", "MLP", 8, 6, 1560, 1054260});
+    list.push_back(AppSpec{AppId::kTichMlp8, "Tilburg Character Set Recog.",
+                           "TICH", "MLP", 8, 5, 786, 421186});
+    return list;
+  }();
+  return apps;
+}
+
+const AppSpec& get_app(AppId id) {
+  for (const AppSpec& spec : all_apps()) {
+    if (spec.id == id) return spec;
+  }
+  throw std::invalid_argument("get_app: unknown app id");
+}
+
+}  // namespace man::apps

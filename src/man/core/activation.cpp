@@ -1,0 +1,82 @@
+#include "man/core/activation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace man::core {
+
+double activate(ActivationKind kind, double x) noexcept {
+  switch (kind) {
+    case ActivationKind::kIdentity:
+      return x;
+    case ActivationKind::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case ActivationKind::kTanh:
+      return std::tanh(x);
+    case ActivationKind::kRelu:
+      return x > 0.0 ? x : 0.0;
+  }
+  return x;
+}
+
+double activate_derivative_from_output(ActivationKind kind,
+                                       double y) noexcept {
+  switch (kind) {
+    case ActivationKind::kIdentity:
+      return 1.0;
+    case ActivationKind::kSigmoid:
+      return y * (1.0 - y);
+    case ActivationKind::kTanh:
+      return 1.0 - y * y;
+    case ActivationKind::kRelu:
+      return y > 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0;
+}
+
+std::string to_string(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kIdentity: return "identity";
+    case ActivationKind::kSigmoid: return "sigmoid";
+    case ActivationKind::kTanh: return "tanh";
+    case ActivationKind::kRelu: return "relu";
+  }
+  return "?";
+}
+
+FixedActivationLut::FixedActivationLut(ActivationKind kind,
+                                       man::fixed::QFormat input_format,
+                                       man::fixed::QFormat output_format,
+                                       int address_bits, double clip)
+    : kind_(kind),
+      input_format_(input_format),
+      output_format_(output_format),
+      clip_(clip) {
+  const std::size_t entries = std::size_t{1} << address_bits;
+  table_.resize(entries);
+  // Entry i covers the input value lerp(-clip, +clip, i/(entries-1)).
+  for (std::size_t i = 0; i < entries; ++i) {
+    const double x = -clip_ + (2.0 * clip_) * static_cast<double>(i) /
+                                  static_cast<double>(entries - 1);
+    table_[i] = output_format_.quantize(activate(kind_, x));
+  }
+}
+
+std::int32_t FixedActivationLut::apply_raw(
+    std::int64_t accumulator_raw) const noexcept {
+  const double x = static_cast<double>(accumulator_raw) *
+                   input_format_.resolution();
+  const double clipped = std::clamp(x, -clip_, clip_);
+  const double position = (clipped + clip_) / (2.0 * clip_);
+  const auto index = static_cast<std::size_t>(
+      std::lround(position * static_cast<double>(table_.size() - 1)));
+  return table_[std::min(index, table_.size() - 1)];
+}
+
+double FixedActivationLut::apply(double x) const noexcept {
+  const std::int64_t raw =
+      static_cast<std::int64_t>(std::llround(x / input_format_.resolution()));
+  return output_format_.dequantize(apply_raw(raw));
+}
+
+}  // namespace man::core

@@ -1,0 +1,81 @@
+// Activation functions, in both floating point (training) and
+// LUT-based fixed point (the hardware processing engine). The paper's
+// neurons are soft-limiting (§II); hardware implementations realize
+// sigmoid/tanh as a small ROM lookup, which is what FixedActivationLut
+// models.
+#ifndef MAN_CORE_ACTIVATION_H
+#define MAN_CORE_ACTIVATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "man/fixed/qformat.h"
+
+namespace man::core {
+
+/// Supported activation nonlinearities.
+enum class ActivationKind {
+  kIdentity,
+  kSigmoid,  ///< logistic 1/(1+e^-x)
+  kTanh,
+  kRelu,
+};
+
+/// Float-domain evaluation (used by training).
+[[nodiscard]] double activate(ActivationKind kind, double x) noexcept;
+
+/// Derivative expressed in terms of the *output* y = activate(x),
+/// which is how backprop consumes it (sigmoid': y(1-y), tanh': 1-y²,
+/// relu': y>0, identity': 1).
+[[nodiscard]] double activate_derivative_from_output(ActivationKind kind,
+                                                     double y) noexcept;
+
+[[nodiscard]] std::string to_string(ActivationKind kind);
+
+/// ROM-lookup activation for the fixed-point engine.
+///
+/// The input (a wide accumulator value in `input_format`) is saturated
+/// to a clip range, quantized to an address, and mapped through a
+/// table precomputed from the float function; the entry is the output
+/// in `output_format`. This reproduces the value-discretization a
+/// hardware LUT introduces, so engine results carry the same error
+/// sources as the RTL.
+class FixedActivationLut {
+ public:
+  /// `address_bits` table entries cover inputs in [-clip, +clip]
+  /// (clip chosen so sigmoid/tanh saturate: 8.0).
+  FixedActivationLut(ActivationKind kind, man::fixed::QFormat input_format,
+                     man::fixed::QFormat output_format, int address_bits = 10,
+                     double clip = 8.0);
+
+  [[nodiscard]] ActivationKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const man::fixed::QFormat& input_format() const noexcept {
+    return input_format_;
+  }
+  [[nodiscard]] const man::fixed::QFormat& output_format() const noexcept {
+    return output_format_;
+  }
+  [[nodiscard]] std::size_t table_size() const noexcept {
+    return table_.size();
+  }
+
+  /// Maps a raw accumulator value (in input_format scaling, but
+  /// allowed to exceed its range — the LUT clips) to the raw output.
+  [[nodiscard]] std::int32_t apply_raw(std::int64_t accumulator_raw) const
+      noexcept;
+
+  /// Float convenience: dequantized apply_raw(quantize(x)).
+  [[nodiscard]] double apply(double x) const noexcept;
+
+ private:
+  ActivationKind kind_;
+  man::fixed::QFormat input_format_;
+  man::fixed::QFormat output_format_;
+  double clip_;
+  std::vector<std::int32_t> table_;
+};
+
+}  // namespace man::core
+
+#endif  // MAN_CORE_ACTIVATION_H

@@ -1,0 +1,86 @@
+#include "man/core/alphabet_optimizer.h"
+
+#include <stdexcept>
+
+#include "man/core/weight_constraint.h"
+
+namespace man::core {
+
+std::vector<AlphabetSet> enumerate_alphabet_sets(std::size_t k) {
+  if (k < 1 || k > 8) {
+    throw std::invalid_argument("enumerate_alphabet_sets: k must be in [1,8]");
+  }
+  // Choose k-1 alphabets from {3,5,7,9,11,13,15}; 1 is always present.
+  const int pool[] = {3, 5, 7, 9, 11, 13, 15};
+  constexpr int kPoolSize = 7;
+  std::vector<AlphabetSet> sets;
+  const int need = static_cast<int>(k) - 1;
+  // Iterate bitmasks of the pool with popcount == need.
+  for (unsigned mask = 0; mask < (1u << kPoolSize); ++mask) {
+    if (__builtin_popcount(mask) != need) continue;
+    std::vector<int> members{1};
+    for (int i = 0; i < kPoolSize; ++i) {
+      if ((mask >> i) & 1u) members.push_back(pool[i]);
+    }
+    sets.emplace_back(std::span<const int>(members));
+  }
+  return sets;
+}
+
+double uniform_constraint_cost(const QuartetLayout& layout,
+                               const AlphabetSet& set) {
+  return WeightConstraint(layout, set).mean_absolute_error();
+}
+
+double empirical_constraint_cost(const QuartetLayout& layout,
+                                 const AlphabetSet& set,
+                                 std::span<const int> weights) {
+  if (weights.empty()) return 0.0;
+  const WeightConstraint wc(layout, set);
+  double total = 0.0;
+  for (int w : weights) {
+    const double err = static_cast<double>(w - wc.constrain(w));
+    total += err * err;
+  }
+  return total / static_cast<double>(weights.size());
+}
+
+namespace {
+
+template <typename CostFn>
+AlphabetSearchResult search(const QuartetLayout& layout, std::size_t k,
+                            CostFn&& cost_of) {
+  AlphabetSearchResult result;
+  result.best = AlphabetSet::first_n(k);
+  result.best_cost = cost_of(result.best);
+  result.ladder_cost = result.best_cost;
+  for (const AlphabetSet& candidate : enumerate_alphabet_sets(k)) {
+    ++result.candidates;
+    const double cost = cost_of(candidate);
+    if (cost < result.best_cost) {
+      result.best_cost = cost;
+      result.best = candidate;
+    }
+  }
+  (void)layout;
+  return result;
+}
+
+}  // namespace
+
+AlphabetSearchResult optimize_uniform(const QuartetLayout& layout,
+                                      std::size_t k) {
+  return search(layout, k, [&](const AlphabetSet& set) {
+    return uniform_constraint_cost(layout, set);
+  });
+}
+
+AlphabetSearchResult optimize_empirical(const QuartetLayout& layout,
+                                        std::size_t k,
+                                        std::span<const int> weights) {
+  return search(layout, k, [&](const AlphabetSet& set) {
+    return empirical_constraint_cost(layout, set, weights);
+  });
+}
+
+}  // namespace man::core

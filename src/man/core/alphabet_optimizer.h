@@ -1,0 +1,65 @@
+// Alphabet-set optimization (extension beyond the paper).
+//
+// The paper always uses the prefix ladder {1}, {1,3}, {1,3,5,7}. But
+// nothing forces the alphabets to be the smallest odd numbers: for a
+// given weight distribution, a different k-alphabet set may lose less
+// information under the quartet constraint. This module searches all
+// C(7,k-1) candidate sets (alphabet 1 is always kept — without it the
+// datapath cannot form isolated bits) for:
+//
+//  * the set minimizing worst-case / mean constraint error over all
+//    magnitudes (distribution-free), or
+//  * the set minimizing the mean squared constraint error under an
+//    empirical weight distribution (e.g. a trained layer's weights).
+//
+// The ablation bench (bench_ablation_constraint) and tests use this to
+// quantify how much headroom the paper's prefix ladder leaves.
+#ifndef MAN_CORE_ALPHABET_OPTIMIZER_H
+#define MAN_CORE_ALPHABET_OPTIMIZER_H
+
+#include <span>
+#include <vector>
+
+#include "man/core/alphabet_set.h"
+#include "man/core/quartet.h"
+
+namespace man::core {
+
+/// Result of an alphabet-set search.
+struct AlphabetSearchResult {
+  AlphabetSet best;
+  double best_cost = 0.0;
+  /// Cost of the paper's prefix ladder set of the same size, for
+  /// comparison (first_n(k)).
+  double ladder_cost = 0.0;
+  /// Number of candidate sets evaluated.
+  int candidates = 0;
+};
+
+/// All k-element alphabet sets containing 1 (k in [1,8]).
+[[nodiscard]] std::vector<AlphabetSet> enumerate_alphabet_sets(
+    std::size_t k);
+
+/// Mean absolute constraint error over all magnitudes of `layout`
+/// (uniform weight model).
+[[nodiscard]] double uniform_constraint_cost(const QuartetLayout& layout,
+                                             const AlphabetSet& set);
+
+/// Mean squared constraint error over an empirical set of integer
+/// weights (e.g. a quantized trained layer).
+[[nodiscard]] double empirical_constraint_cost(const QuartetLayout& layout,
+                                               const AlphabetSet& set,
+                                               std::span<const int> weights);
+
+/// Searches all k-alphabet sets for the minimum uniform cost.
+[[nodiscard]] AlphabetSearchResult optimize_uniform(
+    const QuartetLayout& layout, std::size_t k);
+
+/// Searches all k-alphabet sets for the minimum empirical cost.
+[[nodiscard]] AlphabetSearchResult optimize_empirical(
+    const QuartetLayout& layout, std::size_t k,
+    std::span<const int> weights);
+
+}  // namespace man::core
+
+#endif  // MAN_CORE_ALPHABET_OPTIMIZER_H

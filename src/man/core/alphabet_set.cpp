@@ -1,0 +1,134 @@
+#include "man/core/alphabet_set.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace man::core {
+
+AlphabetSet::AlphabetSet(std::initializer_list<int> alphabets) {
+  values_.reserve(alphabets.size());
+  for (int a : alphabets) values_.push_back(static_cast<Alphabet>(a));
+  validate_and_sort();
+}
+
+AlphabetSet::AlphabetSet(std::span<const int> alphabets) {
+  values_.reserve(alphabets.size());
+  for (int a : alphabets) values_.push_back(static_cast<Alphabet>(a));
+  validate_and_sort();
+}
+
+void AlphabetSet::validate_and_sort() {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const int a = values_[i];
+    if (a < 1 || a > kMaxAlphabetValue || a % 2 == 0) {
+      throw std::invalid_argument(
+          "AlphabetSet: alphabets must be odd integers in [1,15], got " +
+          std::to_string(a));
+    }
+  }
+  std::sort(values_.begin(), values_.end());
+  if (std::adjacent_find(values_.begin(), values_.end()) != values_.end()) {
+    throw std::invalid_argument("AlphabetSet: duplicate alphabet");
+  }
+}
+
+const AlphabetSet& AlphabetSet::man() {
+  static const AlphabetSet set{1};
+  return set;
+}
+
+const AlphabetSet& AlphabetSet::two() {
+  static const AlphabetSet set{1, 3};
+  return set;
+}
+
+const AlphabetSet& AlphabetSet::four() {
+  static const AlphabetSet set{1, 3, 5, 7};
+  return set;
+}
+
+const AlphabetSet& AlphabetSet::full() {
+  static const AlphabetSet set{1, 3, 5, 7, 9, 11, 13, 15};
+  return set;
+}
+
+AlphabetSet AlphabetSet::first_n(std::size_t n) {
+  if (n > 8) {
+    throw std::invalid_argument("AlphabetSet::first_n: n must be <= 8, got " +
+                                std::to_string(n));
+  }
+  AlphabetSet set;
+  for (std::size_t i = 0; i < n; ++i) {
+    set.values_.push_back(static_cast<Alphabet>(2 * i + 1));
+  }
+  return set;
+}
+
+bool AlphabetSet::contains(int a) const noexcept {
+  return std::binary_search(values_.begin(), values_.end(),
+                            static_cast<Alphabet>(a));
+}
+
+std::uint32_t AlphabetSet::supported_mask(int width) const {
+  if (width < 1 || width > 4) {
+    throw std::invalid_argument("AlphabetSet: field width must be in [1,4]");
+  }
+  const int limit = (1 << width) - 1;
+  std::uint32_t mask = 1u;  // value 0 is always supported
+  for (Alphabet a : values_) {
+    for (int v = a; v <= limit; v <<= 1) mask |= (1u << v);
+  }
+  return mask;
+}
+
+bool AlphabetSet::supports(int value, int width) const {
+  if (value < 0 || value >= (1 << width)) return false;
+  return (supported_mask(width) >> value) & 1u;
+}
+
+std::vector<int> AlphabetSet::supported_values(int width) const {
+  const std::uint32_t mask = supported_mask(width);
+  std::vector<int> values;
+  for (int v = 0; v < (1 << width); ++v) {
+    if ((mask >> v) & 1u) values.push_back(v);
+  }
+  return values;
+}
+
+std::vector<int> AlphabetSet::unsupported_values(int width) const {
+  const std::uint32_t mask = supported_mask(width);
+  std::vector<int> values;
+  for (int v = 0; v < (1 << width); ++v) {
+    if (!((mask >> v) & 1u)) values.push_back(v);
+  }
+  return values;
+}
+
+std::optional<AlphabetSet::Encoding> AlphabetSet::encode(int value,
+                                                         int width) const {
+  if (value <= 0 || value >= (1 << width)) return std::nullopt;
+  // values_ is sorted ascending, so the first hit uses the smallest
+  // alphabet — the cheapest pre-computer output.
+  for (Alphabet a : values_) {
+    if (a > value) break;
+    int candidate = a;
+    std::uint8_t shift = 0;
+    while (candidate < value) {
+      candidate <<= 1;
+      ++shift;
+    }
+    if (candidate == value) return Encoding{a, shift};
+  }
+  return std::nullopt;
+}
+
+std::string AlphabetSet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(values_[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace man::core

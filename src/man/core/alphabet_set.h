@@ -1,0 +1,99 @@
+// Alphabet sets for the Alphabet Set Multiplier (paper §III-IV).
+//
+// An "alphabet" is a small odd multiple a of the multiplier input I;
+// the pre-computer bank produces a·I for every alphabet in the set.
+// A quartet value v of the multiplicand (weight) is *supported* by the
+// set if v == 0 or v == a << s for some alphabet a and shift s with the
+// result still inside the quartet's bit-width.
+//
+// Canonical sets from the paper:
+//   {1}                     -> MAN (multiplier-less, no pre-computer)
+//   {1,3}                   -> 2-alphabet ASM
+//   {1,3,5,7}               -> 4-alphabet ASM
+//   {1,3,5,7,9,11,13,15}    -> full set: every 4-bit value supported
+//                              (exact multiplication, classic CSHM)
+#ifndef MAN_CORE_ALPHABET_SET_H
+#define MAN_CORE_ALPHABET_SET_H
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace man::core {
+
+/// An alphabet: an odd integer in [1, 15].
+using Alphabet = std::uint8_t;
+
+/// Immutable, ordered set of alphabets with supported-value queries.
+class AlphabetSet {
+ public:
+  static constexpr int kMaxAlphabetValue = 15;
+
+  /// Empty set (supports only the zero quartet).
+  AlphabetSet() noexcept = default;
+
+  /// Builds from explicit values. Throws std::invalid_argument if a
+  /// value is even, out of [1,15], or duplicated.
+  AlphabetSet(std::initializer_list<int> alphabets);
+  explicit AlphabetSet(std::span<const int> alphabets);
+
+  /// The paper's named configurations.
+  [[nodiscard]] static const AlphabetSet& man();    ///< {1}
+  [[nodiscard]] static const AlphabetSet& two();    ///< {1,3}
+  [[nodiscard]] static const AlphabetSet& four();   ///< {1,3,5,7}
+  [[nodiscard]] static const AlphabetSet& full();   ///< {1,3,...,15}
+
+  /// First n odd numbers: first_n(1)={1}, first_n(4)={1,3,5,7}, ...
+  /// Throws std::invalid_argument unless 0 <= n <= 8.
+  [[nodiscard]] static AlphabetSet first_n(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] bool contains(int a) const noexcept;
+  [[nodiscard]] std::span<const Alphabet> alphabets() const noexcept {
+    return {values_.data(), values_.size()};
+  }
+
+  /// Bitmask of supported values for a field of `width` bits
+  /// (1 <= width <= 4): bit v set <=> value v is supported.
+  /// Value 0 is always supported (paper counts it: "12 (including 0)").
+  [[nodiscard]] std::uint32_t supported_mask(int width) const;
+
+  /// True if `value` (0 <= value < 2^width) is supported in a
+  /// `width`-bit field.
+  [[nodiscard]] bool supports(int value, int width) const;
+
+  /// Ascending list of supported / unsupported values for the field.
+  [[nodiscard]] std::vector<int> supported_values(int width) const;
+  [[nodiscard]] std::vector<int> unsupported_values(int width) const;
+
+  /// Select/shift encoding of a supported non-zero value:
+  /// value == alphabet << shift. Returns nullopt for 0 or unsupported
+  /// values. When several encodings exist the smallest alphabet wins
+  /// (cheapest pre-computer output).
+  struct Encoding {
+    Alphabet alphabet = 0;
+    std::uint8_t shift = 0;
+  };
+  [[nodiscard]] std::optional<Encoding> encode(int value, int width) const;
+
+  /// e.g. "{1,3,5,7}".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const AlphabetSet& a, const AlphabetSet& b) noexcept {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  void validate_and_sort();
+
+  std::vector<Alphabet> values_;
+};
+
+}  // namespace man::core
+
+#endif  // MAN_CORE_ALPHABET_SET_H

@@ -1,0 +1,99 @@
+#include "man/core/asm_multiplier.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace man::core {
+
+AsmMultiplier::AsmMultiplier(QuartetLayout layout, AlphabetSet set,
+                             UnsupportedPolicy policy)
+    : layout_(layout),
+      bank_(set),
+      constraint_(layout, std::move(set)),
+      policy_(policy) {}
+
+int AsmMultiplier::effective_weight(int weight) const {
+  if (constraint_.is_weight_representable(weight)) return weight;
+  if (policy_ == UnsupportedPolicy::kThrow) {
+    throw std::domain_error("AsmMultiplier: weight " + std::to_string(weight) +
+                            " has unsupported quartets under " +
+                            alphabet_set().to_string());
+  }
+  return constraint_.constrain(weight);
+}
+
+std::vector<AsmStep> AsmMultiplier::plan(int weight) const {
+  const int w = effective_weight(weight);
+  const SignMagnitude sm = to_sign_magnitude(w, layout_);
+  const auto quartets = layout_.decompose(sm.magnitude);
+
+  std::vector<AsmStep> steps;
+  steps.reserve(quartets.size());
+  for (int q = 0; q < layout_.num_quartets(); ++q) {
+    const int value = quartets[static_cast<std::size_t>(q)];
+    if (value == 0) continue;  // hardware gates off zero quartets
+    const auto enc =
+        alphabet_set().encode(value, layout_.quartet_width(q));
+    if (!enc) {
+      throw std::logic_error("AsmMultiplier: representable weight has an "
+                             "unencodable quartet (internal error)");
+    }
+    steps.push_back(AsmStep{q, value, enc->alphabet, enc->shift,
+                            enc->shift + layout_.quartet_shift(q)});
+  }
+  return steps;
+}
+
+std::int64_t AsmMultiplier::multiply(int weight, std::int64_t input) const {
+  OpCounts scratch;
+  return multiply(weight, input, scratch);
+}
+
+std::int64_t AsmMultiplier::multiply(int weight, std::int64_t input,
+                                     OpCounts& counts) const {
+  const auto multiples = bank_.compute(input, counts);
+  return multiply_with_bank(weight, multiples, counts);
+}
+
+std::int64_t AsmMultiplier::multiply_with_bank(
+    int weight, const std::vector<std::int64_t>& multiples,
+    OpCounts& counts) const {
+  if (multiples.size() != alphabet_set().size()) {
+    throw std::invalid_argument(
+        "AsmMultiplier: bank provided " + std::to_string(multiples.size()) +
+        " multiples for " + std::to_string(alphabet_set().size()) +
+        " alphabets");
+  }
+  const int w = effective_weight(weight);
+  const SignMagnitude sm = to_sign_magnitude(w, layout_);
+
+  const auto alphabets = alphabet_set().alphabets();
+  std::int64_t accumulator = 0;
+  bool first_partial = true;
+  for (const AsmStep& step : plan(w)) {
+    // Select: pick the alphabet multiple off the broadcast bus.
+    std::size_t lane = 0;
+    while (alphabets[lane] != step.alphabet) ++lane;
+    const std::int64_t selected = multiples[lane];
+    counts.selects += 1;
+    // Shift: align by the encoding shift plus the quartet position.
+    const std::int64_t shifted = selected << step.total_shift;
+    counts.shifts += 1;
+    // Add: accumulate the partial product (first one is a pass-through).
+    if (first_partial) {
+      accumulator = shifted;
+      first_partial = false;
+    } else {
+      accumulator += shifted;
+      counts.adds += 1;
+    }
+  }
+  // Sign application: two's complement negate when W < 0.
+  if (sm.negative) {
+    accumulator = -accumulator;
+    counts.negates += 1;
+  }
+  return accumulator;
+}
+
+}  // namespace man::core

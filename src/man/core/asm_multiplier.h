@@ -1,0 +1,94 @@
+// Alphabet Set Multiplier — bit-exact emulation of the select/shift/add
+// datapath (paper §III, Fig 2). Multiplies an n-bit two's-complement
+// weight W by an input I:
+//
+//   1. the pre-computer bank produces a·I for every alphabet a,
+//   2. each non-zero quartet q of |W| selects the alphabet multiple of
+//      its encoding q = a << s,
+//   3. the shift unit aligns it by s plus the quartet position,
+//   4. the adder tree sums the partial products,
+//   5. the sign of W is applied.
+//
+// When every quartet of |W| is supported the result equals W·I exactly
+// — the approximation of the paper lives entirely in the *weight
+// constraining*, never in the datapath. Unsupported weights are
+// handled per UnsupportedPolicy.
+#ifndef MAN_CORE_ASM_MULTIPLIER_H
+#define MAN_CORE_ASM_MULTIPLIER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "man/core/alphabet_set.h"
+#include "man/core/op_counts.h"
+#include "man/core/precomputer_bank.h"
+#include "man/core/quartet.h"
+#include "man/core/weight_constraint.h"
+
+namespace man::core {
+
+/// What multiply() does when a quartet of |W| is unsupported.
+enum class UnsupportedPolicy {
+  kConstrainFirst,  ///< silently constrain W to the nearest representable
+  kThrow,           ///< throw std::domain_error (for verified pipelines
+                    ///< where weights are constrained ahead of time)
+};
+
+/// One select/shift step of a multiplication plan.
+struct AsmStep {
+  int quartet_index;    ///< 0 = LSB quartet (paper's R)
+  int quartet_value;    ///< the supported quartet value
+  Alphabet alphabet;    ///< selected alphabet a
+  int alphabet_shift;   ///< s with quartet_value == a << s
+  int total_shift;      ///< alphabet_shift + 4*quartet_index
+};
+
+/// Bit-exact ASM emulation for one (layout, alphabet set) pair.
+class AsmMultiplier {
+ public:
+  AsmMultiplier(QuartetLayout layout, AlphabetSet set,
+                UnsupportedPolicy policy = UnsupportedPolicy::kConstrainFirst);
+
+  [[nodiscard]] const QuartetLayout& layout() const noexcept {
+    return layout_;
+  }
+  [[nodiscard]] const AlphabetSet& alphabet_set() const noexcept {
+    return bank_.alphabet_set();
+  }
+  [[nodiscard]] const PrecomputerBank& bank() const noexcept { return bank_; }
+  [[nodiscard]] const WeightConstraint& constraint() const noexcept {
+    return constraint_;
+  }
+  [[nodiscard]] UnsupportedPolicy policy() const noexcept { return policy_; }
+
+  /// The select/shift schedule for |weight| (zero quartets are skipped,
+  /// as the hardware gates them off). Applies the unsupported policy.
+  [[nodiscard]] std::vector<AsmStep> plan(int weight) const;
+
+  /// W·I through the emulated datapath. Exact when W is representable.
+  [[nodiscard]] std::int64_t multiply(int weight, std::int64_t input) const;
+
+  /// As above, accumulating datapath activity into `counts`. The
+  /// pre-computer activity is attributed here too; callers sharing a
+  /// bank across lanes (CSHM) should use CshmUnit, which amortizes it.
+  [[nodiscard]] std::int64_t multiply(int weight, std::int64_t input,
+                                      OpCounts& counts) const;
+
+  /// Multiplies using externally supplied alphabet multiples (the CSHM
+  /// sharing path): `multiples[i]` must equal alphabets()[i] · I.
+  [[nodiscard]] std::int64_t multiply_with_bank(
+      int weight, const std::vector<std::int64_t>& multiples,
+      OpCounts& counts) const;
+
+ private:
+  [[nodiscard]] int effective_weight(int weight) const;
+
+  QuartetLayout layout_;
+  PrecomputerBank bank_;
+  WeightConstraint constraint_;
+  UnsupportedPolicy policy_;
+};
+
+}  // namespace man::core
+
+#endif  // MAN_CORE_ASM_MULTIPLIER_H

@@ -1,0 +1,55 @@
+#include "man/core/cshm_unit.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace man::core {
+
+CshmUnit::CshmUnit(QuartetLayout layout, AlphabetSet set, int lanes,
+                   UnsupportedPolicy policy)
+    : multiplier_(layout, std::move(set), policy), lanes_(lanes) {
+  if (lanes < 1 || lanes > 64) {
+    throw std::invalid_argument("CshmUnit: lanes must be in [1,64], got " +
+                                std::to_string(lanes));
+  }
+}
+
+std::vector<std::int64_t> CshmUnit::process(std::int64_t input,
+                                            std::span<const int> weights) {
+  if (static_cast<int>(weights.size()) > lanes_) {
+    throw std::invalid_argument(
+        "CshmUnit: " + std::to_string(weights.size()) + " weights exceed " +
+        std::to_string(lanes_) + " lanes");
+  }
+  // One pre-computer activation, shared by every lane.
+  const auto multiples = multiplier_.bank().compute(input, stats_.ops);
+  stats_.inputs_processed += 1;
+
+  std::vector<std::int64_t> products;
+  products.reserve(weights.size());
+  for (int w : weights) {
+    products.push_back(multiplier_.multiply_with_bank(w, multiples,
+                                                      stats_.ops));
+    stats_.products_computed += 1;
+  }
+  return products;
+}
+
+std::vector<std::int64_t> CshmUnit::process_column(
+    std::int64_t input, std::span<const int> weights) {
+  // The bank output for `input` is registered once; every batch of
+  // lanes_ weights reuses it without re-activating the adders.
+  const auto multiples = multiplier_.bank().compute(input, stats_.ops);
+  stats_.inputs_processed += 1;
+
+  std::vector<std::int64_t> products;
+  products.reserve(weights.size());
+  for (int w : weights) {
+    products.push_back(multiplier_.multiply_with_bank(w, multiples,
+                                                      stats_.ops));
+    stats_.products_computed += 1;
+  }
+  return products;
+}
+
+}  // namespace man::core

@@ -1,0 +1,70 @@
+// Computation-Sharing Multiplication unit (paper §III, Fig 3): one
+// pre-computer bank broadcast to several ASM lanes. In a feed-forward
+// layer each input value is multiplied by one weight per destination
+// neuron, so the alphabet multiples of that input can be computed once
+// and shared — the paper's processing engine shares one bank across
+// four neuron lanes.
+#ifndef MAN_CORE_CSHM_UNIT_H
+#define MAN_CORE_CSHM_UNIT_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "man/core/asm_multiplier.h"
+
+namespace man::core {
+
+/// Aggregate activity statistics for a CSHM unit.
+struct CshmStats {
+  std::uint64_t inputs_processed = 0;   ///< pre-computer activations
+  std::uint64_t products_computed = 0;  ///< lane multiplications
+  OpCounts ops;                         ///< summed datapath activity
+
+  CshmStats& operator+=(const CshmStats& other) noexcept {
+    inputs_processed += other.inputs_processed;
+    products_computed += other.products_computed;
+    ops += other.ops;
+    return *this;
+  }
+};
+
+/// A pre-computer bank shared by `lanes` ASM multipliers.
+class CshmUnit {
+ public:
+  /// The paper's processing unit uses 4 lanes.
+  static constexpr int kDefaultLanes = 4;
+
+  CshmUnit(QuartetLayout layout, AlphabetSet set, int lanes = kDefaultLanes,
+           UnsupportedPolicy policy = UnsupportedPolicy::kConstrainFirst);
+
+  [[nodiscard]] int lanes() const noexcept { return lanes_; }
+  [[nodiscard]] const AsmMultiplier& multiplier() const noexcept {
+    return multiplier_;
+  }
+
+  /// Multiplies one input by up to lanes() weights, activating the
+  /// pre-computer exactly once. Returns one product per weight.
+  /// Throws std::invalid_argument if more weights than lanes are given.
+  [[nodiscard]] std::vector<std::int64_t> process(
+      std::int64_t input, std::span<const int> weights);
+
+  /// Processes a whole weight column against one input, batching it
+  /// through the lanes (ceil(weights/lanes) bank activations — the
+  /// bank output is registered per input, so repeated batches of the
+  /// same input cost one activation each, matching the RTL).
+  [[nodiscard]] std::vector<std::int64_t> process_column(
+      std::int64_t input, std::span<const int> weights);
+
+  [[nodiscard]] const CshmStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CshmStats{}; }
+
+ private:
+  AsmMultiplier multiplier_;
+  int lanes_;
+  CshmStats stats_;
+};
+
+}  // namespace man::core
+
+#endif  // MAN_CORE_CSHM_UNIT_H

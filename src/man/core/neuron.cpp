@@ -1,0 +1,79 @@
+#include "man/core/neuron.h"
+
+#include <stdexcept>
+
+namespace man::core {
+
+std::string to_string(MultiplierKind kind) {
+  switch (kind) {
+    case MultiplierKind::kExact: return "conventional";
+    case MultiplierKind::kAsm: return "ASM";
+    case MultiplierKind::kMan: return "MAN";
+  }
+  return "?";
+}
+
+const AlphabetSet& NeuronConfig::effective_alphabets() const noexcept {
+  switch (multiplier) {
+    case MultiplierKind::kMan:
+      return AlphabetSet::man();
+    case MultiplierKind::kAsm:
+      return alphabets;
+    case MultiplierKind::kExact:
+      return AlphabetSet::full();
+  }
+  return AlphabetSet::full();
+}
+
+namespace {
+
+// The accumulator carries products of weight_format × input_format, so
+// its fractional scaling is the sum of the two fractional widths.
+man::fixed::QFormat accumulator_format(const NeuronConfig& config) {
+  return man::fixed::QFormat(
+      30, config.weight_format.frac_bits() + config.input_format.frac_bits());
+}
+
+}  // namespace
+
+Neuron::Neuron(NeuronConfig config)
+    : config_(std::move(config)),
+      lut_(config_.activation, accumulator_format(config_),
+           config_.input_format) {
+  if (config_.multiplier != MultiplierKind::kExact) {
+    asm_multiplier_.emplace(
+        QuartetLayout(config_.weight_format.total_bits()),
+        config_.effective_alphabets(), UnsupportedPolicy::kConstrainFirst);
+  }
+}
+
+NeuronOutput Neuron::forward(std::span<const std::int32_t> inputs,
+                             std::span<const int> weights,
+                             std::int64_t bias_raw, OpCounts* counts) const {
+  if (inputs.size() != weights.size()) {
+    throw std::invalid_argument("Neuron::forward: " +
+                                std::to_string(inputs.size()) + " inputs vs " +
+                                std::to_string(weights.size()) + " weights");
+  }
+  OpCounts local;
+  std::int64_t accumulator = bias_raw;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::int64_t product;
+    if (asm_multiplier_) {
+      product = asm_multiplier_->multiply(weights[i], inputs[i], local);
+    } else {
+      product = static_cast<std::int64_t>(weights[i]) * inputs[i];
+    }
+    accumulator += product;
+    local.adds += 1;  // MAC accumulation add
+  }
+  if (counts != nullptr) *counts += local;
+
+  NeuronOutput out;
+  out.accumulator_raw = accumulator;
+  out.activation_raw = lut_.apply_raw(accumulator);
+  out.activation_value = config_.input_format.dequantize(out.activation_raw);
+  return out;
+}
+
+}  // namespace man::core

@@ -1,0 +1,85 @@
+// Functional models of a digital hardware neuron (paper §II, Fig 1a):
+// multiply -> accumulate -> activation. Three datapath variants:
+//
+//   kExact — conventional neuron: full array multiplier.
+//   kAsm   — the multiplier is an Alphabet Set Multiplier.
+//   kMan   — Multiplier-less Artificial Neuron: the degenerate
+//            1-alphabet {1} ASM whose pre-computer bank and select
+//            units vanish (paper §IV.D, Fig 6); only shift and add
+//            remain.
+//
+// These per-neuron models are the reference the vectorized engine
+// (man::engine) is tested against, and the unit the hardware cost
+// model prices.
+#ifndef MAN_CORE_NEURON_H
+#define MAN_CORE_NEURON_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "man/core/activation.h"
+#include "man/core/asm_multiplier.h"
+#include "man/fixed/qformat.h"
+
+namespace man::core {
+
+/// Which multiplier the neuron datapath uses.
+enum class MultiplierKind {
+  kExact,  ///< conventional n×m array multiplier
+  kAsm,    ///< Alphabet Set Multiplier with a configured alphabet set
+  kMan,    ///< multiplier-less: fixed alphabet set {1}
+};
+
+[[nodiscard]] std::string to_string(MultiplierKind kind);
+
+/// Static configuration of a neuron datapath.
+struct NeuronConfig {
+  MultiplierKind multiplier = MultiplierKind::kExact;
+  AlphabetSet alphabets = AlphabetSet::full();  ///< used when kAsm
+  man::fixed::QFormat weight_format = man::fixed::QFormat::weight8();
+  man::fixed::QFormat input_format = man::fixed::QFormat::input8();
+  ActivationKind activation = ActivationKind::kSigmoid;
+
+  /// The alphabet set the datapath actually instantiates (kMan forces
+  /// {1}; kExact has none but reports full for bookkeeping).
+  [[nodiscard]] const AlphabetSet& effective_alphabets() const noexcept;
+};
+
+/// Result of one neuron evaluation.
+struct NeuronOutput {
+  std::int64_t accumulator_raw = 0;  ///< pre-activation weighted sum
+  std::int32_t activation_raw = 0;   ///< LUT output in input_format
+  double activation_value = 0.0;     ///< dequantized activation
+};
+
+/// Fixed-point neuron evaluator.
+class Neuron {
+ public:
+  explicit Neuron(NeuronConfig config);
+
+  [[nodiscard]] const NeuronConfig& config() const noexcept { return config_; }
+
+  /// Weighted sum of raw fixed-point inputs with raw integer weights
+  /// plus bias (bias in weight·input product scale), then activation.
+  /// weights.size() must equal inputs.size().
+  [[nodiscard]] NeuronOutput forward(std::span<const std::int32_t> inputs,
+                                     std::span<const int> weights,
+                                     std::int64_t bias_raw,
+                                     OpCounts* counts = nullptr) const;
+
+  /// The multiplier emulation in use (nullopt for kExact).
+  [[nodiscard]] const AsmMultiplier* asm_multiplier() const noexcept {
+    return asm_multiplier_ ? &*asm_multiplier_ : nullptr;
+  }
+
+ private:
+  NeuronConfig config_;
+  std::optional<AsmMultiplier> asm_multiplier_;
+  FixedActivationLut lut_;
+};
+
+}  // namespace man::core
+
+#endif  // MAN_CORE_NEURON_H

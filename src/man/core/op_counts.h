@@ -1,0 +1,36 @@
+// Operation counters shared by the ASM emulation classes. These feed
+// the hardware cost model (activity factors) and the microbenchmarks.
+#ifndef MAN_CORE_OP_COUNTS_H
+#define MAN_CORE_OP_COUNTS_H
+
+#include <cstdint>
+
+namespace man::core {
+
+/// Datapath activity for one or more ASM multiplications.
+struct OpCounts {
+  std::uint64_t precomputer_adds = 0;  ///< adds/subs inside the bank
+  std::uint64_t selects = 0;           ///< alphabet-select mux operations
+  std::uint64_t shifts = 0;            ///< barrel-shifter operations
+  std::uint64_t adds = 0;              ///< partial-product adder operations
+  std::uint64_t negates = 0;           ///< sign-application two's complements
+
+  OpCounts& operator+=(const OpCounts& other) noexcept {
+    precomputer_adds += other.precomputer_adds;
+    selects += other.selects;
+    shifts += other.shifts;
+    adds += other.adds;
+    negates += other.negates;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return precomputer_adds + selects + shifts + adds + negates;
+  }
+
+  friend bool operator==(const OpCounts&, const OpCounts&) noexcept = default;
+};
+
+}  // namespace man::core
+
+#endif  // MAN_CORE_OP_COUNTS_H

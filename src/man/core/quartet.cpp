@@ -1,0 +1,85 @@
+#include "man/core/quartet.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace man::core {
+
+QuartetLayout::QuartetLayout(int total_bits) : total_bits_(total_bits) {
+  if (total_bits < 4 || total_bits > 20) {
+    throw std::invalid_argument(
+        "QuartetLayout: total_bits must be in [4,20], got " +
+        std::to_string(total_bits));
+  }
+  num_quartets_ = (magnitude_bits() + 3) / 4;
+}
+
+int QuartetLayout::quartet_width(int index) const {
+  if (index < 0 || index >= num_quartets_) {
+    throw std::out_of_range("QuartetLayout: quartet index " +
+                            std::to_string(index) + " out of range");
+  }
+  if (index < num_quartets_ - 1) return 4;
+  const int rem = magnitude_bits() % 4;
+  return rem == 0 ? 4 : rem;
+}
+
+int QuartetLayout::quartet_shift(int index) const {
+  if (index < 0 || index >= num_quartets_) {
+    throw std::out_of_range("QuartetLayout: quartet index " +
+                            std::to_string(index) + " out of range");
+  }
+  return 4 * index;
+}
+
+std::vector<std::uint8_t> QuartetLayout::decompose(int magnitude) const {
+  if (magnitude < 0 || magnitude > max_magnitude()) {
+    throw std::out_of_range("QuartetLayout: magnitude " +
+                            std::to_string(magnitude) +
+                            " outside [0," + std::to_string(max_magnitude()) +
+                            "]");
+  }
+  std::vector<std::uint8_t> quartets(static_cast<std::size_t>(num_quartets_));
+  for (int i = 0; i < num_quartets_; ++i) {
+    const int mask = (1 << quartet_width(i)) - 1;
+    quartets[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((magnitude >> quartet_shift(i)) & mask);
+  }
+  return quartets;
+}
+
+int QuartetLayout::compose(const std::vector<std::uint8_t>& quartets) const {
+  if (quartets.size() != static_cast<std::size_t>(num_quartets_)) {
+    throw std::invalid_argument("QuartetLayout: expected " +
+                                std::to_string(num_quartets_) +
+                                " quartets, got " +
+                                std::to_string(quartets.size()));
+  }
+  int magnitude = 0;
+  for (int i = 0; i < num_quartets_; ++i) {
+    const int value = quartets[static_cast<std::size_t>(i)];
+    if (value < 0 || value >= (1 << quartet_width(i))) {
+      throw std::out_of_range("QuartetLayout: quartet " + std::to_string(i) +
+                              " value " + std::to_string(value) +
+                              " exceeds its width");
+    }
+    magnitude |= value << quartet_shift(i);
+  }
+  return magnitude;
+}
+
+SignMagnitude to_sign_magnitude(int weight, const QuartetLayout& layout) {
+  const int max_mag = layout.max_magnitude();
+  if (weight < -max_mag || weight > max_mag) {
+    throw std::out_of_range(
+        "to_sign_magnitude: weight " + std::to_string(weight) +
+        " outside symmetric range ±" + std::to_string(max_mag));
+  }
+  return SignMagnitude{weight < 0, weight < 0 ? -weight : weight};
+}
+
+int from_sign_magnitude(const SignMagnitude& sm) noexcept {
+  return sm.negative ? -sm.magnitude : sm.magnitude;
+}
+
+}  // namespace man::core

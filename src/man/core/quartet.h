@@ -1,0 +1,84 @@
+// Quartet decomposition of weight magnitudes (paper §III, Fig 4).
+//
+// An n-bit two's-complement weight word is multiplied by its absolute
+// value; the sign is applied after the shift/add datapath. The
+// (n-1)-bit magnitude is split into 4-bit quartets starting at the LSB;
+// the top quartet holds the remaining bits (3 bits for n = 8 or 12,
+// because the sign bit is excluded).
+//
+//   8-bit weight:  magnitude = P(3b) | R(4b)          -> 2 quartets
+//   12-bit weight: magnitude = P(3b) | Q(4b) | R(4b)  -> 3 quartets
+//
+// Quartet index 0 is the LSB quartet (paper's R); the highest index is
+// the paper's P.
+#ifndef MAN_CORE_QUARTET_H
+#define MAN_CORE_QUARTET_H
+
+#include <cstdint>
+#include <vector>
+
+namespace man::core {
+
+/// Static description of how a weight word maps onto quartets.
+class QuartetLayout {
+ public:
+  /// Builds the layout for an n-bit two's-complement weight,
+  /// 4 <= total_bits <= 20. Throws std::invalid_argument otherwise.
+  explicit QuartetLayout(int total_bits);
+
+  /// Paper configurations.
+  [[nodiscard]] static QuartetLayout bits8() { return QuartetLayout(8); }
+  [[nodiscard]] static QuartetLayout bits12() { return QuartetLayout(12); }
+
+  [[nodiscard]] int total_bits() const noexcept { return total_bits_; }
+  /// Bits available for the magnitude: total_bits - 1 (sign excluded).
+  [[nodiscard]] int magnitude_bits() const noexcept { return total_bits_ - 1; }
+  /// Largest representable magnitude: 2^magnitude_bits - 1.
+  [[nodiscard]] int max_magnitude() const noexcept {
+    return (1 << magnitude_bits()) - 1;
+  }
+  [[nodiscard]] int num_quartets() const noexcept { return num_quartets_; }
+
+  /// Width in bits of quartet `index` (0 = LSB). Full quartets are
+  /// 4 bits; the top quartet holds magnitude_bits % 4 bits when the
+  /// magnitude is not a multiple of four (e.g. 3 bits for 8/12-bit
+  /// weights).
+  [[nodiscard]] int quartet_width(int index) const;
+
+  /// Bit position of quartet `index`'s LSB within the magnitude.
+  [[nodiscard]] int quartet_shift(int index) const;
+
+  /// Splits a magnitude (0 <= mag <= max_magnitude) into quartet
+  /// values, LSB quartet first. Throws std::out_of_range on overflow.
+  [[nodiscard]] std::vector<std::uint8_t> decompose(int magnitude) const;
+
+  /// Inverse of decompose().
+  [[nodiscard]] int compose(const std::vector<std::uint8_t>& quartets) const;
+
+  friend bool operator==(const QuartetLayout& a,
+                         const QuartetLayout& b) noexcept {
+    return a.total_bits_ == b.total_bits_;
+  }
+
+ private:
+  int total_bits_;
+  int num_quartets_;
+};
+
+/// Splits an n-bit two's-complement weight into (sign, magnitude).
+/// `weight` must lie in the symmetric range [-(2^(n-1)-1), 2^(n-1)-1];
+/// throws std::out_of_range otherwise (the asymmetric minimum
+/// -2^(n-1) is excluded by design — its magnitude does not fit).
+struct SignMagnitude {
+  bool negative = false;
+  int magnitude = 0;
+};
+[[nodiscard]] SignMagnitude to_sign_magnitude(int weight,
+                                              const QuartetLayout& layout);
+
+/// Recombines (sign, magnitude) into a signed weight.
+[[nodiscard]] int from_sign_magnitude(const SignMagnitude& sm) noexcept;
+
+}  // namespace man::core
+
+#endif  // MAN_CORE_QUARTET_H

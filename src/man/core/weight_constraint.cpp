@@ -1,0 +1,145 @@
+#include "man/core/weight_constraint.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace man::core {
+
+int round_quartet_to_supported(int value, int width, const AlphabetSet& set) {
+  if (width < 1 || width > 4) {
+    throw std::invalid_argument("round_quartet_to_supported: bad width");
+  }
+  if (value < 0 || value >= (1 << width)) {
+    throw std::out_of_range("round_quartet_to_supported: value " +
+                            std::to_string(value) + " outside field");
+  }
+  const std::uint32_t mask = set.supported_mask(width);
+  if ((mask >> value) & 1u) return value;
+
+  // Nearest supported below (0 is always supported, so `lo` exists).
+  int lo = value - 1;
+  while (!((mask >> lo) & 1u)) --lo;
+  // Nearest supported above; 2^width stands for "carry into the next
+  // quartet" and is always a legal round-up target.
+  int hi = value + 1;
+  const int carry_value = 1 << width;
+  while (hi < carry_value && !((mask >> hi) & 1u)) ++hi;
+
+  // Paper's rule: threshold = (lo+hi)/2; below -> down, at/above -> up.
+  // Compare 2*value against lo+hi to avoid fractional thresholds.
+  return (2 * value < lo + hi) ? lo : hi;
+}
+
+WeightConstraint::WeightConstraint(QuartetLayout layout, AlphabetSet set)
+    : layout_(layout), set_(std::move(set)) {
+  const int max_mag = layout_.max_magnitude();
+
+  // Enumerate representable magnitudes: every quartet supported.
+  std::vector<std::uint32_t> masks(
+      static_cast<std::size_t>(layout_.num_quartets()));
+  for (int q = 0; q < layout_.num_quartets(); ++q) {
+    masks[static_cast<std::size_t>(q)] =
+        set_.supported_mask(layout_.quartet_width(q));
+  }
+  representable_.reserve(1024);
+  for (int mag = 0; mag <= max_mag; ++mag) {
+    bool ok = true;
+    for (int q = 0; q < layout_.num_quartets() && ok; ++q) {
+      const int v = (mag >> layout_.quartet_shift(q)) &
+                    ((1 << layout_.quartet_width(q)) - 1);
+      ok = (masks[static_cast<std::size_t>(q)] >> v) & 1u;
+    }
+    if (ok) representable_.push_back(mag);
+  }
+
+  // Nearest-representable LUT with midpoint-up rounding.
+  nearest_.resize(static_cast<std::size_t>(max_mag) + 1);
+  std::size_t idx = 0;  // representable_[idx] <= mag < representable_[idx+1]
+  for (int mag = 0; mag <= max_mag; ++mag) {
+    while (idx + 1 < representable_.size() && representable_[idx + 1] <= mag) {
+      ++idx;
+    }
+    const int lo = representable_[idx];
+    if (lo == mag || idx + 1 == representable_.size()) {
+      nearest_[static_cast<std::size_t>(mag)] = lo;
+      continue;
+    }
+    const int hi = representable_[idx + 1];
+    nearest_[static_cast<std::size_t>(mag)] =
+        (2 * mag < lo + hi) ? lo : hi;
+  }
+}
+
+bool WeightConstraint::is_representable(int magnitude) const {
+  if (magnitude < 0 || magnitude > layout_.max_magnitude()) return false;
+  return nearest_[static_cast<std::size_t>(magnitude)] == magnitude;
+}
+
+int WeightConstraint::constrain_magnitude(int magnitude) const {
+  if (magnitude < 0 || magnitude > layout_.max_magnitude()) {
+    throw std::out_of_range("constrain_magnitude: magnitude " +
+                            std::to_string(magnitude) + " out of range");
+  }
+  return nearest_[static_cast<std::size_t>(magnitude)];
+}
+
+int WeightConstraint::constrain_magnitude_hierarchical(int magnitude) const {
+  if (magnitude < 0 || magnitude > layout_.max_magnitude()) {
+    throw std::out_of_range(
+        "constrain_magnitude_hierarchical: magnitude out of range");
+  }
+  auto quartets = layout_.decompose(magnitude);
+  int carry = 0;
+  for (int q = 0; q < layout_.num_quartets(); ++q) {
+    const int width = layout_.quartet_width(q);
+    int v = quartets[static_cast<std::size_t>(q)] + carry;
+    carry = 0;
+    if (v == (1 << width)) {  // incoming carry overflowed this quartet
+      v = 0;
+      carry = 1;
+    } else {
+      const int rounded = round_quartet_to_supported(v, width, set_);
+      if (rounded == (1 << width)) {  // rounded up past the field: carry
+        v = 0;
+        carry = 1;
+      } else {
+        v = rounded;
+      }
+    }
+    quartets[static_cast<std::size_t>(q)] = static_cast<std::uint8_t>(v);
+  }
+  if (carry != 0) {
+    // Carry out of the magnitude: saturate to the largest representable
+    // value (the round-up target does not exist).
+    return max_representable();
+  }
+  return layout_.compose(quartets);
+}
+
+int WeightConstraint::constrain(int weight) const {
+  const int max_rep = max_representable();
+  if (weight > layout_.max_magnitude()) return max_rep;
+  if (weight < -layout_.max_magnitude()) return -max_rep;
+  const SignMagnitude sm = to_sign_magnitude(weight, layout_);
+  const int constrained = constrain_magnitude(sm.magnitude);
+  return sm.negative ? -constrained : constrained;
+}
+
+bool WeightConstraint::is_weight_representable(int weight) const {
+  if (weight < -layout_.max_magnitude() || weight > layout_.max_magnitude()) {
+    return false;
+  }
+  return is_representable(weight < 0 ? -weight : weight);
+}
+
+double WeightConstraint::mean_absolute_error() const {
+  const int max_mag = layout_.max_magnitude();
+  double total = 0.0;
+  for (int mag = 0; mag <= max_mag; ++mag) {
+    total += std::abs(mag - nearest_[static_cast<std::size_t>(mag)]);
+  }
+  return total / (max_mag + 1);
+}
+
+}  // namespace man::core

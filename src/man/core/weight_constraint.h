@@ -1,0 +1,101 @@
+// Weight constraining for reduced alphabet sets (paper §IV.A,
+// Algorithm 1). A weight is *representable* under an alphabet set if
+// every quartet of its magnitude is a supported value; unsupported
+// weights are rounded to a nearby representable one.
+//
+// Two constraining strategies are provided:
+//
+//  * constrain_magnitude() — the behavioural specification: the
+//    *nearest* representable magnitude, with the paper's midpoint rule
+//    ("the average of two consecutive supported values is the
+//    threshold; below it round down, at or above it round up", §IV.A:
+//    9→8, 10→12, 11→12 for neighbours {8,12}). Implemented as a
+//    precomputed LUT over all magnitudes. This is the default used by
+//    training and the engine, since the paper requires "minimum loss
+//    of information".
+//
+//  * constrain_magnitude_hierarchical() — a faithful rendering of the
+//    paper's Algorithm 1: quartets are rounded locally from the LSB
+//    (R) upward, propagating carries into the next quartet (rounding R
+//    up past its width increments Q, which is then itself re-rounded,
+//    and so on — the "based on Rnew round-up/down QR, based on Qnew
+//    round-up/down PQR" cascade). Greedy per-quartet rounding is not
+//    always globally nearest; tests quantify the (rare, small)
+//    divergence between the two.
+#ifndef MAN_CORE_WEIGHT_CONSTRAINT_H
+#define MAN_CORE_WEIGHT_CONSTRAINT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "man/core/alphabet_set.h"
+#include "man/core/quartet.h"
+
+namespace man::core {
+
+/// Rounds a single `width`-bit field value to the nearest supported
+/// value under `set`, using the paper's midpoint-up threshold rule.
+/// The returned value may equal 2^width, signalling a carry into the
+/// next quartet (e.g. {1}: 13 rounds up to 16). `value` must lie in
+/// [0, 2^width); supported values are returned unchanged.
+[[nodiscard]] int round_quartet_to_supported(int value, int width,
+                                             const AlphabetSet& set);
+
+/// Precomputed constraint tables for one (layout, alphabet set) pair.
+class WeightConstraint {
+ public:
+  WeightConstraint(QuartetLayout layout, AlphabetSet set);
+
+  [[nodiscard]] const QuartetLayout& layout() const noexcept {
+    return layout_;
+  }
+  [[nodiscard]] const AlphabetSet& alphabet_set() const noexcept {
+    return set_;
+  }
+
+  /// True if every quartet of `magnitude` is supported.
+  [[nodiscard]] bool is_representable(int magnitude) const;
+
+  /// Ascending list of all representable magnitudes (0 is always
+  /// present).
+  [[nodiscard]] const std::vector<int>& representable() const noexcept {
+    return representable_;
+  }
+
+  /// Largest representable magnitude.
+  [[nodiscard]] int max_representable() const noexcept {
+    return representable_.back();
+  }
+
+  /// Nearest representable magnitude (midpoint rounds up); magnitudes
+  /// above max_representable() clamp down to it. O(1) via LUT.
+  /// Throws std::out_of_range if magnitude is negative or exceeds
+  /// layout().max_magnitude().
+  [[nodiscard]] int constrain_magnitude(int magnitude) const;
+
+  /// Paper's Algorithm 1 (greedy LSB-to-MSB quartet rounding with
+  /// carry propagation); see file comment.
+  [[nodiscard]] int constrain_magnitude_hierarchical(int magnitude) const;
+
+  /// Signed-weight convenience: splits into sign/magnitude, constrains
+  /// the magnitude, reapplies the sign. Weights outside the symmetric
+  /// range are saturated to ±max_representable() first.
+  [[nodiscard]] int constrain(int weight) const;
+
+  /// True if the signed weight is exactly representable.
+  [[nodiscard]] bool is_weight_representable(int weight) const;
+
+  /// Mean absolute rounding error over all magnitudes (a measure of
+  /// the information dropped by this constraint; used by ablations).
+  [[nodiscard]] double mean_absolute_error() const;
+
+ private:
+  QuartetLayout layout_;
+  AlphabetSet set_;
+  std::vector<int> representable_;      // ascending
+  std::vector<std::int32_t> nearest_;   // LUT over [0, max_magnitude]
+};
+
+}  // namespace man::core
+
+#endif  // MAN_CORE_WEIGHT_CONSTRAINT_H

@@ -1,0 +1,158 @@
+#include "man/data/augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace man::data {
+
+void stamp_glyph(Image& image, const Glyph& glyph, const GlyphStyle& style) {
+  // Inverse-map every image pixel near the glyph into glyph space and
+  // measure the distance to the nearest inked cell centre; pixels
+  // within `thickness` get ink. This renders smooth strokes under
+  // arbitrary affine transforms.
+  const float cos_r = std::cos(style.rotation_rad);
+  const float sin_r = std::sin(style.rotation_rad);
+
+  // Glyph bounding radius in image pixels (the 5×7 cell grid's
+  // half-diagonal, scaled, plus stroke slack).
+  const float radius =
+      0.5f * std::hypot(5.0f * style.scale_x, 7.0f * style.scale_y) +
+      style.thickness * std::max(style.scale_x, style.scale_y) + 2.0f;
+
+  const int x0 = std::max(0, static_cast<int>(style.center_x - radius));
+  const int x1 = std::min(image.width - 1,
+                          static_cast<int>(style.center_x + radius));
+  const int y0 = std::max(0, static_cast<int>(style.center_y - radius));
+  const int y1 = std::min(image.height - 1,
+                          static_cast<int>(style.center_y + radius));
+
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      // Image -> glyph space: translate, un-rotate, un-shear, un-scale.
+      const float dx = static_cast<float>(x) - style.center_x;
+      const float dy = static_cast<float>(y) - style.center_y;
+      float gx = cos_r * dx + sin_r * dy;
+      float gy = -sin_r * dx + cos_r * dy;
+      gx -= style.shear * gy;
+      gx = gx / style.scale_x + 2.5f;   // cell units, glyph centre (2.5,3.5)
+      gy = gy / style.scale_y + 3.5f;
+
+      // Distance to the nearest inked cell centre among neighbours.
+      float best = 1e9f;
+      const int cx = static_cast<int>(std::floor(gx));
+      const int cy = static_cast<int>(std::floor(gy));
+      for (int ny = cy - 1; ny <= cy + 1; ++ny) {
+        for (int nx = cx - 1; nx <= cx + 1; ++nx) {
+          if (!glyph.pixel(nx, ny)) continue;
+          const float ddx = gx - (static_cast<float>(nx) + 0.5f);
+          const float ddy = gy - (static_cast<float>(ny) + 0.5f);
+          best = std::min(best, std::hypot(ddx, ddy));
+        }
+      }
+      if (best < style.thickness) {
+        image.blend_max(x, y, style.intensity);
+      } else if (best < style.thickness + 0.5f) {
+        // Soft edge: linear falloff over half a cell.
+        const float edge =
+            (style.thickness + 0.5f - best) / 0.5f * style.intensity;
+        image.blend_max(x, y, edge);
+      }
+    }
+  }
+}
+
+void add_gaussian_noise(Image& image, double sigma, man::util::Rng& rng) {
+  for (float& p : image.pixels) {
+    p = std::clamp(
+        p + static_cast<float>(rng.next_gaussian() * sigma), 0.0f, 1.0f);
+  }
+}
+
+void add_speckles(Image& image, int count, man::util::Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    const int x = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(image.width)));
+    const int y = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(image.height)));
+    image.set(x, y, static_cast<float>(rng.next_double()));
+  }
+}
+
+void box_blur(Image& image, int passes) {
+  for (int pass = 0; pass < passes; ++pass) {
+    Image blurred(image.width, image.height);
+    for (int y = 0; y < image.height; ++y) {
+      for (int x = 0; x < image.width; ++x) {
+        float acc = 0.0f;
+        int n = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int xx = x + dx;
+            const int yy = y + dy;
+            if (xx < 0 || xx >= image.width || yy < 0 || yy >= image.height) {
+              continue;
+            }
+            acc += image.at(xx, yy);
+            ++n;
+          }
+        }
+        blurred.set(x, y, acc / static_cast<float>(n));
+      }
+    }
+    image = blurred;
+  }
+}
+
+void fill_gradient(Image& image, float low, float high,
+                   man::util::Rng& rng) {
+  const double angle = rng.next_double_in(0.0, 2.0 * 3.14159265358979);
+  const float gx = static_cast<float>(std::cos(angle));
+  const float gy = static_cast<float>(std::sin(angle));
+  const float diag = std::hypot(static_cast<float>(image.width),
+                                static_cast<float>(image.height));
+  for (int y = 0; y < image.height; ++y) {
+    for (int x = 0; x < image.width; ++x) {
+      const float t = 0.5f + (gx * (x - image.width / 2.0f) +
+                              gy * (y - image.height / 2.0f)) /
+                                 diag;
+      image.set(x, y, std::clamp(low + (high - low) * t, 0.0f, 1.0f));
+    }
+  }
+}
+
+void fill_rect(Image& image, int x0, int y0, int x1, int y1, float value) {
+  for (int y = std::max(0, y0); y <= std::min(image.height - 1, y1); ++y) {
+    for (int x = std::max(0, x0); x <= std::min(image.width - 1, x1); ++x) {
+      image.set(x, y, value);
+    }
+  }
+}
+
+void fill_ellipse(Image& image, float cx, float cy, float rx, float ry,
+                  float value) {
+  if (rx <= 0.0f || ry <= 0.0f) return;
+  const int x0 = std::max(0, static_cast<int>(cx - rx - 1));
+  const int x1 = std::min(image.width - 1, static_cast<int>(cx + rx + 1));
+  const int y0 = std::max(0, static_cast<int>(cy - ry - 1));
+  const int y1 = std::min(image.height - 1, static_cast<int>(cy + ry + 1));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const float nx = (static_cast<float>(x) - cx) / rx;
+      const float ny = (static_cast<float>(y) - cy) / ry;
+      const float d = nx * nx + ny * ny;
+      if (d <= 1.0f) {
+        image.blend_max(x, y, value);
+      } else if (d <= 1.2f) {
+        image.blend_max(x, y, value * (1.2f - d) / 0.2f);
+      }
+    }
+  }
+}
+
+void contrast_jitter(Image& image, float gain, float offset) {
+  for (float& p : image.pixels) {
+    p = std::clamp(gain * p + offset, 0.0f, 1.0f);
+  }
+}
+
+}  // namespace man::data

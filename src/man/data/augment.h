@@ -1,0 +1,81 @@
+// Image synthesis helpers shared by the procedural dataset generators:
+// glyph rasterization with affine warps, thickness control, noise and
+// blur. All operate on row-major float images in [0,1].
+#ifndef MAN_DATA_AUGMENT_H
+#define MAN_DATA_AUGMENT_H
+
+#include <vector>
+
+#include "man/data/glyphs.h"
+#include "man/util/rng.h"
+
+namespace man::data {
+
+/// Mutable float image view helper.
+struct Image {
+  int width = 0;
+  int height = 0;
+  std::vector<float> pixels;  // row-major, [0,1]
+
+  Image(int w, int h) : width(w), height(h), pixels(static_cast<std::size_t>(w) * h, 0.0f) {}
+
+  [[nodiscard]] float at(int x, int y) const noexcept {
+    if (x < 0 || x >= width || y < 0 || y >= height) return 0.0f;
+    return pixels[static_cast<std::size_t>(y) * width + x];
+  }
+  void set(int x, int y, float v) noexcept {
+    if (x < 0 || x >= width || y < 0 || y >= height) return;
+    pixels[static_cast<std::size_t>(y) * width + x] = v;
+  }
+  void blend_max(int x, int y, float v) noexcept {
+    if (x < 0 || x >= width || y < 0 || y >= height) return;
+    float& p = pixels[static_cast<std::size_t>(y) * width + x];
+    if (v > p) p = v;
+  }
+};
+
+/// Parameters of one glyph stamp.
+struct GlyphStyle {
+  float center_x = 16.0f;      ///< glyph centre in image coordinates
+  float center_y = 16.0f;
+  float scale_x = 3.0f;        ///< pixels per glyph cell
+  float scale_y = 3.0f;
+  float rotation_rad = 0.0f;
+  float shear = 0.0f;          ///< horizontal shear (slant)
+  float thickness = 0.55f;     ///< stroke radius in glyph cells
+  float intensity = 1.0f;      ///< ink level
+};
+
+/// Rasterizes a glyph onto the image with an affine transform
+/// (rotation + shear + anisotropic scale) and soft-edged strokes.
+void stamp_glyph(Image& image, const Glyph& glyph, const GlyphStyle& style);
+
+/// Adds zero-mean Gaussian noise with the given sigma, clamping to
+/// [0,1].
+void add_gaussian_noise(Image& image, double sigma, man::util::Rng& rng);
+
+/// Adds uniform "salt" speckles: `count` random pixels set to a random
+/// brightness.
+void add_speckles(Image& image, int count, man::util::Rng& rng);
+
+/// 3×3 box blur (applied `passes` times).
+void box_blur(Image& image, int passes = 1);
+
+/// Fills the image with a linear luminance gradient between two
+/// levels along a random direction.
+void fill_gradient(Image& image, float low, float high,
+                   man::util::Rng& rng);
+
+/// Draws a filled axis-aligned rectangle of constant intensity.
+void fill_rect(Image& image, int x0, int y0, int x1, int y1, float value);
+
+/// Draws a filled ellipse (soft edge ~1px).
+void fill_ellipse(Image& image, float cx, float cy, float rx, float ry,
+                  float value);
+
+/// Global contrast/brightness jitter: out = clamp(a·in + b).
+void contrast_jitter(Image& image, float gain, float offset);
+
+}  // namespace man::data
+
+#endif  // MAN_DATA_AUGMENT_H

@@ -1,0 +1,45 @@
+#include "man/data/dataset.h"
+
+#include <stdexcept>
+
+namespace man::data {
+
+void Dataset::validate() const {
+  const auto check = [&](const std::vector<Example>& split,
+                         const char* which) {
+    for (std::size_t i = 0; i < split.size(); ++i) {
+      const Example& ex = split[i];
+      if (ex.pixels.size() != static_cast<std::size_t>(input_size())) {
+        throw std::invalid_argument(
+            name + ": " + which + " example " + std::to_string(i) + " has " +
+            std::to_string(ex.pixels.size()) + " pixels, expected " +
+            std::to_string(input_size()));
+      }
+      if (ex.label < 0 || ex.label >= num_classes) {
+        throw std::invalid_argument(name + ": " + which + " example " +
+                                    std::to_string(i) + " label " +
+                                    std::to_string(ex.label) +
+                                    " out of range");
+      }
+      for (float p : ex.pixels) {
+        if (!(p >= 0.0f && p <= 1.0f)) {
+          throw std::invalid_argument(name + ": " + which + " example " +
+                                      std::to_string(i) +
+                                      " has pixel outside [0,1]");
+        }
+      }
+    }
+  };
+  check(train, "train");
+  check(test, "test");
+}
+
+std::vector<int> Dataset::train_class_histogram() const {
+  std::vector<int> histogram(static_cast<std::size_t>(num_classes), 0);
+  for (const Example& ex : train) {
+    histogram[static_cast<std::size_t>(ex.label)] += 1;
+  }
+  return histogram;
+}
+
+}  // namespace man::data

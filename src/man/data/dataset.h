@@ -1,0 +1,45 @@
+// Dataset container shared by the training library, the fixed-point
+// engine and the benchmark harness.
+//
+// SUBSTITUTION NOTE (DESIGN.md §2): the paper evaluates on MNIST,
+// YUV-Faces, SVHN and TiCH. Those corpora are not redistributable /
+// downloadable in this environment, so man::data provides procedural
+// generators with the same task structure (see synth_*.h). The IDX
+// loader picks up real MNIST files automatically when present.
+#ifndef MAN_DATA_DATASET_H
+#define MAN_DATA_DATASET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace man::data {
+
+/// One labelled grayscale image, pixels row-major in [0,1].
+struct Example {
+  std::vector<float> pixels;
+  int label = 0;
+};
+
+/// A complete train/test corpus.
+struct Dataset {
+  std::string name;
+  int width = 0;
+  int height = 0;
+  int num_classes = 0;
+  std::vector<Example> train;
+  std::vector<Example> test;
+
+  [[nodiscard]] int input_size() const noexcept { return width * height; }
+
+  /// Throws std::invalid_argument if any example has the wrong pixel
+  /// count, an out-of-range label, or out-of-range pixel values.
+  void validate() const;
+
+  /// Per-class example counts over the training split.
+  [[nodiscard]] std::vector<int> train_class_histogram() const;
+};
+
+}  // namespace man::data
+
+#endif  // MAN_DATA_DATASET_H

@@ -1,0 +1,29 @@
+// Bitmap glyphs (5×7 dot-matrix font) for the procedural dataset
+// generators: digits 0-9 and letters A-Z.
+#ifndef MAN_DATA_GLYPHS_H
+#define MAN_DATA_GLYPHS_H
+
+#include <array>
+#include <cstdint>
+
+namespace man::data {
+
+/// A 5-wide, 7-tall monochrome glyph; row i bit (4-x) is pixel (x, i).
+struct Glyph {
+  std::array<std::uint8_t, 7> rows{};
+
+  [[nodiscard]] bool pixel(int x, int y) const noexcept {
+    if (x < 0 || x >= 5 || y < 0 || y >= 7) return false;
+    return (rows[static_cast<std::size_t>(y)] >> (4 - x)) & 1u;
+  }
+};
+
+/// Glyph for digit 0-9. Throws std::out_of_range otherwise.
+[[nodiscard]] const Glyph& digit_glyph(int digit);
+
+/// Glyph for letter index 0-25 ('A'-'Z'). Throws std::out_of_range.
+[[nodiscard]] const Glyph& letter_glyph(int index);
+
+}  // namespace man::data
+
+#endif  // MAN_DATA_GLYPHS_H

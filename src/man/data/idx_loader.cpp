@@ -1,0 +1,120 @@
+#include "man/data/idx_loader.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace man::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in, const std::string& context) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (in.gcount() != 4) {
+    throw std::runtime_error("IDX: truncated header in " + context);
+  }
+  return (std::uint32_t{bytes[0]} << 24) | (std::uint32_t{bytes[1]} << 16) |
+         (std::uint32_t{bytes[2]} << 8) | std::uint32_t{bytes[3]};
+}
+
+}  // namespace
+
+std::vector<Example> load_idx_pair(const std::string& images_path,
+                                   const std::string& labels_path,
+                                   int max_examples) {
+  std::ifstream images(images_path, std::ios::binary);
+  if (!images) {
+    throw std::runtime_error("IDX: cannot open " + images_path);
+  }
+  std::ifstream labels(labels_path, std::ios::binary);
+  if (!labels) {
+    throw std::runtime_error("IDX: cannot open " + labels_path);
+  }
+
+  const std::uint32_t image_magic = read_be32(images, images_path);
+  if (image_magic != 0x0803) {
+    throw std::runtime_error("IDX: bad image magic in " + images_path);
+  }
+  const std::uint32_t label_magic = read_be32(labels, labels_path);
+  if (label_magic != 0x0801) {
+    throw std::runtime_error("IDX: bad label magic in " + labels_path);
+  }
+
+  const std::uint32_t image_count = read_be32(images, images_path);
+  const std::uint32_t rows = read_be32(images, images_path);
+  const std::uint32_t cols = read_be32(images, images_path);
+  const std::uint32_t label_count = read_be32(labels, labels_path);
+  if (image_count != label_count) {
+    throw std::runtime_error("IDX: image/label count mismatch (" +
+                             std::to_string(image_count) + " vs " +
+                             std::to_string(label_count) + ")");
+  }
+  if (rows == 0 || cols == 0 || rows > 256 || cols > 256) {
+    throw std::runtime_error("IDX: implausible image dimensions");
+  }
+
+  std::size_t count = image_count;
+  if (max_examples >= 0) {
+    count = std::min<std::size_t>(count,
+                                  static_cast<std::size_t>(max_examples));
+  }
+
+  const std::size_t pixel_count = static_cast<std::size_t>(rows) * cols;
+  std::vector<Example> examples;
+  examples.reserve(count);
+  std::vector<unsigned char> buffer(pixel_count);
+  for (std::size_t i = 0; i < count; ++i) {
+    images.read(reinterpret_cast<char*>(buffer.data()),
+                static_cast<std::streamsize>(pixel_count));
+    if (static_cast<std::size_t>(images.gcount()) != pixel_count) {
+      throw std::runtime_error("IDX: truncated image payload in " +
+                               images_path);
+    }
+    char label = 0;
+    labels.read(&label, 1);
+    if (labels.gcount() != 1) {
+      throw std::runtime_error("IDX: truncated label payload in " +
+                               labels_path);
+    }
+    Example ex;
+    ex.pixels.resize(pixel_count);
+    for (std::size_t p = 0; p < pixel_count; ++p) {
+      ex.pixels[p] = static_cast<float>(buffer[p]) / 255.0f;
+    }
+    ex.label = static_cast<int>(static_cast<unsigned char>(label));
+    if (ex.label > 9) {
+      throw std::runtime_error("IDX: label out of range in " + labels_path);
+    }
+    examples.push_back(std::move(ex));
+  }
+  return examples;
+}
+
+std::optional<Dataset> try_load_mnist(const std::string& directory,
+                                      int max_train, int max_test) {
+  namespace fs = std::filesystem;
+  const fs::path dir(directory);
+  const fs::path train_images = dir / "train-images-idx3-ubyte";
+  const fs::path train_labels = dir / "train-labels-idx1-ubyte";
+  const fs::path test_images = dir / "t10k-images-idx3-ubyte";
+  const fs::path test_labels = dir / "t10k-labels-idx1-ubyte";
+  for (const fs::path& p :
+       {train_images, train_labels, test_images, test_labels}) {
+    if (!fs::exists(p)) return std::nullopt;
+  }
+
+  Dataset ds;
+  ds.name = "mnist";
+  ds.width = 28;
+  ds.height = 28;
+  ds.num_classes = 10;
+  ds.train = load_idx_pair(train_images.string(), train_labels.string(),
+                           max_train);
+  ds.test = load_idx_pair(test_images.string(), test_labels.string(),
+                          max_test);
+  return ds;
+}
+
+}  // namespace man::data

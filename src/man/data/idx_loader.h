@@ -1,0 +1,31 @@
+// Loader for the IDX file format used by MNIST (images: magic 0x0803,
+// labels: magic 0x0801, big-endian dimensions). When the real MNIST
+// files are present on disk the benchmarks can run on them instead of
+// the synthetic digit corpus.
+#ifndef MAN_DATA_IDX_LOADER_H
+#define MAN_DATA_IDX_LOADER_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "man/data/dataset.h"
+
+namespace man::data {
+
+/// Loads one IDX image file + label file pair into Examples (pixels
+/// normalized to [0,1]). Throws std::runtime_error on malformed files
+/// (bad magic, truncated payload, count mismatch).
+[[nodiscard]] std::vector<Example> load_idx_pair(
+    const std::string& images_path, const std::string& labels_path,
+    int max_examples = -1);
+
+/// Looks for the four canonical MNIST files under `directory`
+/// (train-images-idx3-ubyte, train-labels-idx1-ubyte, t10k-...).
+/// Returns nullopt if any file is missing; throws on corrupt files.
+[[nodiscard]] std::optional<Dataset> try_load_mnist(
+    const std::string& directory, int max_train = -1, int max_test = -1);
+
+}  // namespace man::data
+
+#endif  // MAN_DATA_IDX_LOADER_H

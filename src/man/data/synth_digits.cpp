@@ -1,0 +1,60 @@
+#include "man/data/synth_digits.h"
+
+#include "man/data/augment.h"
+#include "man/data/glyphs.h"
+#include "man/util/rng.h"
+
+namespace man::data {
+
+namespace {
+
+Example render_digit(int digit, int size, double noise_sigma,
+                     man::util::Rng& rng) {
+  Image image(size, size);
+
+  GlyphStyle style;
+  const float base_scale = static_cast<float>(size) / 10.0f;
+  style.center_x = size / 2.0f + static_cast<float>(rng.next_gaussian() * 1.6);
+  style.center_y = size / 2.0f + static_cast<float>(rng.next_gaussian() * 1.6);
+  style.scale_x =
+      base_scale * static_cast<float>(rng.next_double_in(0.75, 1.15));
+  style.scale_y =
+      base_scale * static_cast<float>(rng.next_double_in(0.85, 1.25));
+  style.rotation_rad = static_cast<float>(rng.next_double_in(-0.18, 0.18));
+  style.shear = static_cast<float>(rng.next_double_in(-0.25, 0.25));
+  style.thickness = static_cast<float>(rng.next_double_in(0.40, 0.70));
+  style.intensity = static_cast<float>(rng.next_double_in(0.82, 1.0));
+
+  stamp_glyph(image, digit_glyph(digit), style);
+  box_blur(image, 1);
+  add_gaussian_noise(image, noise_sigma, rng);
+
+  return Example{std::move(image.pixels), digit};
+}
+
+}  // namespace
+
+Dataset make_synthetic_digits(const DigitOptions& options) {
+  man::util::Rng rng(options.seed);
+  Dataset ds;
+  ds.name = "synthetic-digits";
+  ds.width = options.image_size;
+  ds.height = options.image_size;
+  ds.num_classes = 10;
+
+  for (int digit = 0; digit < 10; ++digit) {
+    for (int i = 0; i < options.train_per_class; ++i) {
+      ds.train.push_back(
+          render_digit(digit, options.image_size, options.noise_sigma, rng));
+    }
+    for (int i = 0; i < options.test_per_class; ++i) {
+      ds.test.push_back(
+          render_digit(digit, options.image_size, options.noise_sigma, rng));
+    }
+  }
+  rng.shuffle(ds.train);
+  rng.shuffle(ds.test);
+  return ds;
+}
+
+}  // namespace man::data

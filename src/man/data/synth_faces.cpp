@@ -1,0 +1,145 @@
+#include "man/data/synth_faces.h"
+
+#include <cmath>
+
+#include "man/data/augment.h"
+#include "man/data/glyphs.h"
+#include "man/util/rng.h"
+
+namespace man::data {
+
+namespace {
+
+Example render_face(int size, double noise_sigma, man::util::Rng& rng) {
+  Image image(size, size);
+  fill_gradient(image, static_cast<float>(rng.next_double_in(0.0, 0.25)),
+                static_cast<float>(rng.next_double_in(0.25, 0.55)), rng);
+
+  const float cx = size / 2.0f + static_cast<float>(rng.next_gaussian() * 1.5);
+  const float cy = size / 2.0f + static_cast<float>(rng.next_gaussian() * 1.5);
+  const float head_rx =
+      static_cast<float>(size) * static_cast<float>(rng.next_double_in(0.26, 0.36));
+  const float head_ry =
+      static_cast<float>(size) * static_cast<float>(rng.next_double_in(0.32, 0.42));
+  const float skin = static_cast<float>(rng.next_double_in(0.55, 0.8));
+
+  // Head.
+  fill_ellipse(image, cx, cy, head_rx, head_ry, skin);
+
+  // Eyes: dark ellipses placed symmetrically with a little pose jitter.
+  const float eye_dy =
+      -head_ry * static_cast<float>(rng.next_double_in(0.25, 0.4));
+  const float eye_dx = head_rx * static_cast<float>(rng.next_double_in(0.38, 0.52));
+  const float eye_r = head_rx * static_cast<float>(rng.next_double_in(0.12, 0.2));
+  const float eye_level = skin * static_cast<float>(rng.next_double_in(0.2, 0.75));
+  const float pose = static_cast<float>(rng.next_gaussian() * 0.8f);
+  // A dark ellipse is "drawn" by overwriting head pixels: use a second
+  // pass rendering into a scratch image then min-compose.
+  Image features(size, size);
+  fill_ellipse(features, cx - eye_dx + pose, cy + eye_dy, eye_r,
+               eye_r * 0.7f, 1.0f);
+  fill_ellipse(features, cx + eye_dx + pose, cy + eye_dy, eye_r,
+               eye_r * 0.7f, 1.0f);
+  // Mouth: wide flat ellipse below centre.
+  const float mouth_dy = head_ry * static_cast<float>(rng.next_double_in(0.4, 0.55));
+  fill_ellipse(features, cx + pose * 0.5f, cy + mouth_dy,
+               head_rx * static_cast<float>(rng.next_double_in(0.4, 0.6)),
+               eye_r * 0.6f, 1.0f);
+  // Nose: faint vertical ellipse.
+  fill_ellipse(features, cx + pose * 0.7f, cy + head_ry * 0.08f,
+               eye_r * 0.45f, eye_r * 0.9f, 0.6f);
+
+  for (std::size_t i = 0; i < image.pixels.size(); ++i) {
+    // Features darken the face toward eye_level.
+    const float f = features.pixels[i];
+    image.pixels[i] = image.pixels[i] * (1.0f - f) + eye_level * f;
+  }
+
+  box_blur(image, 1);
+  add_gaussian_noise(image, noise_sigma, rng);
+  return Example{std::move(image.pixels), 1};
+}
+
+Example render_non_face(int size, double noise_sigma, man::util::Rng& rng) {
+  Image image(size, size);
+  const int kind = static_cast<int>(rng.next_below(4));
+  switch (kind) {
+    case 0: {  // clutter rectangles
+      fill_gradient(image, 0.05f, 0.4f, rng);
+      const int rects = 2 + static_cast<int>(rng.next_below(4));
+      for (int r = 0; r < rects; ++r) {
+        const int x0 = static_cast<int>(rng.next_below(size));
+        const int y0 = static_cast<int>(rng.next_below(size));
+        fill_rect(image, x0, y0,
+                  x0 + 3 + static_cast<int>(rng.next_below(12)),
+                  y0 + 3 + static_cast<int>(rng.next_below(12)),
+                  static_cast<float>(rng.next_double_in(0.2, 0.9)));
+      }
+      break;
+    }
+    case 1: {  // random blobs (face-part-like but unstructured)
+      fill_gradient(image, 0.0f, 0.3f, rng);
+      const int blobs = 3 + static_cast<int>(rng.next_below(4));
+      for (int b = 0; b < blobs; ++b) {
+        fill_ellipse(image,
+                     static_cast<float>(rng.next_double_in(4, size - 4)),
+                     static_cast<float>(rng.next_double_in(4, size - 4)),
+                     static_cast<float>(rng.next_double_in(2, 8)),
+                     static_cast<float>(rng.next_double_in(2, 8)),
+                     static_cast<float>(rng.next_double_in(0.3, 0.9)));
+      }
+      break;
+    }
+    case 2: {  // texture: gradient + speckles
+      fill_gradient(image, static_cast<float>(rng.next_double_in(0.0, 0.3)),
+                    static_cast<float>(rng.next_double_in(0.4, 0.9)), rng);
+      add_speckles(image, size * 4, rng);
+      break;
+    }
+    default: {  // a stray glyph (hard negative: structured but no face)
+      fill_gradient(image, 0.05f, 0.25f, rng);
+      GlyphStyle style;
+      style.center_x = static_cast<float>(rng.next_double_in(8, size - 8));
+      style.center_y = static_cast<float>(rng.next_double_in(8, size - 8));
+      style.scale_x = style.scale_y = static_cast<float>(size) / 12.0f;
+      style.rotation_rad = static_cast<float>(rng.next_double_in(-0.5, 0.5));
+      style.thickness = 0.5f;
+      style.intensity = static_cast<float>(rng.next_double_in(0.5, 0.9));
+      stamp_glyph(image,
+                  letter_glyph(static_cast<int>(rng.next_below(26))), style);
+      break;
+    }
+  }
+  box_blur(image, 1);
+  add_gaussian_noise(image, noise_sigma, rng);
+  return Example{std::move(image.pixels), 0};
+}
+
+}  // namespace
+
+Dataset make_synthetic_faces(const FaceOptions& options) {
+  man::util::Rng rng(options.seed);
+  Dataset ds;
+  ds.name = "synthetic-faces";
+  ds.width = options.image_size;
+  ds.height = options.image_size;
+  ds.num_classes = 2;
+
+  for (int i = 0; i < options.train_per_class; ++i) {
+    ds.train.push_back(
+        render_face(options.image_size, options.noise_sigma, rng));
+    ds.train.push_back(
+        render_non_face(options.image_size, options.noise_sigma, rng));
+  }
+  for (int i = 0; i < options.test_per_class; ++i) {
+    ds.test.push_back(
+        render_face(options.image_size, options.noise_sigma, rng));
+    ds.test.push_back(
+        render_non_face(options.image_size, options.noise_sigma, rng));
+  }
+  rng.shuffle(ds.train);
+  rng.shuffle(ds.test);
+  return ds;
+}
+
+}  // namespace man::data

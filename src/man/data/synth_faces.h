@@ -1,0 +1,30 @@
+// Procedural face-detection corpus (YUV-Faces substitute; see the
+// substitution note in dataset.h). Binary classification: class 1 =
+// face-like composition (head ellipse, eyes, mouth with pose/lighting
+// variation), class 0 = structured negatives (gradients, clutter
+// rectangles, blobs, partial glyphs). Matches the paper's
+// face-detection benchmark shape: 1024 inputs, 2 output neurons.
+#ifndef MAN_DATA_SYNTH_FACES_H
+#define MAN_DATA_SYNTH_FACES_H
+
+#include <cstdint>
+
+#include "man/data/dataset.h"
+
+namespace man::data {
+
+/// Generation knobs for the face/non-face corpus.
+struct FaceOptions {
+  int train_per_class = 1500;
+  int test_per_class = 400;
+  int image_size = 32;
+  double noise_sigma = 0.14;
+  std::uint64_t seed = 0xFACE;
+};
+
+/// Builds the corpus (class 0 = non-face, class 1 = face).
+[[nodiscard]] Dataset make_synthetic_faces(const FaceOptions& options = {});
+
+}  // namespace man::data
+
+#endif  // MAN_DATA_SYNTH_FACES_H

@@ -1,0 +1,93 @@
+#include "man/data/synth_svhn.h"
+
+#include "man/data/augment.h"
+#include "man/data/glyphs.h"
+#include "man/util/rng.h"
+
+namespace man::data {
+
+namespace {
+
+Example render_svhn(int digit, int size, double noise_sigma,
+                    man::util::Rng& rng) {
+  Image image(size, size);
+
+  // Cluttered background: gradient plus a few rectangles (walls,
+  // door frames, signs).
+  fill_gradient(image, static_cast<float>(rng.next_double_in(0.05, 0.25)),
+                static_cast<float>(rng.next_double_in(0.3, 0.55)), rng);
+  const int rects = 1 + static_cast<int>(rng.next_below(3));
+  for (int r = 0; r < rects; ++r) {
+    const int x0 = static_cast<int>(rng.next_below(size));
+    const int y0 = static_cast<int>(rng.next_below(size));
+    fill_rect(image, x0, y0, x0 + 4 + static_cast<int>(rng.next_below(14)),
+              y0 + 4 + static_cast<int>(rng.next_below(14)),
+              static_cast<float>(rng.next_double_in(0.1, 0.45)));
+  }
+
+  // Distractor digit fragments peeking in from the sides (house
+  // numbers are multi-digit; the classifier sees neighbours).
+  const int distractors = static_cast<int>(rng.next_below(3));
+  for (int d = 0; d < distractors; ++d) {
+    GlyphStyle fragment;
+    const bool left = rng.next_bool();
+    fragment.center_x = left ? -static_cast<float>(rng.next_double_in(0, 4))
+                             : static_cast<float>(size) +
+                                   static_cast<float>(rng.next_double_in(0, 4));
+    fragment.center_y =
+        static_cast<float>(rng.next_double_in(8, size - 8));
+    fragment.scale_x = fragment.scale_y = static_cast<float>(size) / 11.0f;
+    fragment.thickness = 0.5f;
+    fragment.intensity = static_cast<float>(rng.next_double_in(0.5, 0.85));
+    stamp_glyph(image, digit_glyph(static_cast<int>(rng.next_below(10))),
+                fragment);
+  }
+
+  // The labelled digit.
+  GlyphStyle style;
+  const float base_scale = static_cast<float>(size) / 10.5f;
+  style.center_x = size / 2.0f + static_cast<float>(rng.next_gaussian() * 2.2);
+  style.center_y = size / 2.0f + static_cast<float>(rng.next_gaussian() * 2.2);
+  style.scale_x =
+      base_scale * static_cast<float>(rng.next_double_in(0.7, 1.2));
+  style.scale_y =
+      base_scale * static_cast<float>(rng.next_double_in(0.8, 1.3));
+  style.rotation_rad = static_cast<float>(rng.next_double_in(-0.25, 0.25));
+  style.shear = static_cast<float>(rng.next_double_in(-0.3, 0.3));
+  style.thickness = static_cast<float>(rng.next_double_in(0.38, 0.72));
+  style.intensity = static_cast<float>(rng.next_double_in(0.75, 1.0));
+  stamp_glyph(image, digit_glyph(digit), style);
+
+  box_blur(image, 1);
+  add_gaussian_noise(image, noise_sigma, rng);
+  contrast_jitter(image, static_cast<float>(rng.next_double_in(0.8, 1.2)),
+                  static_cast<float>(rng.next_double_in(-0.08, 0.08)));
+  return Example{std::move(image.pixels), digit};
+}
+
+}  // namespace
+
+Dataset make_synthetic_svhn(const SvhnOptions& options) {
+  man::util::Rng rng(options.seed);
+  Dataset ds;
+  ds.name = "synthetic-svhn";
+  ds.width = options.image_size;
+  ds.height = options.image_size;
+  ds.num_classes = 10;
+
+  for (int digit = 0; digit < 10; ++digit) {
+    for (int i = 0; i < options.train_per_class; ++i) {
+      ds.train.push_back(
+          render_svhn(digit, options.image_size, options.noise_sigma, rng));
+    }
+    for (int i = 0; i < options.test_per_class; ++i) {
+      ds.test.push_back(
+          render_svhn(digit, options.image_size, options.noise_sigma, rng));
+    }
+  }
+  rng.shuffle(ds.train);
+  rng.shuffle(ds.test);
+  return ds;
+}
+
+}  // namespace man::data

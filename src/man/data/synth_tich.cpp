@@ -1,0 +1,65 @@
+#include "man/data/synth_tich.h"
+
+#include "man/data/augment.h"
+#include "man/data/glyphs.h"
+#include "man/util/rng.h"
+
+namespace man::data {
+
+namespace {
+
+Example render_tich(int label, int size, double noise_sigma,
+                    man::util::Rng& rng) {
+  Image image(size, size);
+  fill_gradient(image, 0.0f,
+                static_cast<float>(rng.next_double_in(0.05, 0.2)), rng);
+
+  GlyphStyle style;
+  const float base_scale = static_cast<float>(size) / 10.0f;
+  style.center_x = size / 2.0f + static_cast<float>(rng.next_gaussian() * 2.0);
+  style.center_y = size / 2.0f + static_cast<float>(rng.next_gaussian() * 2.0);
+  // Stronger anisotropy and slant than the digit corpus: handwriting.
+  style.scale_x =
+      base_scale * static_cast<float>(rng.next_double_in(0.65, 1.2));
+  style.scale_y =
+      base_scale * static_cast<float>(rng.next_double_in(0.8, 1.35));
+  style.rotation_rad = static_cast<float>(rng.next_double_in(-0.3, 0.3));
+  style.shear = static_cast<float>(rng.next_double_in(-0.45, 0.45));
+  style.thickness = static_cast<float>(rng.next_double_in(0.35, 0.75));
+  style.intensity = static_cast<float>(rng.next_double_in(0.7, 1.0));
+
+  const Glyph& glyph =
+      label < 26 ? letter_glyph(label) : digit_glyph(label - 26);
+  stamp_glyph(image, glyph, style);
+
+  box_blur(image, 1);
+  add_gaussian_noise(image, noise_sigma, rng);
+  return Example{std::move(image.pixels), label};
+}
+
+}  // namespace
+
+Dataset make_synthetic_tich(const TichOptions& options) {
+  man::util::Rng rng(options.seed);
+  Dataset ds;
+  ds.name = "synthetic-tich";
+  ds.width = options.image_size;
+  ds.height = options.image_size;
+  ds.num_classes = 36;
+
+  for (int label = 0; label < 36; ++label) {
+    for (int i = 0; i < options.train_per_class; ++i) {
+      ds.train.push_back(
+          render_tich(label, options.image_size, options.noise_sigma, rng));
+    }
+    for (int i = 0; i < options.test_per_class; ++i) {
+      ds.test.push_back(
+          render_tich(label, options.image_size, options.noise_sigma, rng));
+    }
+  }
+  rng.shuffle(ds.train);
+  rng.shuffle(ds.test);
+  return ds;
+}
+
+}  // namespace man::data

@@ -1,0 +1,29 @@
+// Procedural character-set corpus (Tilburg character set / TiCH
+// substitute; see the substitution note in dataset.h). 36 classes
+// (A-Z plus 0-9) with strong handwriting-style deformation — the
+// hardest of the synthetic corpora, matching the paper's observation
+// that TiCH shows the largest ASM accuracy loss (Fig 7).
+#ifndef MAN_DATA_SYNTH_TICH_H
+#define MAN_DATA_SYNTH_TICH_H
+
+#include <cstdint>
+
+#include "man/data/dataset.h"
+
+namespace man::data {
+
+/// Generation knobs for the TiCH-like corpus.
+struct TichOptions {
+  int train_per_class = 110;
+  int test_per_class = 30;
+  int image_size = 32;
+  double noise_sigma = 0.08;
+  std::uint64_t seed = 0x71C8;
+};
+
+/// Builds the corpus: labels 0-25 are 'A'-'Z', labels 26-35 are '0'-'9'.
+[[nodiscard]] Dataset make_synthetic_tich(const TichOptions& options = {});
+
+}  // namespace man::data
+
+#endif  // MAN_DATA_SYNTH_TICH_H

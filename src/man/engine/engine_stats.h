@@ -1,0 +1,46 @@
+// Activity statistics gathered by the fixed-point engine; these are
+// the activity factors for energy-from-activity accounting (an
+// extension over the paper's static MAC-count energy model).
+#ifndef MAN_ENGINE_ENGINE_STATS_H
+#define MAN_ENGINE_ENGINE_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "man/core/op_counts.h"
+
+namespace man::engine {
+
+/// Per-layer activity for a batch of inferences.
+struct LayerStats {
+  std::string name;
+  std::uint64_t macs = 0;              ///< multiply-accumulates executed
+  std::uint64_t bank_activations = 0;  ///< shared pre-computer firings
+  man::core::OpCounts ops;             ///< select/shift/add activity
+};
+
+/// Whole-network activity.
+struct EngineStats {
+  std::vector<LayerStats> layers;
+  std::uint64_t inferences = 0;
+
+  [[nodiscard]] std::uint64_t total_macs() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& layer : layers) total += layer.macs;
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& layer : layers) {
+      layer.macs = 0;
+      layer.bank_activations = 0;
+      layer.ops = man::core::OpCounts{};
+    }
+    inferences = 0;
+  }
+};
+
+}  // namespace man::engine
+
+#endif  // MAN_ENGINE_ENGINE_STATS_H

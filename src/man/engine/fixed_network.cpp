@@ -1,0 +1,401 @@
+#include "man/engine/fixed_network.h"
+
+#include <stdexcept>
+
+#include "man/core/asm_multiplier.h"
+#include "man/core/quartet.h"
+#include "man/core/weight_constraint.h"
+#include "man/nn/activation_layer.h"
+#include "man/nn/conv2d.h"
+#include "man/nn/dense.h"
+#include "man/nn/pool.h"
+
+namespace man::engine {
+
+using man::core::AlphabetSet;
+using man::core::MultiplierKind;
+using man::core::OpCounts;
+using man::core::QuartetLayout;
+using man::core::WeightConstraint;
+
+namespace {
+
+// Accumulators carry weight×activation products.
+man::fixed::QFormat accumulator_format(const man::nn::QuantSpec& spec) {
+  return man::fixed::QFormat(
+      30, spec.weight_format.frac_bits() + spec.activation_format.frac_bits());
+}
+
+}  // namespace
+
+FixedNetwork::FixedNetwork(man::nn::Network& network,
+                           man::nn::QuantSpec spec, LayerAlphabetPlan plan,
+                           int lanes)
+    : spec_(spec), plan_(std::move(plan)), lanes_(lanes) {
+  if (lanes_ < 1) {
+    throw std::invalid_argument("FixedNetwork: lanes must be >= 1");
+  }
+  if (plan_.size() != network.num_weight_layers()) {
+    throw std::invalid_argument(
+        "FixedNetwork: plan has " + std::to_string(plan_.size()) +
+        " schemes for " + std::to_string(network.num_weight_layers()) +
+        " synapse layers");
+  }
+
+  const auto acc_format = accumulator_format(spec_);
+  std::size_t synapse_index = 0;
+  for (std::size_t li = 0; li < network.num_layers(); ++li) {
+    man::nn::Layer& layer = network.layer(li);
+    if (auto* dense = dynamic_cast<man::nn::Dense*>(&layer)) {
+      DenseStage stage;
+      stage.in = dense->in_features();
+      stage.out = dense->out_features();
+      stage.synapse.scheme = plan_.scheme(synapse_index++);
+      compile_synapse(stage.synapse, dense->weights(), dense->biases(),
+                      static_cast<std::uint64_t>(stage.in) * stage.out,
+                      stage.out);
+      synapse_stage_indices_.push_back(stages_.size());
+      stats_.layers.push_back(LayerStats{dense->name(), 0, 0, {}});
+      stages_.emplace_back(std::move(stage));
+    } else if (auto* conv = dynamic_cast<man::nn::Conv2D*>(&layer)) {
+      ConvStage stage;
+      stage.ic = conv->in_channels();
+      stage.oc = conv->out_channels();
+      stage.k = conv->kernel();
+      stage.oh = conv->out_height();
+      stage.ow = conv->out_width();
+      stage.ih = stage.oh + stage.k - 1;
+      stage.iw = stage.ow + stage.k - 1;
+      stage.synapse.scheme = plan_.scheme(synapse_index++);
+      compile_synapse(stage.synapse, conv->weights(),
+                      std::span<const float>(conv->biases().data(),
+                                             conv->biases().size()),
+                      conv->macs_per_inference(), stage.oc);
+      synapse_stage_indices_.push_back(stages_.size());
+      stats_.layers.push_back(LayerStats{conv->name(), 0, 0, {}});
+      stages_.emplace_back(std::move(stage));
+    } else if (auto* pool = dynamic_cast<man::nn::AvgPool2D*>(&layer)) {
+      PoolStage stage;
+      stage.c = pool->channels();
+      stage.ih = pool->in_height();
+      stage.iw = pool->in_width();
+      stage.window = pool->window();
+      stage.oh = pool->out_height();
+      stage.ow = pool->out_width();
+      stages_.emplace_back(stage);
+    } else if (auto* act =
+                   dynamic_cast<man::nn::ActivationLayer*>(&layer)) {
+      stages_.emplace_back(LutStage{man::core::FixedActivationLut(
+          act->kind(), acc_format, spec_.activation_format)});
+    } else {
+      throw std::invalid_argument("FixedNetwork: unsupported layer type: " +
+                                  layer.name());
+    }
+  }
+}
+
+void FixedNetwork::compile_synapse(SynapseData& synapse,
+                                   std::span<const float> weights,
+                                   std::span<const float> biases,
+                                   std::uint64_t macs, int out_neurons) {
+  const auto& wfmt = spec_.weight_format;
+  const QuartetLayout layout(wfmt.total_bits());
+  const AlphabetSet& set = synapse.scheme.effective_alphabets();
+  const bool is_asm = synapse.scheme.multiplier != MultiplierKind::kExact;
+
+  synapse.macs = macs;
+  synapse.bank = man::core::PrecomputerBank(set);
+
+  // Quantize (and constrain, for ASM schemes) every weight.
+  synapse.weights_raw.reserve(weights.size());
+  std::unique_ptr<WeightConstraint> constraint;
+  if (is_asm) constraint = std::make_unique<WeightConstraint>(layout, set);
+  for (float w : weights) {
+    std::int32_t raw = wfmt.quantize(static_cast<double>(w));
+    if (constraint) raw = constraint->constrain(raw);
+    synapse.weights_raw.push_back(raw);
+  }
+
+  // Biases live at product scale: value·2^(wfrac+afrac).
+  const int bias_shift =
+      wfmt.frac_bits() + spec_.activation_format.frac_bits();
+  synapse.biases_raw.reserve(biases.size());
+  for (float b : biases) {
+    const double scaled = static_cast<double>(b) * std::pow(2.0, bias_shift);
+    synapse.biases_raw.push_back(static_cast<std::int64_t>(
+        scaled >= 0 ? scaled + 0.5 : scaled - 0.5));
+  }
+
+  // Static per-inference op counts (the accumulator add per MAC).
+  OpCounts& ops = synapse.ops_per_inference;
+  const std::uint64_t fires_per_weight =
+      weights.empty() ? 0 : macs / weights.size();
+
+  if (!is_asm) {
+    ops.adds = macs;  // accumulator adds; multiplier priced structurally
+    synapse.bank_activations = 0;
+    return;
+  }
+
+  // Compile the select/shift schedule of every weight.
+  const auto alphabets = set.alphabets();
+  synapse.asm_weights.reserve(synapse.weights_raw.size());
+  for (std::int32_t raw : synapse.weights_raw) {
+    AsmWeight compiled;
+    compiled.step_begin = static_cast<std::uint32_t>(synapse.steps.size());
+    const man::core::SignMagnitude sm =
+        man::core::to_sign_magnitude(raw, layout);
+    compiled.negative = sm.negative;
+    for (int q = 0; q < layout.num_quartets(); ++q) {
+      const int width = layout.quartet_width(q);
+      const int value =
+          (sm.magnitude >> layout.quartet_shift(q)) & ((1 << width) - 1);
+      if (value == 0) continue;
+      const auto enc = set.encode(value, width);
+      if (!enc) {
+        throw std::logic_error(
+            "FixedNetwork: constrained weight has unsupported quartet");
+      }
+      std::uint8_t lane = 0;
+      while (alphabets[lane] != enc->alphabet) ++lane;
+      synapse.steps.push_back(Step{
+          lane,
+          static_cast<std::uint8_t>(enc->shift + layout.quartet_shift(q))});
+      ++compiled.step_count;
+    }
+    synapse.asm_weights.push_back(compiled);
+
+    // Per-fire activity of this weight.
+    ops.selects += compiled.step_count * fires_per_weight;
+    ops.shifts += compiled.step_count * fires_per_weight;
+    if (compiled.step_count > 1) {
+      ops.adds += (compiled.step_count - 1) * fires_per_weight;
+    }
+    if (compiled.negative) ops.negates += fires_per_weight;
+  }
+  ops.adds += macs;  // accumulator adds
+
+  // Hardware bank firings: the bank serves `lanes_` neurons at a time,
+  // re-streaming the inputs for each neuron group (Fig 3).
+  const std::uint64_t groups =
+      (static_cast<std::uint64_t>(out_neurons) + lanes_ - 1) / lanes_;
+  const std::uint64_t inputs_per_group =
+      out_neurons == 0 ? 0 : macs / out_neurons;
+  synapse.bank_activations = groups * inputs_per_group;
+  ops.precomputer_adds =
+      synapse.bank_activations *
+      static_cast<std::uint64_t>(synapse.bank.adder_count());
+}
+
+std::vector<std::int64_t> FixedNetwork::multiples_of(
+    const SynapseData& synapse, std::int64_t input) const {
+  OpCounts scratch;
+  return synapse.bank.compute(input, scratch);
+}
+
+std::vector<std::int64_t> FixedNetwork::forward_raw(
+    std::span<const float> pixels) {
+  const auto& afmt = spec_.activation_format;
+  std::vector<std::int64_t> buffer;
+  buffer.reserve(pixels.size());
+  for (float p : pixels) {
+    buffer.push_back(afmt.quantize(static_cast<double>(p)));
+  }
+
+  std::size_t synapse_counter = 0;
+  for (Stage& stage : stages_) {
+    if (auto* dense = std::get_if<DenseStage>(&stage)) {
+      if (buffer.size() != static_cast<std::size_t>(dense->in)) {
+        throw std::invalid_argument("FixedNetwork: dense input size mismatch");
+      }
+      const SynapseData& syn = dense->synapse;
+      std::vector<std::int64_t> out(static_cast<std::size_t>(dense->out));
+
+      if (syn.scheme.multiplier == MultiplierKind::kExact) {
+        for (int o = 0; o < dense->out; ++o) {
+          const std::int32_t* wrow =
+              &syn.weights_raw[static_cast<std::size_t>(o) * dense->in];
+          std::int64_t acc = syn.biases_raw[static_cast<std::size_t>(o)];
+          for (int i = 0; i < dense->in; ++i) {
+            acc += static_cast<std::int64_t>(wrow[i]) * buffer[static_cast<std::size_t>(i)];
+          }
+          out[static_cast<std::size_t>(o)] = acc;
+        }
+      } else {
+        // Pre-computer bank outputs for every input value (computed
+        // once, shared across lanes — CSHM).
+        const std::size_t k = syn.bank.alphabet_set().size();
+        std::vector<std::int64_t> multiples(buffer.size() * k);
+        for (std::size_t i = 0; i < buffer.size(); ++i) {
+          const auto m = multiples_of(syn, buffer[i]);
+          std::copy(m.begin(), m.end(), multiples.begin() + i * k);
+        }
+        for (int o = 0; o < dense->out; ++o) {
+          std::int64_t acc = syn.biases_raw[static_cast<std::size_t>(o)];
+          const std::size_t row =
+              static_cast<std::size_t>(o) * dense->in;
+          for (int i = 0; i < dense->in; ++i) {
+            const AsmWeight& w = syn.asm_weights[row + i];
+            if (w.step_count == 0) continue;
+            const std::int64_t* m = &multiples[static_cast<std::size_t>(i) * k];
+            std::int64_t product = 0;
+            for (std::uint8_t s = 0; s < w.step_count; ++s) {
+              const Step& step = syn.steps[w.step_begin + s];
+              product += m[step.lane] << step.shift;
+            }
+            acc += w.negative ? -product : product;
+          }
+          out[static_cast<std::size_t>(o)] = acc;
+        }
+      }
+
+      LayerStats& ls = stats_.layers[synapse_counter++];
+      ls.macs += syn.macs;
+      ls.bank_activations += syn.bank_activations;
+      ls.ops += syn.ops_per_inference;
+      buffer = std::move(out);
+    } else if (auto* conv = std::get_if<ConvStage>(&stage)) {
+      if (buffer.size() !=
+          static_cast<std::size_t>(conv->ic) * conv->ih * conv->iw) {
+        throw std::invalid_argument("FixedNetwork: conv input size mismatch");
+      }
+      const SynapseData& syn = conv->synapse;
+      std::vector<std::int64_t> out(
+          static_cast<std::size_t>(conv->oc) * conv->oh * conv->ow);
+      const auto in_at = [&](int c, int y, int x) {
+        return buffer[static_cast<std::size_t>((c * conv->ih + y) * conv->iw +
+                                               x)];
+      };
+
+      if (syn.scheme.multiplier == MultiplierKind::kExact) {
+        for (int oc = 0; oc < conv->oc; ++oc) {
+          for (int oy = 0; oy < conv->oh; ++oy) {
+            for (int ox = 0; ox < conv->ow; ++ox) {
+              std::int64_t acc = syn.biases_raw[static_cast<std::size_t>(oc)];
+              for (int ic = 0; ic < conv->ic; ++ic) {
+                for (int ky = 0; ky < conv->k; ++ky) {
+                  for (int kx = 0; kx < conv->k; ++kx) {
+                    const std::size_t widx = static_cast<std::size_t>(
+                        ((oc * conv->ic + ic) * conv->k + ky) * conv->k + kx);
+                    acc += static_cast<std::int64_t>(syn.weights_raw[widx]) *
+                           in_at(ic, oy + ky, ox + kx);
+                  }
+                }
+              }
+              out[static_cast<std::size_t>((oc * conv->oh + oy) * conv->ow +
+                                           ox)] = acc;
+            }
+          }
+        }
+      } else {
+        const std::size_t k = syn.bank.alphabet_set().size();
+        std::vector<std::int64_t> multiples(buffer.size() * k);
+        for (std::size_t i = 0; i < buffer.size(); ++i) {
+          const auto m = multiples_of(syn, buffer[i]);
+          std::copy(m.begin(), m.end(), multiples.begin() + i * k);
+        }
+        const auto multiples_at = [&](int c, int y, int x) {
+          return &multiples[static_cast<std::size_t>(
+                                (c * conv->ih + y) * conv->iw + x) *
+                            k];
+        };
+        for (int oc = 0; oc < conv->oc; ++oc) {
+          for (int oy = 0; oy < conv->oh; ++oy) {
+            for (int ox = 0; ox < conv->ow; ++ox) {
+              std::int64_t acc = syn.biases_raw[static_cast<std::size_t>(oc)];
+              for (int ic = 0; ic < conv->ic; ++ic) {
+                for (int ky = 0; ky < conv->k; ++ky) {
+                  for (int kx = 0; kx < conv->k; ++kx) {
+                    const std::size_t widx = static_cast<std::size_t>(
+                        ((oc * conv->ic + ic) * conv->k + ky) * conv->k + kx);
+                    const AsmWeight& w = syn.asm_weights[widx];
+                    if (w.step_count == 0) continue;
+                    const std::int64_t* m = multiples_at(ic, oy + ky, ox + kx);
+                    std::int64_t product = 0;
+                    for (std::uint8_t s = 0; s < w.step_count; ++s) {
+                      const Step& step = syn.steps[w.step_begin + s];
+                      product += m[step.lane] << step.shift;
+                    }
+                    acc += w.negative ? -product : product;
+                  }
+                }
+              }
+              out[static_cast<std::size_t>((oc * conv->oh + oy) * conv->ow +
+                                           ox)] = acc;
+            }
+          }
+        }
+      }
+
+      LayerStats& ls = stats_.layers[synapse_counter++];
+      ls.macs += syn.macs;
+      ls.bank_activations += syn.bank_activations;
+      ls.ops += syn.ops_per_inference;
+      buffer = std::move(out);
+    } else if (auto* pool = std::get_if<PoolStage>(&stage)) {
+      std::vector<std::int64_t> out(
+          static_cast<std::size_t>(pool->c) * pool->oh * pool->ow);
+      const int n = pool->window * pool->window;
+      for (int c = 0; c < pool->c; ++c) {
+        for (int oy = 0; oy < pool->oh; ++oy) {
+          for (int ox = 0; ox < pool->ow; ++ox) {
+            std::int64_t acc = 0;
+            for (int wy = 0; wy < pool->window; ++wy) {
+              for (int wx = 0; wx < pool->window; ++wx) {
+                acc += buffer[static_cast<std::size_t>(
+                    (c * pool->ih + oy * pool->window + wy) * pool->iw +
+                    ox * pool->window + wx)];
+              }
+            }
+            // Round-to-nearest average (hardware: add tree + shift for
+            // power-of-two windows).
+            const std::int64_t rounded =
+                acc >= 0 ? (acc + n / 2) / n : -((-acc + n / 2) / n);
+            out[static_cast<std::size_t>((c * pool->oh + oy) * pool->ow +
+                                         ox)] = rounded;
+          }
+        }
+      }
+      buffer = std::move(out);
+    } else if (auto* lut = std::get_if<LutStage>(&stage)) {
+      for (std::int64_t& v : buffer) v = lut->lut.apply_raw(v);
+    }
+  }
+  stats_.inferences += 1;
+  return buffer;
+}
+
+int FixedNetwork::predict(std::span<const float> pixels) {
+  const auto raw = forward_raw(pixels);
+  int best = 0;
+  for (std::size_t i = 1; i < raw.size(); ++i) {
+    if (raw[i] > raw[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+double FixedNetwork::evaluate(std::span<const man::data::Example> examples) {
+  if (examples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const man::data::Example& ex : examples) {
+    if (predict(ex.pixels) == ex.label) ++correct;
+  }
+  return static_cast<double>(correct) / examples.size();
+}
+
+std::vector<std::uint64_t> FixedNetwork::macs_per_inference() const {
+  std::vector<std::uint64_t> macs;
+  macs.reserve(synapse_stage_indices_.size());
+  for (std::size_t idx : synapse_stage_indices_) {
+    if (const auto* dense = std::get_if<DenseStage>(&stages_[idx])) {
+      macs.push_back(dense->synapse.macs);
+    } else if (const auto* conv = std::get_if<ConvStage>(&stages_[idx])) {
+      macs.push_back(conv->synapse.macs);
+    }
+  }
+  return macs;
+}
+
+}  // namespace man::engine

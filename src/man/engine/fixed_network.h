@@ -1,0 +1,132 @@
+// The fixed-point "processing engine" (paper §V): bit-accurate integer
+// forward propagation of a trained network through ASM/MAN/conventional
+// multiplier datapaths, with per-layer alphabet schemes.
+//
+// The engine is built from a trained (and, for ASM schemes, projected)
+// float network. Weights are quantized to the QuantSpec grid and — for
+// ASM/MAN layers — constrained to the layer's alphabet set; each
+// weight's select/shift schedule is precompiled so inference costs a
+// few adds per MAC, exactly mirroring the hardware datapath:
+//
+//   product(w, x) = (-1)^sign(w) · Σ_quartets (a_q · x) << s_q
+//
+// where a_q·x comes off the shared pre-computer bank (computed once
+// per input value, as in the CSHM unit of Fig 3).
+#ifndef MAN_ENGINE_FIXED_NETWORK_H
+#define MAN_ENGINE_FIXED_NETWORK_H
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "man/core/activation.h"
+#include "man/core/precomputer_bank.h"
+#include "man/data/dataset.h"
+#include "man/engine/engine_stats.h"
+#include "man/engine/layer_alphabet_plan.h"
+#include "man/nn/network.h"
+#include "man/nn/quantize.h"
+
+namespace man::engine {
+
+/// Bit-accurate fixed-point inference engine.
+class FixedNetwork {
+ public:
+  /// Compiles `network` under `spec` and `plan`. The plan must have
+  /// exactly one scheme per synapse (dense/conv) layer. `lanes` is the
+  /// CSHM sharing degree (paper: 4). Weights not representable under a
+  /// layer's alphabet set are constrained to the nearest representable
+  /// value (Algorithm 1 semantics) during compilation.
+  FixedNetwork(man::nn::Network& network, man::nn::QuantSpec spec,
+               LayerAlphabetPlan plan, int lanes = 4);
+
+  [[nodiscard]] const man::nn::QuantSpec& quant_spec() const noexcept {
+    return spec_;
+  }
+  [[nodiscard]] const LayerAlphabetPlan& plan() const noexcept {
+    return plan_;
+  }
+  [[nodiscard]] int lanes() const noexcept { return lanes_; }
+
+  /// Final-layer raw accumulators (pre-activation, product scale) for
+  /// one image.
+  [[nodiscard]] std::vector<std::int64_t> forward_raw(
+      std::span<const float> pixels);
+
+  /// Predicted class (argmax of the final accumulators).
+  [[nodiscard]] int predict(std::span<const float> pixels);
+  [[nodiscard]] int predict(const man::data::Example& example) {
+    return predict(example.pixels);
+  }
+
+  /// Top-1 accuracy over a split (accumulates activity stats).
+  [[nodiscard]] double evaluate(
+      std::span<const man::data::Example> examples);
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  /// MACs per single inference, per synapse layer (static property).
+  [[nodiscard]] std::vector<std::uint64_t> macs_per_inference() const;
+
+ private:
+  struct AsmWeight {
+    // Flattened select/shift schedule: steps_[begin..end) per weight.
+    std::uint32_t step_begin = 0;
+    std::uint8_t step_count = 0;
+    bool negative = false;
+  };
+  struct Step {
+    std::uint8_t lane;   ///< index into the bank's alphabet outputs
+    std::uint8_t shift;  ///< total left shift
+  };
+
+  /// Shared machinery for dense and conv synapse stages.
+  struct SynapseData {
+    LayerScheme scheme;
+    std::vector<std::int32_t> weights_raw;  // quantized (+constrained)
+    std::vector<std::int64_t> biases_raw;   // product scale
+    // ASM compilation (empty for conventional scheme):
+    std::vector<AsmWeight> asm_weights;
+    std::vector<Step> steps;
+    man::core::PrecomputerBank bank{man::core::AlphabetSet::man()};
+    // Static per-inference activity (precomputed at build time):
+    std::uint64_t macs = 0;
+    std::uint64_t bank_activations = 0;
+    man::core::OpCounts ops_per_inference;
+  };
+
+  struct DenseStage {
+    int in = 0, out = 0;
+    SynapseData synapse;
+  };
+  struct ConvStage {
+    int ic = 0, oc = 0, k = 0, ih = 0, iw = 0, oh = 0, ow = 0;
+    SynapseData synapse;
+  };
+  struct PoolStage {
+    int c = 0, ih = 0, iw = 0, window = 0, oh = 0, ow = 0;
+  };
+  struct LutStage {
+    man::core::FixedActivationLut lut;
+  };
+  using Stage = std::variant<DenseStage, ConvStage, PoolStage, LutStage>;
+
+  void compile_synapse(SynapseData& synapse, std::span<const float> weights,
+                       std::span<const float> biases, std::uint64_t macs,
+                       int out_neurons);
+  [[nodiscard]] std::vector<std::int64_t> multiples_of(
+      const SynapseData& synapse, std::int64_t input) const;
+
+  man::nn::QuantSpec spec_;
+  LayerAlphabetPlan plan_;
+  int lanes_;
+  std::vector<Stage> stages_;
+  std::vector<std::size_t> synapse_stage_indices_;
+  EngineStats stats_;
+};
+
+}  // namespace man::engine
+
+#endif  // MAN_ENGINE_FIXED_NETWORK_H

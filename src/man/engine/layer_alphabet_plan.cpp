@@ -1,0 +1,86 @@
+#include "man/engine/layer_alphabet_plan.h"
+
+#include <stdexcept>
+
+namespace man::engine {
+
+using man::core::AlphabetSet;
+using man::core::MultiplierKind;
+
+const AlphabetSet& LayerScheme::effective_alphabets() const {
+  switch (multiplier) {
+    case MultiplierKind::kMan:
+      return AlphabetSet::man();
+    case MultiplierKind::kAsm:
+      return alphabets;
+    case MultiplierKind::kExact:
+      return AlphabetSet::full();
+  }
+  return AlphabetSet::full();
+}
+
+std::string LayerScheme::label() const {
+  switch (multiplier) {
+    case MultiplierKind::kExact:
+      return "conv";
+    case MultiplierKind::kMan:
+      return "MAN{1}";
+    case MultiplierKind::kAsm:
+      return "ASM" + std::to_string(alphabets.size()) + alphabets.to_string();
+  }
+  return "?";
+}
+
+LayerAlphabetPlan LayerAlphabetPlan::conventional(std::size_t layers) {
+  return LayerAlphabetPlan(std::vector<LayerScheme>(
+      layers, LayerScheme{MultiplierKind::kExact, AlphabetSet::full()}));
+}
+
+LayerAlphabetPlan LayerAlphabetPlan::uniform_asm(std::size_t layers,
+                                                 const AlphabetSet& set) {
+  const MultiplierKind kind =
+      set.size() == 1 && set.contains(1) ? MultiplierKind::kMan
+                                         : MultiplierKind::kAsm;
+  return LayerAlphabetPlan(
+      std::vector<LayerScheme>(layers, LayerScheme{kind, set}));
+}
+
+LayerAlphabetPlan LayerAlphabetPlan::mixed_tail(
+    std::size_t layers, const AlphabetSet& penultimate_set,
+    const AlphabetSet& final_set) {
+  if (layers == 0) {
+    throw std::invalid_argument("mixed_tail: need at least one layer");
+  }
+  const auto scheme_for = [](const AlphabetSet& set) {
+    const MultiplierKind kind =
+        set.size() == 1 && set.contains(1) ? MultiplierKind::kMan
+                                           : MultiplierKind::kAsm;
+    return LayerScheme{kind, set};
+  };
+  std::vector<LayerScheme> schemes(
+      layers, scheme_for(AlphabetSet::man()));
+  schemes.back() = scheme_for(final_set);
+  if (layers >= 2) {
+    schemes[layers - 2] = scheme_for(penultimate_set);
+  }
+  return LayerAlphabetPlan(std::move(schemes));
+}
+
+const LayerScheme& LayerAlphabetPlan::scheme(std::size_t layer) const {
+  if (layer >= schemes_.size()) {
+    throw std::out_of_range("LayerAlphabetPlan: layer " +
+                            std::to_string(layer) + " out of range");
+  }
+  return schemes_[layer];
+}
+
+std::string LayerAlphabetPlan::label() const {
+  std::string out;
+  for (std::size_t i = 0; i < schemes_.size(); ++i) {
+    if (i) out += " | ";
+    out += schemes_[i].label();
+  }
+  return out;
+}
+
+}  // namespace man::engine

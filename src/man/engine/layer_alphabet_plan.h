@@ -1,0 +1,61 @@
+// Per-layer neuron-scheme assignment for the fixed-point engine:
+// which multiplier (conventional / ASM / MAN) and which alphabet set
+// each synapse layer uses. Uniform plans cover Figs 7-10; mixed plans
+// (cheap {1} in the large early layers, richer sets in the small final
+// layers) reproduce the §VI.E / Fig 11 technique.
+#ifndef MAN_ENGINE_LAYER_ALPHABET_PLAN_H
+#define MAN_ENGINE_LAYER_ALPHABET_PLAN_H
+
+#include <string>
+#include <vector>
+
+#include "man/core/alphabet_set.h"
+#include "man/core/neuron.h"
+
+namespace man::engine {
+
+/// Scheme of one synapse layer.
+struct LayerScheme {
+  man::core::MultiplierKind multiplier = man::core::MultiplierKind::kExact;
+  man::core::AlphabetSet alphabets = man::core::AlphabetSet::full();
+
+  [[nodiscard]] const man::core::AlphabetSet& effective_alphabets() const;
+  [[nodiscard]] std::string label() const;
+};
+
+/// One scheme per synapse layer (dense/conv), front to back.
+class LayerAlphabetPlan {
+ public:
+  LayerAlphabetPlan() = default;
+  explicit LayerAlphabetPlan(std::vector<LayerScheme> schemes)
+      : schemes_(std::move(schemes)) {}
+
+  /// Every layer conventional (the paper's baseline).
+  [[nodiscard]] static LayerAlphabetPlan conventional(std::size_t layers);
+
+  /// Every layer the same ASM set ({1} == MAN).
+  [[nodiscard]] static LayerAlphabetPlan uniform_asm(
+      std::size_t layers, const man::core::AlphabetSet& set);
+
+  /// The paper's Fig 11 recipe: MAN {1} in all layers except the
+  /// final ones; the last layer gets `final_set`, the second-to-last
+  /// `penultimate_set` (pass {1} to leave it MAN — the 2-layer MNIST
+  /// MLP upgrades only its output layer).
+  [[nodiscard]] static LayerAlphabetPlan mixed_tail(
+      std::size_t layers, const man::core::AlphabetSet& penultimate_set,
+      const man::core::AlphabetSet& final_set);
+
+  [[nodiscard]] std::size_t size() const noexcept { return schemes_.size(); }
+  [[nodiscard]] const LayerScheme& scheme(std::size_t layer) const;
+  [[nodiscard]] const std::vector<LayerScheme>& schemes() const noexcept {
+    return schemes_;
+  }
+  [[nodiscard]] std::string label() const;
+
+ private:
+  std::vector<LayerScheme> schemes_;
+};
+
+}  // namespace man::engine
+
+#endif  // MAN_ENGINE_LAYER_ALPHABET_PLAN_H

@@ -1,0 +1,147 @@
+#include "man/hw/components.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace man::hw {
+
+namespace {
+
+int ceil_log2(int value) {
+  int bits = 0;
+  while ((1 << bits) < value) ++bits;
+  return bits;
+}
+
+void require_positive(int bits, const char* what) {
+  if (bits <= 0) {
+    throw std::invalid_argument(std::string(what) + ": bits must be > 0");
+  }
+}
+
+}  // namespace
+
+ComponentCost ripple_adder(int bits, const TechParams& tech) {
+  require_positive(bits, "ripple_adder");
+  return ComponentCost{
+      bits * tech.fa_area_um2,
+      bits * tech.fa_energy_pj,
+      bits * tech.fa_delay_ps,
+  };
+}
+
+ComponentCost fast_adder(int bits, const TechParams& tech) {
+  require_positive(bits, "fast_adder");
+  const double lookahead_overhead = 1.35;
+  const int depth = std::max(1, ceil_log2(bits) + 1);
+  return ComponentCost{
+      bits * tech.fa_area_um2 * lookahead_overhead,
+      bits * tech.fa_energy_pj * lookahead_overhead,
+      depth * tech.fa_delay_ps,
+  };
+}
+
+ComponentCost array_multiplier(int n_bits, int m_bits,
+                               const TechParams& tech) {
+  require_positive(n_bits, "array_multiplier");
+  require_positive(m_bits, "array_multiplier");
+  const double and_count = static_cast<double>(n_bits) * m_bits;
+  const double fa_count = static_cast<double>(n_bits - 1) * m_bits;
+  return ComponentCost{
+      and_count * tech.and_area_um2 + fa_count * tech.fa_area_um2,
+      and_count * tech.and_energy_pj + fa_count * tech.fa_energy_pj,
+      tech.and_delay_ps + (n_bits + m_bits - 2) * tech.fa_delay_ps,
+  };
+}
+
+ComponentCost barrel_shifter(int bits, int max_shift, const TechParams& tech) {
+  require_positive(bits, "barrel_shifter");
+  if (max_shift < 0) {
+    throw std::invalid_argument("barrel_shifter: max_shift must be >= 0");
+  }
+  if (max_shift == 0) return ComponentCost{};  // fixed wiring
+  const int stages = ceil_log2(max_shift + 1);
+  const double mux_count = static_cast<double>(stages) * bits;
+  return ComponentCost{
+      mux_count * tech.mux2_area_um2,
+      mux_count * tech.mux2_energy_pj,
+      stages * tech.mux2_delay_ps,
+  };
+}
+
+ComponentCost mux_tree(int num_inputs, int bits, const TechParams& tech) {
+  require_positive(bits, "mux_tree");
+  if (num_inputs < 1) {
+    throw std::invalid_argument("mux_tree: num_inputs must be >= 1");
+  }
+  if (num_inputs == 1) return ComponentCost{};  // wire
+  const double mux_count = static_cast<double>(num_inputs - 1) * bits;
+  return ComponentCost{
+      mux_count * tech.mux2_area_um2,
+      mux_count * tech.mux2_energy_pj,
+      ceil_log2(num_inputs) * tech.mux2_delay_ps,
+  };
+}
+
+ComponentCost register_bank(int bits, const TechParams& tech) {
+  require_positive(bits, "register_bank");
+  return ComponentCost{
+      bits * tech.reg_area_um2,
+      bits * tech.reg_energy_pj,
+      tech.reg_delay_ps,
+  };
+}
+
+ComponentCost sign_negate(int bits, const TechParams& tech) {
+  require_positive(bits, "sign_negate");
+  // XOR row plus an increment chain (half adders ≈ 0.5 FA each).
+  return ComponentCost{
+      bits * (tech.xor_area_um2 + 0.5 * tech.fa_area_um2),
+      bits * (tech.xor_energy_pj + 0.5 * tech.fa_energy_pj),
+      tech.xor_delay_ps + 0.5 * bits * tech.fa_delay_ps,
+  };
+}
+
+ComponentCost activation_lut(int address_bits, int data_bits,
+                             const TechParams& tech) {
+  require_positive(address_bits, "activation_lut");
+  require_positive(data_bits, "activation_lut");
+  const double bit_count = std::ldexp(static_cast<double>(data_bits),
+                                      address_bits);  // 2^addr × data
+  return ComponentCost{
+      bit_count * tech.rom_cell_area_um2,
+      data_bits * tech.rom_read_energy_pj,
+      // Decoder depth grows with the address width.
+      (address_bits + 2) * tech.and_delay_ps,
+  };
+}
+
+ComponentCost broadcast_bus(int bits, int fanout, const TechParams& tech) {
+  require_positive(bits, "broadcast_bus");
+  if (fanout < 1) {
+    throw std::invalid_argument("broadcast_bus: fanout must be >= 1");
+  }
+  // Wire load grows with the number of consumers.
+  const double load = static_cast<double>(bits) * fanout;
+  return ComponentCost{
+      load * tech.bus_area_um2_per_bit,
+      load * tech.bus_energy_pj_per_bit,
+      0.35 * tech.mux2_delay_ps * fanout,  // RC flight time, modest
+  };
+}
+
+ComponentCost quartet_control(int num_alphabets, const TechParams& tech) {
+  if (num_alphabets < 1) {
+    throw std::invalid_argument("quartet_control: need >= 1 alphabet");
+  }
+  // A 4->selects decoder: ~3 gates per alphabet plus shift decode.
+  const double gate_count = 3.0 * num_alphabets + 4.0;
+  return ComponentCost{
+      gate_count * tech.and_area_um2,
+      gate_count * tech.and_energy_pj,
+      2.0 * tech.and_delay_ps,
+  };
+}
+
+}  // namespace man::hw

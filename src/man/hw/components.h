@@ -1,0 +1,87 @@
+// Structural cost of datapath building blocks. Every block is priced
+// by gate composition (counts of full adders, muxes, ANDs, flops, ROM
+// bits) times the per-cell constants of a TechParams. Delay is a
+// critical-path estimate through the block.
+#ifndef MAN_HW_COMPONENTS_H
+#define MAN_HW_COMPONENTS_H
+
+#include <string>
+
+#include "man/hw/tech.h"
+
+namespace man::hw {
+
+/// Cost triple of one hardware block.
+struct ComponentCost {
+  double area_um2 = 0.0;
+  double energy_pj = 0.0;   ///< dynamic energy per operation
+  double delay_ps = 0.0;    ///< block critical path
+
+  ComponentCost& operator+=(const ComponentCost& other) noexcept {
+    area_um2 += other.area_um2;
+    energy_pj += other.energy_pj;
+    // Sequential composition by default; callers combine parallel
+    // paths with max_delay().
+    delay_ps += other.delay_ps;
+    return *this;
+  }
+  friend ComponentCost operator+(ComponentCost a,
+                                 const ComponentCost& b) noexcept {
+    a += b;
+    return a;
+  }
+  /// Scales area and energy (e.g. for amortized sharing); delay is
+  /// unchanged.
+  [[nodiscard]] ComponentCost scaled(double factor) const noexcept {
+    return ComponentCost{area_um2 * factor, energy_pj * factor, delay_ps};
+  }
+};
+
+/// n-bit ripple-carry adder (n full adders, carry-chain delay).
+[[nodiscard]] ComponentCost ripple_adder(int bits, const TechParams& tech);
+
+/// n-bit carry-lookahead-flavoured adder: same cell count to first
+/// order but log-depth delay, ~35% area overhead for the lookahead
+/// tree. Used where the clock target forces fast carries.
+[[nodiscard]] ComponentCost fast_adder(int bits, const TechParams& tech);
+
+/// n×m unsigned array multiplier: n·m AND partial products plus
+/// (n−1)·m full adders; delay ≈ (n+m−2) FA stages. (Baugh-Wooley sign
+/// extension is folded into the same counts.)
+[[nodiscard]] ComponentCost array_multiplier(int n_bits, int m_bits,
+                                             const TechParams& tech);
+
+/// Logarithmic barrel shifter for `bits`-wide data supporting shifts
+/// 0..max_shift: ceil(log2(max_shift+1)) stages of `bits` 2:1 muxes.
+[[nodiscard]] ComponentCost barrel_shifter(int bits, int max_shift,
+                                           const TechParams& tech);
+
+/// num_inputs:1 one-hot mux over `bits`-wide data: (num_inputs−1)
+/// 2:1 muxes per bit, log-depth.
+[[nodiscard]] ComponentCost mux_tree(int num_inputs, int bits,
+                                     const TechParams& tech);
+
+/// `bits`-wide register (energy is per clock edge with data activity).
+[[nodiscard]] ComponentCost register_bank(int bits, const TechParams& tech);
+
+/// Two's-complement negate stage: xor row + increment (used for sign
+/// application after the magnitude datapath).
+[[nodiscard]] ComponentCost sign_negate(int bits, const TechParams& tech);
+
+/// Activation ROM with 2^address_bits entries of data_bits each.
+[[nodiscard]] ComponentCost activation_lut(int address_bits, int data_bits,
+                                           const TechParams& tech);
+
+/// Broadcast bus of `bits` wires to `fanout` consumers; energy is per
+/// transfer, area is routing-track cost.
+[[nodiscard]] ComponentCost broadcast_bus(int bits, int fanout,
+                                          const TechParams& tech);
+
+/// Quartet control logic (paper Fig 2: decodes a quartet into
+/// select/shift controls): a handful of gates per alphabet.
+[[nodiscard]] ComponentCost quartet_control(int num_alphabets,
+                                            const TechParams& tech);
+
+}  // namespace man::hw
+
+#endif  // MAN_HW_COMPONENTS_H

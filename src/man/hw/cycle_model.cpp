@@ -1,0 +1,61 @@
+#include "man/hw/cycle_model.h"
+
+namespace man::hw {
+
+CycleReport schedule_network(const NetworkEnergySpec& spec, int lanes,
+                             const TechParams& tech) {
+  CycleReport report;
+  report.lanes = lanes;
+  report.frequency_ghz =
+      ClockPlan::for_weight_bits(spec.weight_bits).frequency_ghz;
+
+  for (const LayerEnergySpec& layer : spec.layers) {
+    // Price the layer's datapath to know its pipeline depth (fill
+    // cycles are paid once per neuron group).
+    NeuronDatapathSpec neuron;
+    neuron.weight_bits = spec.weight_bits;
+    neuron.input_bits = spec.weight_bits;
+    neuron.multiplier = layer.multiplier;
+    neuron.alphabets = layer.alphabets;
+    neuron.shared_lanes = lanes;
+    const DatapathCost cost = price_datapath(
+        neuron, ClockPlan::for_weight_bits(spec.weight_bits), tech);
+
+    // A layer with M MACs on `lanes` lanes streams ceil(M/lanes)
+    // issue cycles; each neuron group additionally pays the pipeline
+    // fill. We approximate groups as MACs/lanes/inputs when the layer
+    // geometry is not available — fill costs are second-order, so the
+    // per-layer pipeline depth is simply added once per lane group of
+    // the *output* dimension folded into the issue count.
+    const std::uint64_t issue =
+        (layer.macs + static_cast<std::uint64_t>(lanes) - 1) /
+        static_cast<std::uint64_t>(lanes);
+    const std::uint64_t fill =
+        static_cast<std::uint64_t>(cost.pipeline_stages - 1);
+
+    LayerCycles lc;
+    lc.name = layer.name;
+    lc.macs = layer.macs;
+    lc.cycles = issue + fill;
+    report.layers.push_back(lc);
+    report.total_cycles += lc.cycles;
+  }
+  for (LayerCycles& lc : report.layers) {
+    lc.share = report.total_cycles == 0
+                   ? 0.0
+                   : static_cast<double>(lc.cycles) /
+                         static_cast<double>(report.total_cycles);
+  }
+  return report;
+}
+
+double tail_cycle_share(const CycleReport& report, std::size_t tail_layers) {
+  double share = 0.0;
+  const std::size_t n = report.layers.size();
+  for (std::size_t i = n >= tail_layers ? n - tail_layers : 0; i < n; ++i) {
+    share += report.layers[i].share;
+  }
+  return share;
+}
+
+}  // namespace man::hw

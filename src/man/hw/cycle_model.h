@@ -1,0 +1,65 @@
+// Cycle-accurate throughput model of the CSHM processing engine
+// (paper §III Fig 3, §VI.E). The engine processes `lanes` neurons of a
+// layer at a time; each cycle issues one input to all lanes (one MAC
+// per lane), so a dense layer of `out` neurons over `in` inputs takes
+//
+//   ceil(out / lanes) × (in + pipeline_fill) cycles.
+//
+// This model backs the paper's cycle-share argument for mixed
+// alphabets ("the last 2 layers use only 3.84% of total processing
+// cycles") and yields latency/throughput at the Table V clocks.
+#ifndef MAN_HW_CYCLE_MODEL_H
+#define MAN_HW_CYCLE_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "man/hw/datapath.h"
+#include "man/hw/network_cost.h"
+
+namespace man::hw {
+
+/// Cycle count of one layer on the shared-lane engine.
+struct LayerCycles {
+  std::string name;
+  std::uint64_t macs = 0;
+  std::uint64_t cycles = 0;
+  double share = 0.0;  ///< fraction of the network's total cycles
+};
+
+/// Whole-network schedule.
+struct CycleReport {
+  std::vector<LayerCycles> layers;
+  std::uint64_t total_cycles = 0;
+  int lanes = 4;
+  double frequency_ghz = 0.0;
+
+  /// End-to-end latency of one inference.
+  [[nodiscard]] double latency_us() const noexcept {
+    return frequency_ghz <= 0.0
+               ? 0.0
+               : static_cast<double>(total_cycles) / (frequency_ghz * 1e3);
+  }
+  /// Inferences per second at full utilization.
+  [[nodiscard]] double inferences_per_second() const noexcept {
+    const double latency = latency_us();
+    return latency <= 0.0 ? 0.0 : 1e6 / latency;
+  }
+};
+
+/// Schedules a network (per-layer MAC counts with per-layer neuron
+/// schemes — the pipeline depth of each layer's datapath sets its fill
+/// overhead) onto a `lanes`-wide engine at the app's clock.
+[[nodiscard]] CycleReport schedule_network(
+    const NetworkEnergySpec& spec, int lanes = 4,
+    const TechParams& tech = TechParams::generic45nm());
+
+/// Convenience: the combined cycle share of the last `tail_layers`
+/// layers (the paper's 3.84% figure for SVHN's last 2 layers).
+[[nodiscard]] double tail_cycle_share(const CycleReport& report,
+                                      std::size_t tail_layers);
+
+}  // namespace man::hw
+
+#endif  // MAN_HW_CYCLE_MODEL_H

@@ -1,0 +1,266 @@
+#include "man/hw/datapath.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "man/core/precomputer_bank.h"
+#include "man/core/quartet.h"
+
+namespace man::hw {
+
+using man::core::AlphabetSet;
+using man::core::MultiplierKind;
+
+NeuronDatapathSpec NeuronDatapathSpec::conventional(int bits) {
+  NeuronDatapathSpec spec;
+  spec.weight_bits = bits;
+  spec.input_bits = bits;
+  spec.multiplier = MultiplierKind::kExact;
+  return spec;
+}
+
+NeuronDatapathSpec NeuronDatapathSpec::asm_neuron(int bits,
+                                                  const AlphabetSet& set) {
+  NeuronDatapathSpec spec;
+  spec.weight_bits = bits;
+  spec.input_bits = bits;
+  spec.multiplier = MultiplierKind::kAsm;
+  spec.alphabets = set;
+  return spec;
+}
+
+NeuronDatapathSpec NeuronDatapathSpec::man_neuron(int bits) {
+  NeuronDatapathSpec spec;
+  spec.weight_bits = bits;
+  spec.input_bits = bits;
+  spec.multiplier = MultiplierKind::kMan;
+  spec.alphabets = AlphabetSet::man();
+  return spec;
+}
+
+const AlphabetSet& NeuronDatapathSpec::effective_alphabets() const {
+  switch (multiplier) {
+    case MultiplierKind::kMan:
+      return AlphabetSet::man();
+    case MultiplierKind::kAsm:
+      return alphabets;
+    case MultiplierKind::kExact:
+      return AlphabetSet::full();
+  }
+  return AlphabetSet::full();
+}
+
+std::string NeuronDatapathSpec::label() const {
+  switch (multiplier) {
+    case MultiplierKind::kExact:
+      return "conventional " + std::to_string(weight_bits) + "b";
+    case MultiplierKind::kMan:
+      return "MAN {1} " + std::to_string(weight_bits) + "b";
+    case MultiplierKind::kAsm:
+      return "ASM " + std::to_string(alphabets.size()) + " " +
+             alphabets.to_string() + " " + std::to_string(weight_bits) + "b";
+  }
+  return "?";
+}
+
+double DatapathCost::area_um2() const noexcept {
+  double total = 0.0;
+  for (const auto& item : items) total += item.cost.area_um2;
+  return total;
+}
+
+double DatapathCost::energy_per_mac_pj() const noexcept {
+  double total = 0.0;
+  for (const auto& item : items) total += item.cost.energy_pj;
+  return total;
+}
+
+double DatapathCost::power_mw(double frequency_ghz,
+                              const TechParams& tech) const noexcept {
+  // pJ/op × GHz == mW; leakage: µW/µm² × µm² == µW.
+  return energy_per_mac_pj() * frequency_ghz +
+         tech.leakage_uw_per_um2 * area_um2() * 1e-3;
+}
+
+const DatapathItem* DatapathCost::find(const std::string& name) const {
+  for (const auto& item : items) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+
+namespace {
+
+int ceil_log2(int value) {
+  int bits = 0;
+  while ((1 << bits) < value) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+DatapathCost price_datapath(const NeuronDatapathSpec& spec,
+                            const ClockPlan& clock, const TechParams& tech) {
+  if (spec.weight_bits < 4 || spec.weight_bits > 20) {
+    throw std::invalid_argument("price_datapath: weight_bits out of range");
+  }
+  if (spec.shared_lanes < 1) {
+    throw std::invalid_argument("price_datapath: shared_lanes must be >= 1");
+  }
+
+  DatapathCost out;
+  out.spec = spec;
+
+  const int wbits = spec.weight_bits;
+  const int ibits = spec.input_bits;
+  const int product_bits = wbits + ibits;
+  const int acc_bits = product_bits + 4;  // guard bits for accumulation
+  const double lane_share = 1.0 / spec.shared_lanes;
+
+  double path_ps = tech.reg_delay_ps;  // launch register
+
+  // --- operand registers (all variants) ----------------------------
+  out.items.push_back(
+      {"weight register", register_bank(wbits, tech)});
+  out.items.push_back(
+      {"input register", register_bank(ibits, tech)});
+
+  // Broadcast wires run the height of a MAC lane; lane pitch grows
+  // with the word size, so wire cost scales with wbits.
+  const double wire_scale =
+      std::pow(static_cast<double>(wbits) / 8.0, tech.wire_growth_exponent);
+
+  if (spec.multiplier == MultiplierKind::kExact) {
+    // --- conventional multiplier ------------------------------------
+    ComponentCost mult = array_multiplier(wbits, ibits, tech);
+    mult.energy_pj *= tech.mult_glitch_factor *
+                      std::pow(static_cast<double>(wbits) / 8.0,
+                               tech.mult_glitch_growth_exponent);
+    mult.area_um2 *= tech.mult_area_factor *
+                     std::pow(static_cast<double>(wbits) / 8.0,
+                              tech.mult_area_growth_exponent);
+    path_ps += mult.delay_ps;
+    out.items.push_back({"multiplier", mult});
+    // Input distribution bus (every design routes the input to the
+    // lane; this is the one "bus" MAN also keeps).
+    out.items.push_back(
+        {"input bus", broadcast_bus(ibits, 1, tech).scaled(wire_scale)});
+  } else {
+    const AlphabetSet& set = spec.effective_alphabets();
+    const int num_alphabets = static_cast<int>(set.size());
+    const man::core::QuartetLayout layout(wbits);
+    const int nq = layout.num_quartets();
+    const int multiple_bits = ibits + 4;  // up to 15·I
+
+    // --- pre-computer bank, shared across lanes (Fig 3) -------------
+    const man::core::PrecomputerBank bank(set);
+    ComponentCost precomp{};
+    for (int s = 0; s < bank.adder_count(); ++s) {
+      precomp += fast_adder(multiple_bits, tech);
+    }
+    if (bank.adder_count() > 0) {
+      out.items.push_back(
+          {"pre-computer (shared)", precomp.scaled(lane_share)});
+    }
+
+    // --- alphabet broadcast buses (one per alphabet) -----------------
+    // Each lane owns its segment of every alphabet's broadcast wire
+    // (no sharing discount: the wire physically crosses each lane).
+    // MAN's single "bus" is just the input distribution every neuron
+    // needs; extra alphabets add extra buses (paper §III: routing
+    // complexity proportional to the number of alphabets).
+    ComponentCost buses{};
+    for (int b = 0; b < num_alphabets; ++b) {
+      buses += broadcast_bus(multiple_bits, 1, tech);
+    }
+    out.items.push_back({"alphabet buses", buses.scaled(wire_scale)});
+
+    // --- per-quartet control, select, shift --------------------------
+    ComponentCost control{};
+    ComponentCost select{};
+    ComponentCost shift{};
+    for (int q = 0; q < nq; ++q) {
+      control += quartet_control(num_alphabets, tech);
+      select += mux_tree(num_alphabets, multiple_bits, tech);
+      // Dynamic shift range is 0..3 (the alphabet-encoding shift);
+      // the quartet position offset is fixed wiring.
+      shift += barrel_shifter(multiple_bits, 3, tech);
+    }
+    out.items.push_back({"control", control});
+    if (num_alphabets > 1) out.items.push_back({"select", select});
+    out.items.push_back({"shift", shift});
+
+    // --- partial-product adder tree ----------------------------------
+    // Adder i merges the next quartet's aligned partial product; the
+    // operand width grows by 4 bits per level.
+    ComponentCost adder_tree{};
+    for (int level = 1; level < nq; ++level) {
+      adder_tree += fast_adder(multiple_bits + 4 * level, tech);
+    }
+    if (nq > 1) out.items.push_back({"partial adders", adder_tree});
+
+    // --- sign application --------------------------------------------
+    // XOR row; the +1 rides the accumulator's carry-in (standard
+    // negate trick), so no increment chain is needed.
+    ComponentCost sign{};
+    sign.area_um2 = product_bits * tech.xor_area_um2;
+    sign.energy_pj = product_bits * tech.xor_energy_pj;
+    sign.delay_ps = tech.xor_delay_ps;
+    out.items.push_back({"sign", sign});
+
+    // Critical path: select -> shift -> adder tree (log depth) ->
+    // sign.
+    const ComponentCost one_select = mux_tree(num_alphabets, multiple_bits,
+                                              tech);
+    const ComponentCost one_shift = barrel_shifter(multiple_bits, 3, tech);
+    const int tree_depth = nq > 1 ? ceil_log2(nq) : 0;
+    path_ps += one_select.delay_ps + one_shift.delay_ps +
+               tree_depth * fast_adder(product_bits, tech).delay_ps +
+               sign.delay_ps;
+  }
+
+  // --- accumulator + activation (all variants) ----------------------
+  const ComponentCost acc_adder = fast_adder(acc_bits, tech);
+  path_ps += acc_adder.delay_ps;
+  out.items.push_back({"accumulator adder", acc_adder});
+  out.items.push_back({"accumulator register", register_bank(acc_bits, tech)});
+  out.items.push_back(
+      {"activation LUT",
+       activation_lut(spec.activation_address_bits, ibits, tech)});
+
+  // --- iso-speed timing closure --------------------------------------
+  out.combinational_delay_ps = path_ps;
+  const double period = clock.period_ps();
+  out.pipeline_stages =
+      std::max(1, static_cast<int>(std::ceil(path_ps / period)));
+  if (out.pipeline_stages > 1) {
+    // Conventional multipliers are cut mid-array, registering
+    // carry-save vectors several times wider than the product; ASM
+    // datapaths cut at word boundaries.
+    const double cut_width =
+        spec.multiplier == MultiplierKind::kExact
+            ? product_bits * tech.conv_pipe_cut_factor
+            : product_bits;
+    ComponentCost pipe{};
+    for (int s = 1; s < out.pipeline_stages; ++s) {
+      pipe += register_bank(static_cast<int>(cut_width), tech);
+    }
+    out.items.push_back({"pipeline registers", pipe});
+  }
+  // Residual upsizing: real carry chains cannot be cut at arbitrary
+  // points, so the balanced-stage assumption under-estimates effort.
+  // Close the remaining gap with the linear effort model.
+  const double stage_delay = path_ps / out.pipeline_stages;
+  const double overshoot = stage_delay / period;
+  if (overshoot > 0.75) {
+    const double s = overshoot / 0.75;  // effort beyond comfortable slack
+    for (auto& item : out.items) {
+      item.cost.area_um2 *= 1.0 + tech.area_speedup_slope * (s - 1.0);
+      item.cost.energy_pj *= 1.0 + tech.energy_speedup_slope * (s - 1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace man::hw

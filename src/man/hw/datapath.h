@@ -1,0 +1,71 @@
+// Assembly of complete neuron datapaths from structural components
+// (paper Figs 2, 6). A datapath is priced as an itemized breakdown so
+// benches can show *where* the ASM/MAN savings come from, and the
+// iso-speed discipline of Table V is applied as pipeline-register
+// insertion plus timing-closure upsizing.
+#ifndef MAN_HW_DATAPATH_H
+#define MAN_HW_DATAPATH_H
+
+#include <string>
+#include <vector>
+
+#include "man/core/alphabet_set.h"
+#include "man/core/neuron.h"
+#include "man/hw/components.h"
+#include "man/hw/tech.h"
+
+namespace man::hw {
+
+/// Static description of one neuron's datapath.
+struct NeuronDatapathSpec {
+  int weight_bits = 8;   ///< synapse word size (8 or 12 in the paper)
+  int input_bits = 8;    ///< input word size (matches weight size)
+  man::core::MultiplierKind multiplier = man::core::MultiplierKind::kExact;
+  man::core::AlphabetSet alphabets = man::core::AlphabetSet::full();
+  int shared_lanes = 4;  ///< ASM lanes sharing one pre-computer (Fig 3)
+  int activation_address_bits = 6;  ///< activation ROM depth
+
+  /// Named constructors for the paper's configurations.
+  [[nodiscard]] static NeuronDatapathSpec conventional(int bits);
+  [[nodiscard]] static NeuronDatapathSpec asm_neuron(
+      int bits, const man::core::AlphabetSet& set);
+  [[nodiscard]] static NeuronDatapathSpec man_neuron(int bits);
+
+  /// The alphabet set the hardware instantiates ({1} for kMan).
+  [[nodiscard]] const man::core::AlphabetSet& effective_alphabets() const;
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// One named line item of a datapath (e.g. "multiplier", "select").
+struct DatapathItem {
+  std::string name;
+  ComponentCost cost;
+};
+
+/// Fully priced datapath.
+struct DatapathCost {
+  NeuronDatapathSpec spec;
+  std::vector<DatapathItem> items;
+  double combinational_delay_ps = 0.0;  ///< pre-pipelining critical path
+  int pipeline_stages = 1;              ///< stages to meet the clock
+
+  [[nodiscard]] double area_um2() const noexcept;
+  [[nodiscard]] double energy_per_mac_pj() const noexcept;
+  /// Dynamic power at `frequency_ghz` (one MAC per cycle) plus
+  /// leakage over the placed area.
+  [[nodiscard]] double power_mw(double frequency_ghz,
+                                const TechParams& tech) const noexcept;
+  [[nodiscard]] const DatapathItem* find(const std::string& name) const;
+};
+
+/// Prices a datapath under the given clock (iso-speed: pipeline
+/// registers are inserted until every stage fits the period, and the
+/// residual single-stage overshoot is closed by upsizing).
+[[nodiscard]] DatapathCost price_datapath(const NeuronDatapathSpec& spec,
+                                          const ClockPlan& clock,
+                                          const TechParams& tech);
+
+}  // namespace man::hw
+
+#endif  // MAN_HW_DATAPATH_H

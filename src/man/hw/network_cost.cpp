@@ -1,0 +1,50 @@
+#include "man/hw/network_cost.h"
+
+namespace man::hw {
+
+std::uint64_t NetworkEnergySpec::total_macs() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& layer : layers) total += layer.macs;
+  return total;
+}
+
+NetworkEnergyReport compute_network_energy(const NetworkEnergySpec& spec,
+                                           const TechParams& tech) {
+  NetworkEnergyReport report;
+  report.spec = spec;
+  report.layer_energy_pj.reserve(spec.layers.size());
+  report.layer_cycle_share.reserve(spec.layers.size());
+
+  const std::uint64_t total_macs = spec.total_macs();
+  for (const auto& layer : spec.layers) {
+    NeuronDatapathSpec neuron;
+    neuron.weight_bits = spec.weight_bits;
+    neuron.input_bits = spec.weight_bits;
+    neuron.multiplier = layer.multiplier;
+    neuron.alphabets = layer.alphabets;
+    const NeuronComparison priced = price_neuron(neuron, tech);
+
+    const double energy =
+        priced.cost.energy_per_mac_pj() * static_cast<double>(layer.macs);
+    report.layer_energy_pj.push_back(energy);
+    report.total_energy_pj += energy;
+    report.layer_cycle_share.push_back(
+        total_macs == 0 ? 0.0
+                        : static_cast<double>(layer.macs) /
+                              static_cast<double>(total_macs));
+  }
+  return report;
+}
+
+NetworkEnergySpec with_uniform_scheme(const NetworkEnergySpec& spec,
+                                      man::core::MultiplierKind kind,
+                                      const man::core::AlphabetSet& set) {
+  NetworkEnergySpec out = spec;
+  for (auto& layer : out.layers) {
+    layer.multiplier = kind;
+    layer.alphabets = set;
+  }
+  return out;
+}
+
+}  // namespace man::hw

@@ -1,0 +1,56 @@
+// Network-level energy accounting (paper Figs 9 and 11): the energy of
+// one inference is the per-MAC energy of each layer's neuron scheme
+// times the layer's MAC count. Per-layer alphabet sets support the
+// mixed-alphabet configurations of §VI.E.
+#ifndef MAN_HW_NETWORK_COST_H
+#define MAN_HW_NETWORK_COST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "man/hw/neuron_cost.h"
+
+namespace man::hw {
+
+/// One layer's workload and neuron scheme.
+struct LayerEnergySpec {
+  std::string name;
+  std::uint64_t macs = 0;  ///< multiply-accumulates per inference
+  man::core::MultiplierKind multiplier = man::core::MultiplierKind::kExact;
+  man::core::AlphabetSet alphabets = man::core::AlphabetSet::full();
+};
+
+/// A whole network's workload.
+struct NetworkEnergySpec {
+  std::string name;
+  int weight_bits = 8;
+  std::vector<LayerEnergySpec> layers;
+
+  [[nodiscard]] std::uint64_t total_macs() const noexcept;
+};
+
+/// Energy report for one network configuration.
+struct NetworkEnergyReport {
+  NetworkEnergySpec spec;
+  std::vector<double> layer_energy_pj;  ///< parallel to spec.layers
+  double total_energy_pj = 0.0;
+  /// Fraction of processing cycles spent in each layer (MACs share —
+  /// the paper quotes the SVHN final layers at 3.84% of cycles).
+  std::vector<double> layer_cycle_share;
+};
+
+/// Prices every layer with its own scheme at the network's clock.
+[[nodiscard]] NetworkEnergyReport compute_network_energy(
+    const NetworkEnergySpec& spec,
+    const TechParams& tech = TechParams::generic45nm());
+
+/// Convenience: rebuilds `spec` with every layer set to one scheme
+/// (conventional / uniform-ASM / MAN), as Figs 8-10 assume.
+[[nodiscard]] NetworkEnergySpec with_uniform_scheme(
+    const NetworkEnergySpec& spec, man::core::MultiplierKind kind,
+    const man::core::AlphabetSet& set);
+
+}  // namespace man::hw
+
+#endif  // MAN_HW_NETWORK_COST_H

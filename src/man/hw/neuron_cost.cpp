@@ -1,0 +1,43 @@
+#include "man/hw/neuron_cost.h"
+
+namespace man::hw {
+
+using man::core::AlphabetSet;
+
+NeuronComparison price_neuron(const NeuronDatapathSpec& spec,
+                              const TechParams& tech) {
+  const ClockPlan clock = ClockPlan::for_weight_bits(spec.weight_bits);
+  NeuronComparison row;
+  row.spec = spec;
+  row.cost = price_datapath(spec, clock, tech);
+  row.power_mw = row.cost.power_mw(clock.frequency_ghz, tech);
+  row.area_um2 = row.cost.area_um2();
+  return row;
+}
+
+std::vector<NeuronComparison> compare_neuron_schemes(int weight_bits,
+                                                     const TechParams& tech) {
+  std::vector<NeuronDatapathSpec> specs;
+  specs.push_back(NeuronDatapathSpec::conventional(weight_bits));
+  specs.push_back(
+      NeuronDatapathSpec::asm_neuron(weight_bits, AlphabetSet::full()));
+  specs.push_back(
+      NeuronDatapathSpec::asm_neuron(weight_bits, AlphabetSet::four()));
+  specs.push_back(
+      NeuronDatapathSpec::asm_neuron(weight_bits, AlphabetSet::two()));
+  specs.push_back(NeuronDatapathSpec::man_neuron(weight_bits));
+
+  std::vector<NeuronComparison> rows;
+  rows.reserve(specs.size());
+  for (const auto& spec : specs) rows.push_back(price_neuron(spec, tech));
+
+  const double base_power = rows.front().power_mw;
+  const double base_area = rows.front().area_um2;
+  for (auto& row : rows) {
+    row.normalized_power = row.power_mw / base_power;
+    row.normalized_area = row.area_um2 / base_area;
+  }
+  return rows;
+}
+
+}  // namespace man::hw

@@ -1,0 +1,43 @@
+// Neuron-level comparisons at iso-speed (paper Figs 8 and 10): every
+// scheme is priced by price_datapath() and normalized to the
+// conventional neuron of the same bit-width.
+#ifndef MAN_HW_NEURON_COST_H
+#define MAN_HW_NEURON_COST_H
+
+#include <string>
+#include <vector>
+
+#include "man/hw/datapath.h"
+
+namespace man::hw {
+
+/// One row of a Fig 8 / Fig 10 style comparison.
+struct NeuronComparison {
+  NeuronDatapathSpec spec;
+  DatapathCost cost;
+  double power_mw = 0.0;
+  double area_um2 = 0.0;
+  double normalized_power = 1.0;  ///< vs conventional, same bit-width
+  double normalized_area = 1.0;
+
+  [[nodiscard]] double power_reduction() const noexcept {
+    return 1.0 - normalized_power;
+  }
+  [[nodiscard]] double area_reduction() const noexcept {
+    return 1.0 - normalized_area;
+  }
+};
+
+/// The paper's ladder of schemes for one bit-width: conventional,
+/// ASM 8/4/2 alphabets, MAN. Normalization baseline is the first row.
+[[nodiscard]] std::vector<NeuronComparison> compare_neuron_schemes(
+    int weight_bits, const TechParams& tech = TechParams::generic45nm());
+
+/// Prices one spec at the paper's clock for its bit-width.
+[[nodiscard]] NeuronComparison price_neuron(
+    const NeuronDatapathSpec& spec,
+    const TechParams& tech = TechParams::generic45nm());
+
+}  // namespace man::hw
+
+#endif  // MAN_HW_NEURON_COST_H

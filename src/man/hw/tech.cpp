@@ -1,0 +1,10 @@
+#include "man/hw/tech.h"
+
+namespace man::hw {
+
+const TechParams& TechParams::generic45nm() {
+  static const TechParams params{};
+  return params;
+}
+
+}  // namespace man::hw

@@ -1,0 +1,32 @@
+#include "man/nn/activation_layer.h"
+
+#include <stdexcept>
+
+namespace man::nn {
+
+Tensor ActivationLayer::forward(const Tensor& input) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(
+        man::core::activate(kind_, static_cast<double>(out[i])));
+  }
+  last_output_ = out;
+  return out;
+}
+
+Tensor ActivationLayer::backward(const Tensor& grad_output) {
+  if (last_output_.empty()) {
+    throw std::logic_error("ActivationLayer::backward: forward() not called");
+  }
+  if (grad_output.size() != last_output_.size()) {
+    throw std::invalid_argument("ActivationLayer::backward: size mismatch");
+  }
+  Tensor grad_input = grad_output;
+  for (std::size_t i = 0; i < grad_input.size(); ++i) {
+    grad_input[i] *= static_cast<float>(man::core::activate_derivative_from_output(
+        kind_, static_cast<double>(last_output_[i])));
+  }
+  return grad_input;
+}
+
+}  // namespace man::nn

@@ -1,0 +1,37 @@
+// Element-wise activation layer wrapping man::core activation
+// functions, so training and the fixed-point engine share one
+// definition of each nonlinearity.
+#ifndef MAN_NN_ACTIVATION_LAYER_H
+#define MAN_NN_ACTIVATION_LAYER_H
+
+#include "man/core/activation.h"
+#include "man/nn/layer.h"
+
+namespace man::nn {
+
+/// Applies an ActivationKind element-wise.
+class ActivationLayer final : public Layer {
+ public:
+  explicit ActivationLayer(man::core::ActivationKind kind) : kind_(kind) {}
+
+  [[nodiscard]] man::core::ActivationKind kind() const noexcept {
+    return kind_;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return man::core::to_string(kind_);
+  }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override {
+    return input;
+  }
+  [[nodiscard]] Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  man::core::ActivationKind kind_;
+  Tensor last_output_;
+};
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_ACTIVATION_LAYER_H

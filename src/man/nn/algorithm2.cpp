@@ -1,0 +1,74 @@
+#include "man/nn/algorithm2.h"
+
+namespace man::nn {
+
+double retrain_constrained(Network& network,
+                           std::span<const man::data::Example> train,
+                           std::span<const man::data::Example> test,
+                           const ProjectionPlan& plan,
+                           const TrainerConfig& retraining, double retrain_lr,
+                           double retrain_momentum) {
+  Sgd::Options opts;
+  opts.learning_rate = retrain_lr;
+  opts.momentum = retrain_momentum;
+  opts.projection = plan;
+  Sgd optimizer(network, opts);
+  (void)fit(network, optimizer, train, retraining);
+  // Live weights are already projected masters; make sure the final
+  // state is the constrained one (fit leaves it so, but be explicit).
+  optimizer.reproject();
+  return evaluate_accuracy(network, test);
+}
+
+Algorithm2Result run_algorithm2(Network& network,
+                                std::span<const man::data::Example> train,
+                                std::span<const man::data::Example> test,
+                                const Algorithm2Config& config) {
+  Algorithm2Result result;
+
+  // Step 1: unconstrained training to near saturation.
+  {
+    Sgd::Options opts;
+    opts.learning_rate = config.baseline_training.epochs > 0
+                             ? /* default base lr */ 0.05
+                             : 0.05;
+    Sgd optimizer(network, opts);
+    (void)fit(network, optimizer, train, config.baseline_training);
+  }
+
+  // Step 2: baseline accuracy J and restore point.
+  result.baseline_accuracy = evaluate_accuracy(network, test);
+  const auto restore_point = network.snapshot_params();
+
+  // Steps 3-4: ladder of alphabet counts.
+  for (std::size_t rung = 0; rung < config.alphabet_ladder.size(); ++rung) {
+    const std::size_t num_alphabets = config.alphabet_ladder[rung];
+    if (rung > 0) network.restore_params(restore_point);
+
+    const ProjectionPlan plan(config.quant,
+                              man::core::AlphabetSet::first_n(num_alphabets),
+                              network.num_weight_layers());
+    const double accuracy =
+        retrain_constrained(network, train, test, plan, config.retraining,
+                            config.retrain_lr, config.retrain_momentum);
+
+    Algorithm2Step step;
+    step.num_alphabets = num_alphabets;
+    step.accuracy = accuracy;
+    step.meets_quality =
+        accuracy >= result.baseline_accuracy * config.quality_constraint;
+    result.steps.push_back(step);
+
+    if (step.meets_quality) {
+      result.chosen_alphabets = num_alphabets;
+      result.satisfied = true;
+      break;
+    }
+  }
+  if (!result.satisfied && !result.steps.empty()) {
+    result.chosen_alphabets = result.steps.back().num_alphabets;
+  }
+  return result;
+}
+
+}  // namespace man::nn

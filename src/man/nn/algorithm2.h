@@ -1,0 +1,67 @@
+// The paper's overall design methodology (Algorithm 2, Fig 5):
+//
+//   1. Train the network unconstrained until near saturation.
+//   2. Test -> baseline accuracy J; create a restore point.
+//   3. Retrain from the restore point with weight constraints for the
+//      minimum number of alphabets (start with 1) at a lower learning
+//      rate.
+//   4. Test -> accuracy K. If K >= J·Q accept; otherwise restore and
+//      repeat with more alphabets.
+#ifndef MAN_NN_ALGORITHM2_H
+#define MAN_NN_ALGORITHM2_H
+
+#include <vector>
+
+#include "man/nn/constraint_projection.h"
+#include "man/nn/trainer.h"
+
+namespace man::nn {
+
+/// Configuration of one Algorithm 2 run.
+struct Algorithm2Config {
+  QuantSpec quant = QuantSpec::bits8();
+  double quality_constraint = 0.99;   ///< Q (<= 1)
+  /// Alphabet ladder tried in order (paper: start with 1 alphabet).
+  std::vector<std::size_t> alphabet_ladder = {1, 2, 4, 8};
+  TrainerConfig baseline_training{};
+  TrainerConfig retraining{};          ///< typically fewer epochs
+  double retrain_lr = 0.01;            ///< "lower learning rate"
+  double retrain_momentum = 0.9;
+};
+
+/// Accuracy of one rung of the ladder.
+struct Algorithm2Step {
+  std::size_t num_alphabets = 0;
+  double accuracy = 0.0;        ///< K
+  bool meets_quality = false;   ///< K >= J·Q
+};
+
+/// Outcome of the full methodology.
+struct Algorithm2Result {
+  double baseline_accuracy = 0.0;       ///< J
+  std::vector<Algorithm2Step> steps;    ///< one per rung tried
+  std::size_t chosen_alphabets = 0;     ///< first rung meeting quality
+  bool satisfied = false;               ///< false if even the last rung fails
+};
+
+/// Runs Algorithm 2. On return the network holds the weights of the
+/// *last rung tried* (the chosen configuration when satisfied), fully
+/// projected (every weight representable under the chosen set).
+Algorithm2Result run_algorithm2(Network& network,
+                                std::span<const man::data::Example> train,
+                                std::span<const man::data::Example> test,
+                                const Algorithm2Config& config);
+
+/// The inner retraining move of Algorithm 2 step 3, reusable on its
+/// own (benches sweep alphabet sets directly): retrains `network`
+/// in-place under `plan` and returns the resulting test accuracy.
+double retrain_constrained(Network& network,
+                           std::span<const man::data::Example> train,
+                           std::span<const man::data::Example> test,
+                           const ProjectionPlan& plan,
+                           const TrainerConfig& retraining,
+                           double retrain_lr, double retrain_momentum = 0.9);
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_ALGORITHM2_H

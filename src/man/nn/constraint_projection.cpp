@@ -1,0 +1,88 @@
+#include "man/nn/constraint_projection.h"
+
+#include <stdexcept>
+
+namespace man::nn {
+
+using man::core::AlphabetSet;
+using man::core::QuartetLayout;
+using man::core::WeightConstraint;
+
+ProjectionPlan::ProjectionPlan(QuantSpec spec, AlphabetSet set,
+                               std::size_t num_weight_layers)
+    : spec_(spec) {
+  const QuartetLayout layout(spec_.weight_bits());
+  // One shared table: every layer uses the same set.
+  auto table = std::make_shared<const WeightConstraint>(layout, set);
+  tables_.assign(num_weight_layers, table);
+  sets_.assign(num_weight_layers, set);
+}
+
+ProjectionPlan::ProjectionPlan(QuantSpec spec,
+                               std::vector<AlphabetSet> per_layer_sets)
+    : spec_(spec) {
+  const QuartetLayout layout(spec_.weight_bits());
+  tables_.reserve(per_layer_sets.size());
+  for (const AlphabetSet& set : per_layer_sets) {
+    tables_.push_back(std::make_shared<const WeightConstraint>(layout, set));
+  }
+  sets_ = std::move(per_layer_sets);
+}
+
+const AlphabetSet& ProjectionPlan::layer_set(std::size_t layer) const {
+  if (layer >= sets_.size()) {
+    throw std::out_of_range("ProjectionPlan: layer " + std::to_string(layer) +
+                            " out of range");
+  }
+  return sets_[layer];
+}
+
+const WeightConstraint& ProjectionPlan::layer_constraint(
+    std::size_t layer) const {
+  if (layer >= tables_.size()) {
+    throw std::out_of_range("ProjectionPlan: layer " + std::to_string(layer) +
+                            " out of range");
+  }
+  return *tables_[layer];
+}
+
+float ProjectionPlan::project_weight(std::size_t layer, float w) const {
+  const auto& fmt = spec_.weight_format;
+  const std::int32_t raw = fmt.quantize(static_cast<double>(w));
+  const int constrained = layer_constraint(layer).constrain(raw);
+  return static_cast<float>(fmt.dequantize(constrained));
+}
+
+float ProjectionPlan::project_bias(float b) const {
+  // Biases enter the accumulator directly; quantize to the weight grid
+  // so the engine can represent them, but no alphabet constraint.
+  return static_cast<float>(
+      spec_.weight_format.round_trip(static_cast<double>(b)));
+}
+
+void ProjectionPlan::project_param(const ParamRef& ref) const {
+  if (ref.kind == ParamKind::kBias) {
+    for (float& b : ref.value) b = project_bias(b);
+    return;
+  }
+  if (ref.layer_index < 0 ||
+      static_cast<std::size_t>(ref.layer_index) >= tables_.size()) {
+    throw std::out_of_range(
+        "ProjectionPlan: weight parameter has layer index " +
+        std::to_string(ref.layer_index) + " but plan covers " +
+        std::to_string(tables_.size()) + " layers");
+  }
+  const auto layer = static_cast<std::size_t>(ref.layer_index);
+  const auto& fmt = spec_.weight_format;
+  const WeightConstraint& table = *tables_[layer];
+  for (float& w : ref.value) {
+    const std::int32_t raw = fmt.quantize(static_cast<double>(w));
+    w = static_cast<float>(fmt.dequantize(table.constrain(raw)));
+  }
+}
+
+void ProjectionPlan::project_network(Network& network) const {
+  for (const ParamRef& ref : network.params()) project_param(ref);
+}
+
+}  // namespace man::nn

@@ -1,0 +1,69 @@
+// Weight-constraint projection for ASM retraining (paper §IV,
+// Algorithms 1 & 2). A ProjectionPlan maps every synapse layer to an
+// alphabet set; projecting a weight means: quantize to the fixed-point
+// grid, constrain the quartets to supported values (core::
+// WeightConstraint), and return to float. During retraining the
+// projection is applied to the weights used in forward/backward while
+// full-precision master weights keep accumulating small gradients
+// (see Sgd::Options::projection).
+#ifndef MAN_NN_CONSTRAINT_PROJECTION_H
+#define MAN_NN_CONSTRAINT_PROJECTION_H
+
+#include <memory>
+#include <vector>
+
+#include "man/core/alphabet_set.h"
+#include "man/core/weight_constraint.h"
+#include "man/nn/layer.h"
+#include "man/nn/network.h"
+#include "man/nn/quantize.h"
+
+namespace man::nn {
+
+/// Per-layer alphabet assignment + shared constraint tables.
+class ProjectionPlan {
+ public:
+  ProjectionPlan() = default;
+
+  /// Uniform plan: every synapse layer uses `set`.
+  ProjectionPlan(QuantSpec spec, man::core::AlphabetSet set,
+                 std::size_t num_weight_layers);
+
+  /// Mixed plan (paper §VI.E): one alphabet set per synapse layer.
+  ProjectionPlan(QuantSpec spec,
+                 std::vector<man::core::AlphabetSet> per_layer_sets);
+
+  [[nodiscard]] bool active() const noexcept { return !tables_.empty(); }
+  [[nodiscard]] const QuantSpec& quant_spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return tables_.size();
+  }
+  [[nodiscard]] const man::core::AlphabetSet& layer_set(
+      std::size_t layer) const;
+  [[nodiscard]] const man::core::WeightConstraint& layer_constraint(
+      std::size_t layer) const;
+
+  /// Projects one weight of `layer`: quantize -> constrain -> float.
+  [[nodiscard]] float project_weight(std::size_t layer, float w) const;
+
+  /// Biases are only quantized (they are added, never multiplied).
+  [[nodiscard]] float project_bias(float b) const;
+
+  /// Projects a parameter in place.
+  void project_param(const ParamRef& ref) const;
+
+  /// Projects every parameter of the network in place (hard
+  /// projection; used when finalizing a model for the engine).
+  void project_network(Network& network) const;
+
+ private:
+  QuantSpec spec_{};
+  // WeightConstraint has no default ctor; shared_ptr keeps the plan
+  // copyable (plans are handed to optimizers and benches by value).
+  std::vector<std::shared_ptr<const man::core::WeightConstraint>> tables_;
+  std::vector<man::core::AlphabetSet> sets_;
+};
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_CONSTRAINT_PROJECTION_H

@@ -1,0 +1,120 @@
+#include "man/nn/conv2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace man::nn {
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int in_height,
+               int in_width)
+    : ic_(in_channels),
+      oc_(out_channels),
+      k_(kernel),
+      ih_(in_height),
+      iw_(in_width),
+      oh_(in_height - kernel + 1),
+      ow_(in_width - kernel + 1) {
+  if (ic_ <= 0 || oc_ <= 0 || k_ <= 0) {
+    throw std::invalid_argument("Conv2D: channels and kernel must be > 0");
+  }
+  if (oh_ <= 0 || ow_ <= 0) {
+    throw std::invalid_argument("Conv2D: kernel larger than input");
+  }
+  weights_.resize(static_cast<std::size_t>(oc_) * ic_ * k_ * k_, 0.0f);
+  biases_.resize(static_cast<std::size_t>(oc_), 0.0f);
+  grad_weights_.resize(weights_.size(), 0.0f);
+  grad_biases_.resize(biases_.size(), 0.0f);
+}
+
+void Conv2D::init_xavier(man::util::Rng& rng) {
+  const double fan_in = static_cast<double>(ic_) * k_ * k_;
+  const double fan_out = static_cast<double>(oc_) * k_ * k_;
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  for (float& w : weights_) {
+    w = static_cast<float>(rng.next_double_in(-bound, bound));
+  }
+  for (float& b : biases_) b = 0.0f;
+}
+
+std::string Conv2D::name() const {
+  return "conv " + std::to_string(ic_) + "x" + std::to_string(ih_) + "x" +
+         std::to_string(iw_) + " -> " + std::to_string(oc_) + "x" +
+         std::to_string(oh_) + "x" + std::to_string(ow_) + " (k=" +
+         std::to_string(k_) + ")";
+}
+
+Shape Conv2D::output_shape(const Shape& input) const {
+  if (input.elements() != static_cast<std::size_t>(ic_) * ih_ * iw_) {
+    throw std::invalid_argument("Conv2D: input " + input.to_string() +
+                                " does not match expected " +
+                                Shape{ic_, ih_, iw_}.to_string());
+  }
+  return Shape{oc_, oh_, ow_};
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  if (input.size() != static_cast<std::size_t>(ic_) * ih_ * iw_) {
+    throw std::invalid_argument("Conv2D::forward: bad input size");
+  }
+  last_input_ = input;
+  Tensor out(Shape{oc_, oh_, ow_});
+  for (int oc = 0; oc < oc_; ++oc) {
+    for (int oy = 0; oy < oh_; ++oy) {
+      for (int ox = 0; ox < ow_; ++ox) {
+        float acc = biases_[static_cast<std::size_t>(oc)];
+        for (int ic = 0; ic < ic_; ++ic) {
+          for (int ky = 0; ky < k_; ++ky) {
+            for (int kx = 0; kx < k_; ++kx) {
+              acc += weights_[widx(oc, ic, ky, kx)] *
+                     input.at3(ic, oy + ky, ox + kx, ih_, iw_);
+            }
+          }
+        }
+        out.at3(oc, oy, ox, oh_, ow_) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  if (grad_output.size() != static_cast<std::size_t>(oc_) * oh_ * ow_) {
+    throw std::invalid_argument("Conv2D::backward: bad gradient size");
+  }
+  if (last_input_.empty()) {
+    throw std::logic_error("Conv2D::backward: forward() not called");
+  }
+  Tensor grad_input(Shape{ic_, ih_, iw_});
+  for (int oc = 0; oc < oc_; ++oc) {
+    for (int oy = 0; oy < oh_; ++oy) {
+      for (int ox = 0; ox < ow_; ++ox) {
+        const float g = grad_output.at3(oc, oy, ox, oh_, ow_);
+        grad_biases_[static_cast<std::size_t>(oc)] += g;
+        for (int ic = 0; ic < ic_; ++ic) {
+          for (int ky = 0; ky < k_; ++ky) {
+            for (int kx = 0; kx < k_; ++kx) {
+              grad_weights_[widx(oc, ic, ky, kx)] +=
+                  g * last_input_.at3(ic, oy + ky, ox + kx, ih_, iw_);
+              grad_input.at3(ic, oy + ky, ox + kx, ih_, iw_) +=
+                  g * weights_[widx(oc, ic, ky, kx)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2D::params() {
+  return {
+      ParamRef{weights_, grad_weights_, ParamKind::kWeight, -1},
+      ParamRef{biases_, grad_biases_, ParamKind::kBias, -1},
+  };
+}
+
+std::uint64_t Conv2D::macs_per_inference() const noexcept {
+  return static_cast<std::uint64_t>(oc_) * oh_ * ow_ * ic_ * k_ * k_;
+}
+
+}  // namespace man::nn

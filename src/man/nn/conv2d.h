@@ -1,0 +1,56 @@
+// 2-D convolution layer (valid padding, stride 1) for the LeNet-style
+// CNN of the paper's 12-bit MNIST benchmark (Table IV).
+#ifndef MAN_NN_CONV2D_H
+#define MAN_NN_CONV2D_H
+
+#include "man/nn/layer.h"
+#include "man/util/rng.h"
+
+namespace man::nn {
+
+/// Convolution over (C,H,W) inputs with OC filters of size IC×K×K.
+class Conv2D final : public Layer {
+ public:
+  Conv2D(int in_channels, int out_channels, int kernel, int in_height,
+         int in_width);
+
+  void init_xavier(man::util::Rng& rng);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::vector<ParamRef> params() override;
+  [[nodiscard]] bool has_weights() const override { return true; }
+
+  [[nodiscard]] int in_channels() const noexcept { return ic_; }
+  [[nodiscard]] int out_channels() const noexcept { return oc_; }
+  [[nodiscard]] int kernel() const noexcept { return k_; }
+  [[nodiscard]] int out_height() const noexcept { return oh_; }
+  [[nodiscard]] int out_width() const noexcept { return ow_; }
+  [[nodiscard]] std::span<float> weights() noexcept { return weights_; }
+  [[nodiscard]] std::span<const float> weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] std::span<float> biases() noexcept { return biases_; }
+
+  /// Multiply-accumulates per forward pass (for the energy model).
+  [[nodiscard]] std::uint64_t macs_per_inference() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t widx(int oc, int ic, int kh, int kw) const
+      noexcept {
+    return static_cast<std::size_t>(((oc * ic_ + ic) * k_ + kh) * k_ + kw);
+  }
+
+  int ic_, oc_, k_, ih_, iw_, oh_, ow_;
+  std::vector<float> weights_;  // oc × ic × k × k
+  std::vector<float> biases_;   // oc
+  std::vector<float> grad_weights_;
+  std::vector<float> grad_biases_;
+  Tensor last_input_;
+};
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_CONV2D_H

@@ -1,0 +1,89 @@
+#include "man/nn/dense.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace man::nn {
+
+Dense::Dense(int in_features, int out_features)
+    : in_(in_features),
+      out_(out_features),
+      weights_(static_cast<std::size_t>(in_features) * out_features, 0.0f),
+      biases_(static_cast<std::size_t>(out_features), 0.0f),
+      grad_weights_(weights_.size(), 0.0f),
+      grad_biases_(biases_.size(), 0.0f) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Dense: feature counts must be > 0");
+  }
+}
+
+void Dense::init_xavier(man::util::Rng& rng) {
+  const double bound = std::sqrt(6.0 / (in_ + out_));
+  for (float& w : weights_) {
+    w = static_cast<float>(rng.next_double_in(-bound, bound));
+  }
+  for (float& b : biases_) b = 0.0f;
+}
+
+std::string Dense::name() const {
+  return "dense " + std::to_string(in_) + "->" + std::to_string(out_);
+}
+
+Shape Dense::output_shape(const Shape& input) const {
+  if (input.elements() != static_cast<std::size_t>(in_)) {
+    throw std::invalid_argument("Dense: input " + input.to_string() +
+                                " does not match in_features " +
+                                std::to_string(in_));
+  }
+  return Shape{out_};
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  if (input.size() != static_cast<std::size_t>(in_)) {
+    throw std::invalid_argument("Dense::forward: bad input size");
+  }
+  last_input_ = input;
+  Tensor out(Shape{out_});
+  const float* x = input.data();
+  for (int o = 0; o < out_; ++o) {
+    const float* row = &weights_[static_cast<std::size_t>(o) * in_];
+    float acc = biases_[static_cast<std::size_t>(o)];
+    for (int i = 0; i < in_; ++i) acc += row[i] * x[i];
+    out[static_cast<std::size_t>(o)] = acc;
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (grad_output.size() != static_cast<std::size_t>(out_)) {
+    throw std::invalid_argument("Dense::backward: bad gradient size");
+  }
+  if (last_input_.empty()) {
+    throw std::logic_error("Dense::backward: forward() not called");
+  }
+  const float* x = last_input_.data();
+  const float* gy = grad_output.data();
+
+  Tensor grad_input(Shape{in_});
+  float* gx = grad_input.data();
+  for (int o = 0; o < out_; ++o) {
+    const float g = gy[o];
+    const float* row = &weights_[static_cast<std::size_t>(o) * in_];
+    float* grow = &grad_weights_[static_cast<std::size_t>(o) * in_];
+    grad_biases_[static_cast<std::size_t>(o)] += g;
+    for (int i = 0; i < in_; ++i) {
+      grow[i] += g * x[i];
+      gx[i] += g * row[i];
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Dense::params() {
+  return {
+      ParamRef{weights_, grad_weights_, ParamKind::kWeight, -1},
+      ParamRef{biases_, grad_biases_, ParamKind::kBias, -1},
+  };
+}
+
+}  // namespace man::nn

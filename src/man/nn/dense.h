@@ -1,0 +1,51 @@
+// Fully connected layer: y = W·x + b.
+#ifndef MAN_NN_DENSE_H
+#define MAN_NN_DENSE_H
+
+#include "man/nn/layer.h"
+#include "man/util/rng.h"
+
+namespace man::nn {
+
+/// Dense (fully connected) layer with out_features × in_features
+/// weights stored row-major (one row per output neuron).
+class Dense final : public Layer {
+ public:
+  Dense(int in_features, int out_features);
+
+  /// Xavier/Glorot uniform initialization (appropriate for the
+  /// sigmoid/tanh networks of the paper's era).
+  void init_xavier(man::util::Rng& rng);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::vector<ParamRef> params() override;
+  [[nodiscard]] bool has_weights() const override { return true; }
+
+  [[nodiscard]] int in_features() const noexcept { return in_; }
+  [[nodiscard]] int out_features() const noexcept { return out_; }
+
+  [[nodiscard]] std::span<float> weights() noexcept { return weights_; }
+  [[nodiscard]] std::span<const float> weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] std::span<float> biases() noexcept { return biases_; }
+  [[nodiscard]] std::span<const float> biases() const noexcept {
+    return biases_;
+  }
+
+ private:
+  int in_;
+  int out_;
+  std::vector<float> weights_;       // out_ × in_
+  std::vector<float> biases_;        // out_
+  std::vector<float> grad_weights_;
+  std::vector<float> grad_biases_;
+  Tensor last_input_;
+};
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_DENSE_H

@@ -1,0 +1,77 @@
+// Layer interface of the training library. Layers own their parameters
+// and gradients; the optimizer and the constraint projector reach them
+// through ParamRef views, so weight-update restrictions (paper
+// Algorithm 2) plug in without the layers knowing.
+#ifndef MAN_NN_LAYER_H
+#define MAN_NN_LAYER_H
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "man/nn/tensor.h"
+
+namespace man::nn {
+
+/// Distinguishes synapse weights (multiplied by inputs — constrained
+/// under ASM alphabet sets) from biases (added, never multiplied — only
+/// quantized).
+enum class ParamKind { kWeight, kBias };
+
+/// Mutable view of one parameter tensor of a layer.
+struct ParamRef {
+  std::span<float> value;
+  std::span<float> grad;
+  ParamKind kind = ParamKind::kWeight;
+  int layer_index = -1;  ///< filled in by Network
+};
+
+/// Abstract differentiable layer (single-sample propagation; batching
+/// is the trainer's loop).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// Forward pass; implementations cache what backward() needs.
+  [[nodiscard]] virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Backward pass: consumes dL/d(output), accumulates parameter
+  /// gradients, returns dL/d(input). Must follow a forward() call.
+  [[nodiscard]] virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Parameter views (empty for activation/pool layers).
+  [[nodiscard]] virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Number of trainable scalars (Table IV's "trainable synapses"
+  /// counts weights + biases).
+  [[nodiscard]] std::size_t num_params() {
+    std::size_t n = 0;
+    for (const auto& p : params()) n += p.value.size();
+    return n;
+  }
+
+  /// True for layers that contain synapses (dense/conv); used when
+  /// counting the paper's "layers" (activation wrappers don't count).
+  [[nodiscard]] virtual bool has_weights() const { return false; }
+
+  /// Zeroes accumulated gradients.
+  virtual void zero_grad() {
+    for (auto& p : params()) {
+      for (float& g : p.grad) g = 0.0f;
+    }
+  }
+
+ protected:
+  Layer() = default;
+};
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_LAYER_H

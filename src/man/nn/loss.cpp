@@ -1,0 +1,62 @@
+#include "man/nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace man::nn {
+
+Tensor softmax(const Tensor& logits) {
+  Tensor out = logits;
+  const float maxv = *std::max_element(out.values().begin(),
+                                       out.values().end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::exp(out[i] - maxv);
+    sum += out[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= inv;
+  return out;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, int label) {
+  if (label < 0 || static_cast<std::size_t>(label) >= logits.size()) {
+    throw std::out_of_range("softmax_cross_entropy: label out of range");
+  }
+  LossResult result;
+  result.grad = softmax(logits);
+  const float p = std::max(result.grad[static_cast<std::size_t>(label)],
+                           1e-12f);
+  result.value = -std::log(static_cast<double>(p));
+  result.grad[static_cast<std::size_t>(label)] -= 1.0f;
+  return result;
+}
+
+LossResult mse(const Tensor& output, const Tensor& target) {
+  if (output.size() != target.size()) {
+    throw std::invalid_argument("mse: size mismatch");
+  }
+  LossResult result;
+  result.grad = Tensor(output.shape());
+  double acc = 0.0;
+  const float scale = 2.0f / static_cast<float>(output.size());
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const float diff = output[i] - target[i];
+    acc += static_cast<double>(diff) * diff;
+    result.grad[i] = scale * diff;
+  }
+  result.value = acc / static_cast<double>(output.size());
+  return result;
+}
+
+LossResult mse_one_hot(const Tensor& output, int label) {
+  if (label < 0 || static_cast<std::size_t>(label) >= output.size()) {
+    throw std::out_of_range("mse_one_hot: label out of range");
+  }
+  Tensor target(output.shape());
+  target[static_cast<std::size_t>(label)] = 1.0f;
+  return mse(output, target);
+}
+
+}  // namespace man::nn

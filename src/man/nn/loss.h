@@ -1,0 +1,33 @@
+// Loss functions. Classification uses softmax cross-entropy on the
+// network's final linear outputs (the gradient is softmax − one-hot);
+// MSE is provided for the sigmoid-output regression style common in
+// the paper's era.
+#ifndef MAN_NN_LOSS_H
+#define MAN_NN_LOSS_H
+
+#include "man/nn/tensor.h"
+
+namespace man::nn {
+
+/// Loss value and gradient w.r.t. the network output.
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;
+};
+
+/// Numerically stable softmax of a logit vector.
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+/// Softmax cross-entropy against an integer class label.
+[[nodiscard]] LossResult softmax_cross_entropy(const Tensor& logits,
+                                               int label);
+
+/// Mean squared error against a target tensor.
+[[nodiscard]] LossResult mse(const Tensor& output, const Tensor& target);
+
+/// MSE against a one-hot encoding of `label` (targets 0/1).
+[[nodiscard]] LossResult mse_one_hot(const Tensor& output, int label);
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_LOSS_H

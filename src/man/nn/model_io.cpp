@@ -1,0 +1,58 @@
+#include "man/nn/model_io.h"
+
+#include <fstream>
+
+#include "man/util/serialize.h"
+
+namespace man::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D414E31;  // "MAN1"
+
+}  // namespace
+
+bool save_params(Network& network, const std::string& path,
+                 const std::string& config_key) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  man::util::BinaryWriter writer(out);
+  writer.write_u32(kMagic);
+  writer.write_u64(man::util::fnv1a(config_key));
+
+  const auto refs = network.params();
+  writer.write_u64(refs.size());
+  for (const ParamRef& ref : refs) {
+    writer.write_f32_vector(
+        std::vector<float>(ref.value.begin(), ref.value.end()));
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_params(Network& network, const std::string& path,
+                 const std::string& config_key) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  try {
+    man::util::BinaryReader reader(in);
+    if (reader.read_u32() != kMagic) return false;
+    if (reader.read_u64() != man::util::fnv1a(config_key)) return false;
+
+    const auto refs = network.params();
+    if (reader.read_u64() != refs.size()) return false;
+    std::vector<std::vector<float>> loaded;
+    loaded.reserve(refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      loaded.push_back(reader.read_f32_vector());
+      if (loaded.back().size() != refs[i].value.size()) return false;
+    }
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      std::copy(loaded[i].begin(), loaded[i].end(), refs[i].value.begin());
+    }
+    return true;
+  } catch (const man::util::SerializationError&) {
+    return false;
+  }
+}
+
+}  // namespace man::nn

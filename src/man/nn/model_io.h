@@ -1,0 +1,29 @@
+// Model parameter serialization for the benchmark cache: trained
+// models are expensive (minutes of SGD), so benches train once and
+// reuse. Files are keyed by a configuration hash — a changed config
+// never silently reuses stale weights.
+#ifndef MAN_NN_MODEL_IO_H
+#define MAN_NN_MODEL_IO_H
+
+#include <optional>
+#include <string>
+
+#include "man/nn/network.h"
+
+namespace man::nn {
+
+/// Saves all parameters of `network` to `path` with a header binding
+/// the file to `config_key` (any string identifying topology +
+/// training configuration). Returns false on I/O failure.
+bool save_params(Network& network, const std::string& path,
+                 const std::string& config_key);
+
+/// Loads parameters saved by save_params() into an identically shaped
+/// network. Returns false if the file is missing, corrupt, was saved
+/// under a different config_key, or does not match the network shape.
+bool load_params(Network& network, const std::string& path,
+                 const std::string& config_key);
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_MODEL_IO_H

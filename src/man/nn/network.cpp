@@ -1,0 +1,80 @@
+#include "man/nn/network.h"
+
+#include <stdexcept>
+
+namespace man::nn {
+
+std::size_t Network::num_weight_layers() const noexcept {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    if (layer->has_weights()) ++n;
+  }
+  return n;
+}
+
+std::size_t Network::num_params() {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer->num_params();
+  return n;
+}
+
+Tensor Network::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Network::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> refs;
+  int weight_layer = -1;
+  for (auto& layer : layers_) {
+    if (layer->has_weights()) ++weight_layer;
+    for (ParamRef ref : layer->params()) {
+      ref.layer_index = weight_layer;
+      refs.push_back(ref);
+    }
+  }
+  return refs;
+}
+
+std::vector<std::vector<float>> Network::snapshot_params() {
+  std::vector<std::vector<float>> snap;
+  for (const ParamRef& ref : params()) {
+    snap.emplace_back(ref.value.begin(), ref.value.end());
+  }
+  return snap;
+}
+
+void Network::restore_params(const std::vector<std::vector<float>>& snapshot) {
+  const auto refs = params();
+  if (snapshot.size() != refs.size()) {
+    throw std::invalid_argument("Network::restore_params: snapshot shape "
+                                "does not match network");
+  }
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (snapshot[i].size() != refs[i].value.size()) {
+      throw std::invalid_argument(
+          "Network::restore_params: parameter size mismatch at index " +
+          std::to_string(i));
+    }
+    std::copy(snapshot[i].begin(), snapshot[i].end(), refs[i].value.begin());
+  }
+}
+
+void Network::for_each_param(const std::function<void(const ParamRef&)>& fn) {
+  for (const ParamRef& ref : params()) fn(ref);
+}
+
+}  // namespace man::nn

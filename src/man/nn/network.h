@@ -1,0 +1,77 @@
+// Sequential network container: owns layers, wires forward/backward,
+// and exposes flattened parameter views for the optimizer and the
+// constraint projector.
+#ifndef MAN_NN_NETWORK_H
+#define MAN_NN_NETWORK_H
+
+#include <functional>
+#include <memory>
+
+#include "man/nn/layer.h"
+#include "man/util/rng.h"
+
+namespace man::nn {
+
+/// Feed-forward (acyclic, sequential) network — the paper's §II model.
+class Network {
+ public:
+  Network() = default;
+
+  // Layers hold caches; networks are move-only.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+
+  /// Appends a layer; returns a typed reference for configuration.
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return layers_.size();
+  }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// Count of layers that carry synapses (dense/conv) — the paper's
+  /// notion of network depth counts these plus the input layer.
+  [[nodiscard]] std::size_t num_weight_layers() const noexcept;
+
+  /// Total trainable scalars (weights + biases), Table IV style.
+  [[nodiscard]] std::size_t num_params();
+
+  /// Forward through every layer.
+  [[nodiscard]] Tensor forward(const Tensor& input);
+
+  /// Backward from dL/d(output); returns dL/d(input).
+  [[nodiscard]] Tensor backward(const Tensor& grad_output);
+
+  void zero_grad();
+
+  /// All parameters with layer_index filled in. The index counts
+  /// *weight-bearing* layers only (projection configs are per synapse
+  /// layer).
+  [[nodiscard]] std::vector<ParamRef> params();
+
+  /// Deep copy of all parameter values (the restore point of
+  /// Algorithm 2 step 2).
+  [[nodiscard]] std::vector<std::vector<float>> snapshot_params();
+  /// Restores a snapshot taken from an identically shaped network.
+  void restore_params(const std::vector<std::vector<float>>& snapshot);
+
+  /// Applies fn to every parameter (used by projections and stats).
+  void for_each_param(
+      const std::function<void(const ParamRef&)>& fn);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_NETWORK_H

@@ -1,0 +1,80 @@
+#include "man/nn/pool.h"
+
+#include <stdexcept>
+
+namespace man::nn {
+
+AvgPool2D::AvgPool2D(int channels, int in_height, int in_width, int window)
+    : c_(channels),
+      ih_(in_height),
+      iw_(in_width),
+      window_(window),
+      oh_(in_height / window),
+      ow_(in_width / window) {
+  if (channels <= 0 || window <= 0) {
+    throw std::invalid_argument("AvgPool2D: channels and window must be > 0");
+  }
+  if (in_height % window != 0 || in_width % window != 0) {
+    throw std::invalid_argument(
+        "AvgPool2D: input dimensions must be divisible by the window");
+  }
+}
+
+std::string AvgPool2D::name() const {
+  return "avgpool " + std::to_string(window_) + "x" + std::to_string(window_);
+}
+
+Shape AvgPool2D::output_shape(const Shape& input) const {
+  if (input.elements() != static_cast<std::size_t>(c_) * ih_ * iw_) {
+    throw std::invalid_argument("AvgPool2D: unexpected input shape " +
+                                input.to_string());
+  }
+  return Shape{c_, oh_, ow_};
+}
+
+Tensor AvgPool2D::forward(const Tensor& input) {
+  if (input.size() != static_cast<std::size_t>(c_) * ih_ * iw_) {
+    throw std::invalid_argument("AvgPool2D::forward: bad input size");
+  }
+  Tensor out(Shape{c_, oh_, ow_});
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  for (int c = 0; c < c_; ++c) {
+    for (int oy = 0; oy < oh_; ++oy) {
+      for (int ox = 0; ox < ow_; ++ox) {
+        float acc = 0.0f;
+        for (int wy = 0; wy < window_; ++wy) {
+          for (int wx = 0; wx < window_; ++wx) {
+            acc += input.at3(c, oy * window_ + wy, ox * window_ + wx, ih_,
+                             iw_);
+          }
+        }
+        out.at3(c, oy, ox, oh_, ow_) = acc * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  if (grad_output.size() != static_cast<std::size_t>(c_) * oh_ * ow_) {
+    throw std::invalid_argument("AvgPool2D::backward: bad gradient size");
+  }
+  Tensor grad_input(Shape{c_, ih_, iw_});
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  for (int c = 0; c < c_; ++c) {
+    for (int oy = 0; oy < oh_; ++oy) {
+      for (int ox = 0; ox < ow_; ++ox) {
+        const float g = grad_output.at3(c, oy, ox, oh_, ow_) * inv;
+        for (int wy = 0; wy < window_; ++wy) {
+          for (int wx = 0; wx < window_; ++wx) {
+            grad_input.at3(c, oy * window_ + wy, ox * window_ + wx, ih_,
+                           iw_) += g;
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace man::nn

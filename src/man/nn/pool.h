@@ -1,0 +1,34 @@
+// Average pooling (LeNet's subsampling layers). Average pooling maps
+// to hardware as an add tree plus a fixed shift, so it stays cheap in
+// the fixed-point engine.
+#ifndef MAN_NN_POOL_H
+#define MAN_NN_POOL_H
+
+#include "man/nn/layer.h"
+
+namespace man::nn {
+
+/// Non-overlapping window average pooling over (C,H,W).
+class AvgPool2D final : public Layer {
+ public:
+  AvgPool2D(int channels, int in_height, int in_width, int window);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] Tensor forward(const Tensor& input) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+
+  [[nodiscard]] int window() const noexcept { return window_; }
+  [[nodiscard]] int channels() const noexcept { return c_; }
+  [[nodiscard]] int in_height() const noexcept { return ih_; }
+  [[nodiscard]] int in_width() const noexcept { return iw_; }
+  [[nodiscard]] int out_height() const noexcept { return oh_; }
+  [[nodiscard]] int out_width() const noexcept { return ow_; }
+
+ private:
+  int c_, ih_, iw_, window_, oh_, ow_;
+};
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_POOL_H

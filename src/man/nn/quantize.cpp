@@ -1,0 +1,10 @@
+#include "man/nn/quantize.h"
+
+namespace man::nn {
+
+std::string QuantSpec::to_string() const {
+  return "weights " + weight_format.to_string() + ", activations " +
+         activation_format.to_string();
+}
+
+}  // namespace man::nn

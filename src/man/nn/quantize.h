@@ -1,0 +1,47 @@
+// Weight/input quantization specs linking the float training world to
+// the fixed-point hardware world (paper §V: 8- or 12-bit synapses and
+// inputs).
+#ifndef MAN_NN_QUANTIZE_H
+#define MAN_NN_QUANTIZE_H
+
+#include <string>
+
+#include "man/fixed/qformat.h"
+
+namespace man::nn {
+
+/// The numeric contract of one hardware configuration.
+struct QuantSpec {
+  man::fixed::QFormat weight_format = man::fixed::QFormat::weight8();
+  man::fixed::QFormat activation_format = man::fixed::QFormat::input8();
+
+  /// Paper configurations: 8-bit (Q1.6 weights) / 12-bit (Q1.10).
+  [[nodiscard]] static QuantSpec bits8() {
+    return QuantSpec{man::fixed::QFormat::weight8(),
+                     man::fixed::QFormat::input8()};
+  }
+  [[nodiscard]] static QuantSpec bits12() {
+    return QuantSpec{man::fixed::QFormat::weight12(),
+                     man::fixed::QFormat::input8()};
+  }
+  [[nodiscard]] static QuantSpec for_bits(int weight_bits) {
+    return weight_bits <= 8 ? bits8() : bits12();
+  }
+
+  [[nodiscard]] int weight_bits() const noexcept {
+    return weight_format.total_bits();
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Quantizes a float weight to its representable fixed-point value
+/// (round-to-nearest, saturating) and back.
+[[nodiscard]] inline float quantize_weight(float w,
+                                           const QuantSpec& spec) noexcept {
+  return static_cast<float>(
+      spec.weight_format.round_trip(static_cast<double>(w)));
+}
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_QUANTIZE_H

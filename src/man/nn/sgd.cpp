@@ -1,0 +1,73 @@
+#include "man/nn/sgd.h"
+
+namespace man::nn {
+
+Sgd::Sgd(Network& network, Options options)
+    : network_(network), options_(std::move(options)) {
+  const auto refs = network_.params();
+  masters_.reserve(refs.size());
+  velocity_.reserve(refs.size());
+  for (const ParamRef& ref : refs) {
+    masters_.emplace_back(ref.value.begin(), ref.value.end());
+    velocity_.emplace_back(ref.value.size(), 0.0f);
+  }
+  // Live weights start as the projection of the masters so the first
+  // forward pass already sees constrained weights.
+  reproject();
+}
+
+void Sgd::step(int batch_size) {
+  const auto refs = network_.params();
+  const float scale = 1.0f / static_cast<float>(batch_size);
+  const auto lr = static_cast<float>(options_.learning_rate);
+  const auto mu = static_cast<float>(options_.momentum);
+  const auto wd = static_cast<float>(options_.weight_decay);
+
+  for (std::size_t p = 0; p < refs.size(); ++p) {
+    const ParamRef& ref = refs[p];
+    std::vector<float>& master = masters_[p];
+    std::vector<float>& vel = velocity_[p];
+    const bool decay = wd > 0.0f && ref.kind == ParamKind::kWeight;
+    for (std::size_t i = 0; i < master.size(); ++i) {
+      float g = ref.grad[i] * scale;
+      if (decay) g += wd * master[i];
+      vel[i] = mu * vel[i] - lr * g;
+      master[i] += vel[i];
+    }
+  }
+
+  // Publish live weights: projected masters (or raw masters when no
+  // projection is configured).
+  if (options_.projection && options_.projection->active()) {
+    for (std::size_t p = 0; p < refs.size(); ++p) {
+      const ParamRef& ref = refs[p];
+      std::copy(masters_[p].begin(), masters_[p].end(), ref.value.begin());
+      options_.projection->project_param(ref);
+    }
+  } else {
+    for (std::size_t p = 0; p < refs.size(); ++p) {
+      std::copy(masters_[p].begin(), masters_[p].end(),
+                refs[p].value.begin());
+    }
+  }
+  network_.zero_grad();
+}
+
+void Sgd::reproject() {
+  const auto refs = network_.params();
+  for (std::size_t p = 0; p < refs.size(); ++p) {
+    std::copy(masters_[p].begin(), masters_[p].end(), refs[p].value.begin());
+    if (options_.projection && options_.projection->active()) {
+      options_.projection->project_param(refs[p]);
+    }
+  }
+}
+
+void Sgd::flush_masters_unprojected() {
+  const auto refs = network_.params();
+  for (std::size_t p = 0; p < refs.size(); ++p) {
+    std::copy(masters_[p].begin(), masters_[p].end(), refs[p].value.begin());
+  }
+}
+
+}  // namespace man::nn

@@ -1,0 +1,61 @@
+// Minibatch SGD with momentum and optional constraint projection.
+//
+// Projection follows the BinaryConnect/INQ discipline the paper's
+// "restrictions on weight update" implies: full-precision master
+// weights accumulate gradient updates, while the layer's live weights
+// (used by forward/backward) are the *projected* masters. Small
+// updates below the quantization step therefore still accumulate
+// instead of being rounded away every batch.
+#ifndef MAN_NN_SGD_H
+#define MAN_NN_SGD_H
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "man/nn/constraint_projection.h"
+#include "man/nn/network.h"
+
+namespace man::nn {
+
+/// SGD optimizer bound to one network.
+class Sgd {
+ public:
+  struct Options {
+    double learning_rate = 0.05;
+    double momentum = 0.9;
+    double weight_decay = 0.0;      ///< L2 on weights (not biases)
+    /// When set, live weights are the projected masters (see file
+    /// comment) — this is Algorithm 2's constrained retraining mode.
+    std::optional<ProjectionPlan> projection;
+  };
+
+  Sgd(Network& network, Options options);
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  void set_learning_rate(double lr) noexcept { options_.learning_rate = lr; }
+
+  /// One update from the gradients currently accumulated in the
+  /// network (the trainer accumulates a whole minibatch, then calls
+  /// step(batch_size) to apply the mean gradient).
+  void step(int batch_size);
+
+  /// Re-applies the projection to the live weights (used after
+  /// restoring a snapshot).
+  void reproject();
+
+  /// Copies masters into live weights without projection — call when
+  /// detaching the optimizer to continue unconstrained.
+  void flush_masters_unprojected();
+
+ private:
+  Network& network_;
+  Options options_;
+  // Master weights and momentum state, parallel to network_.params().
+  std::vector<std::vector<float>> masters_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_SGD_H

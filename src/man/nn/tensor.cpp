@@ -1,0 +1,84 @@
+#include "man/nn/tensor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace man::nn {
+
+Shape::Shape(std::initializer_list<int> dims) : dims_(dims) {
+  if (dims_.empty() || dims_.size() > 4) {
+    throw std::invalid_argument("Shape: rank must be in [1,4]");
+  }
+  for (int d : dims_) {
+    if (d <= 0) throw std::invalid_argument("Shape: dimensions must be > 0");
+  }
+}
+
+Shape::Shape(std::vector<int> dims) : dims_(std::move(dims)) {
+  if (dims_.empty() || dims_.size() > 4) {
+    throw std::invalid_argument("Shape: rank must be in [1,4]");
+  }
+  for (int d : dims_) {
+    if (d <= 0) throw std::invalid_argument("Shape: dimensions must be > 0");
+  }
+}
+
+int Shape::dim(int axis) const {
+  if (axis < 0 || axis >= rank()) {
+    throw std::out_of_range("Shape: axis " + std::to_string(axis) +
+                            " out of range for rank " + std::to_string(rank()));
+  }
+  return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::size_t Shape::elements() const noexcept {
+  std::size_t n = 1;
+  for (int d : dims_) n *= static_cast<std::size_t>(d);
+  return dims_.empty() ? 0 : n;
+}
+
+std::string Shape::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out += "x";
+    out += std::to_string(dims_[i]);
+  }
+  return out + "]";
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_.elements(), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_.elements()) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " != shape elements " +
+                                std::to_string(shape_.elements()));
+  }
+}
+
+Tensor Tensor::from_vector(std::vector<float> data) {
+  const int n = static_cast<int>(data.size());
+  return Tensor(Shape{n}, std::move(data));
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::reshape(Shape shape) {
+  if (shape.elements() != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch");
+  }
+  shape_ = std::move(shape);
+}
+
+int Tensor::argmax() const noexcept {
+  if (data_.empty()) return -1;
+  return static_cast<int>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+}  // namespace man::nn

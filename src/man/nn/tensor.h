@@ -1,0 +1,89 @@
+// Minimal dense float tensor for the training library. Row-major,
+// up to 4 dimensions, value semantics. Heavy compute (dense/conv
+// kernels) indexes raw data directly; Tensor only manages shape and
+// storage.
+#ifndef MAN_NN_TENSOR_H
+#define MAN_NN_TENSOR_H
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace man::nn {
+
+/// Shape of a tensor: 1-4 dimensions.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int> dims);
+  explicit Shape(std::vector<int> dims);
+
+  [[nodiscard]] int rank() const noexcept {
+    return static_cast<int>(dims_.size());
+  }
+  [[nodiscard]] int dim(int axis) const;
+  [[nodiscard]] std::size_t elements() const noexcept;
+  [[nodiscard]] const std::vector<int>& dims() const noexcept { return dims_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) noexcept {
+    return a.dims_ == b.dims_;
+  }
+
+ private:
+  std::vector<int> dims_;
+};
+
+/// Dense row-major float tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> data);
+
+  [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(shape); }
+  [[nodiscard]] static Tensor from_vector(std::vector<float> data);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<float> values() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> values() const noexcept {
+    return data_;
+  }
+
+  [[nodiscard]] float& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  /// 3-D accessor for (channel, row, col) layouts; bounds unchecked in
+  /// release builds.
+  [[nodiscard]] float& at3(int c, int h, int w, int height,
+                           int width) noexcept {
+    return data_[static_cast<std::size_t>((c * height + h) * width + w)];
+  }
+  [[nodiscard]] float at3(int c, int h, int w, int height, int width) const
+      noexcept {
+    return data_[static_cast<std::size_t>((c * height + h) * width + w)];
+  }
+
+  void fill(float value) noexcept;
+  /// Reinterprets the storage with a new shape of equal element count.
+  void reshape(Shape shape);
+
+  /// Index of the maximum element (argmax over the flat storage).
+  [[nodiscard]] int argmax() const noexcept;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_TENSOR_H

@@ -1,0 +1,78 @@
+#include "man/nn/trainer.h"
+
+#include <numeric>
+
+#include "man/util/rng.h"
+
+namespace man::nn {
+
+namespace {
+
+LossResult compute_loss(LossKind kind, const Tensor& output, int label) {
+  switch (kind) {
+    case LossKind::kSoftmaxCrossEntropy:
+      return softmax_cross_entropy(output, label);
+    case LossKind::kMseOneHot:
+      return mse_one_hot(output, label);
+  }
+  return softmax_cross_entropy(output, label);
+}
+
+}  // namespace
+
+EpochStats fit(Network& network, Sgd& optimizer,
+               std::span<const man::data::Example> train,
+               const TrainerConfig& config) {
+  man::util::Rng rng(config.shuffle_seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  EpochStats stats;
+  double lr = optimizer.options().learning_rate;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    optimizer.set_learning_rate(lr);
+
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    int in_batch = 0;
+    network.zero_grad();
+    for (std::size_t idx = 0; idx < order.size(); ++idx) {
+      const man::data::Example& ex = train[order[idx]];
+      Tensor input = Tensor::from_vector(ex.pixels);
+      const Tensor output = network.forward(input);
+      if (output.argmax() == ex.label) ++correct;
+      const LossResult loss = compute_loss(config.loss, output, ex.label);
+      loss_sum += loss.value;
+      (void)network.backward(loss.grad);
+      if (++in_batch == config.batch_size || idx + 1 == order.size()) {
+        optimizer.step(in_batch);
+        in_batch = 0;
+      }
+    }
+
+    stats.epoch = epoch;
+    stats.mean_loss = train.empty() ? 0.0 : loss_sum / train.size();
+    stats.train_accuracy =
+        train.empty() ? 0.0
+                      : static_cast<double>(correct) / train.size();
+    stats.learning_rate = lr;
+    lr *= config.lr_decay;
+
+    if (config.on_epoch && !config.on_epoch(stats)) break;
+  }
+  return stats;
+}
+
+double evaluate_accuracy(Network& network,
+                         std::span<const man::data::Example> examples) {
+  if (examples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const man::data::Example& ex : examples) {
+    Tensor input = Tensor::from_vector(ex.pixels);
+    if (network.forward(input).argmax() == ex.label) ++correct;
+  }
+  return static_cast<double>(correct) / examples.size();
+}
+
+}  // namespace man::nn

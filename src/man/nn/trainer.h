@@ -1,0 +1,54 @@
+// Minibatch trainer: epochs over a shuffled dataset, loss selection,
+// learning-rate decay, accuracy evaluation. Single-threaded and
+// deterministic under a fixed seed.
+#ifndef MAN_NN_TRAINER_H
+#define MAN_NN_TRAINER_H
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "man/data/dataset.h"
+#include "man/nn/loss.h"
+#include "man/nn/network.h"
+#include "man/nn/sgd.h"
+
+namespace man::nn {
+
+/// Which loss drives training.
+enum class LossKind {
+  kSoftmaxCrossEntropy,
+  kMseOneHot,
+};
+
+/// Progress record passed to the epoch callback.
+struct EpochStats {
+  int epoch = 0;
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+  double learning_rate = 0.0;
+};
+
+/// Trainer configuration.
+struct TrainerConfig {
+  int epochs = 10;
+  int batch_size = 16;
+  LossKind loss = LossKind::kSoftmaxCrossEntropy;
+  double lr_decay = 0.95;   ///< multiplicative, per epoch
+  std::uint64_t shuffle_seed = 0x5EED;
+  /// Called after each epoch; return false to stop early.
+  std::function<bool(const EpochStats&)> on_epoch;
+};
+
+/// Runs minibatch SGD over `train`; returns the last epoch's stats.
+EpochStats fit(Network& network, Sgd& optimizer,
+               std::span<const man::data::Example> train,
+               const TrainerConfig& config);
+
+/// Top-1 accuracy of the float network over a split.
+[[nodiscard]] double evaluate_accuracy(
+    Network& network, std::span<const man::data::Example> examples);
+
+}  // namespace man::nn
+
+#endif  // MAN_NN_TRAINER_H

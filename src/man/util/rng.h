@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments. All stochastic components of the library (dataset
+// synthesis, weight initialization, SGD shuffling) draw from man::util::Rng
+// so that a fixed seed reproduces a run bit-for-bit across platforms.
+#ifndef MAN_UTIL_RNG_H
+#define MAN_UTIL_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace man::util {
+
+/// Deterministic 64-bit PRNG (xoshiro256** by Blackman & Vigna).
+///
+/// We intentionally avoid std::mt19937 + std::*_distribution because the
+/// standard leaves distribution algorithms implementation-defined; this
+/// class guarantees identical streams on every toolchain.
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from one seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step: guarantees a well-mixed non-zero state.
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform unsigned integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Lemire-style rejection keeps the distribution exactly uniform.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double next_double_in(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal variate (Box–Muller; one value per call for
+  /// stream-position determinism).
+  [[nodiscard]] double next_gaussian() noexcept {
+    // Avoid log(0) by offsetting into (0, 1].
+    const double u1 = 1.0 - next_double();
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool next_bool(double p = 0.5) noexcept {
+    return next_double() < p;
+  }
+
+  /// Fisher–Yates shuffle of any random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-component streams).
+  [[nodiscard]] Rng split() noexcept { return Rng(next_u64()); }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace man::util
+
+#endif  // MAN_UTIL_RNG_H

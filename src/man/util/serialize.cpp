@@ -1,0 +1,127 @@
+#include "man/util/serialize.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace man::util {
+
+namespace {
+
+// The library targets little-endian hosts (x86-64/AArch64). A static
+// assertion documents the assumption instead of paying byte-swap costs.
+static_assert(std::endian::native == std::endian::little,
+              "serialization assumes a little-endian host");
+
+}  // namespace
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_u64(std::uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_i32(std::int32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_f32(float v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_f64(double v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_f32_vector(const std::vector<float>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void BinaryWriter::write_i32_vector(const std::vector<std::int32_t>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(std::int32_t)));
+}
+
+void BinaryReader::read_bytes(void* dst, std::size_t n) {
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(in_.gcount()) != n) {
+    throw SerializationError("truncated stream: expected " +
+                             std::to_string(n) + " bytes");
+  }
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v = 0;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v = 0;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+
+std::int32_t BinaryReader::read_i32() {
+  std::int32_t v = 0;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+
+float BinaryReader::read_f32() {
+  float v = 0;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+
+double BinaryReader::read_f64() {
+  double v = 0;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  if (n > (1ULL << 32)) throw SerializationError("implausible string length");
+  std::string s(n, '\0');
+  read_bytes(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vector() {
+  const std::uint64_t n = read_u64();
+  if (n > (1ULL << 32)) throw SerializationError("implausible vector length");
+  std::vector<float> v(n);
+  read_bytes(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<std::int32_t> BinaryReader::read_i32_vector() {
+  const std::uint64_t n = read_u64();
+  if (n > (1ULL << 32)) throw SerializationError("implausible vector length");
+  std::vector<std::int32_t> v(n);
+  read_bytes(v.data(), n * sizeof(std::int32_t));
+  return v;
+}
+
+std::uint64_t fnv1a(const std::string& bytes) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace man::util

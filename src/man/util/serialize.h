@@ -1,0 +1,65 @@
+// Minimal binary serialization for model caching. Little-endian,
+// versioned, with a magic header so stale/corrupt cache files are
+// detected instead of silently mis-read.
+#ifndef MAN_UTIL_SERIALIZE_H
+#define MAN_UTIL_SERIALIZE_H
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace man::util {
+
+/// Error thrown when deserialization encounters a malformed stream.
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Streaming binary writer. All integers are written little-endian.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_vector(const std::vector<float>& v);
+  void write_i32_vector(const std::vector<std::int32_t>& v);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Streaming binary reader; throws SerializationError on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] std::int32_t read_i32();
+  [[nodiscard]] float read_f32();
+  [[nodiscard]] double read_f64();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] std::vector<float> read_f32_vector();
+  [[nodiscard]] std::vector<std::int32_t> read_i32_vector();
+
+ private:
+  void read_bytes(void* dst, std::size_t n);
+  std::istream& in_;
+};
+
+/// FNV-1a hash of a byte string; used to key model-cache entries by
+/// configuration so a changed config never reuses a stale model.
+[[nodiscard]] std::uint64_t fnv1a(const std::string& bytes) noexcept;
+
+}  // namespace man::util
+
+#endif  // MAN_UTIL_SERIALIZE_H

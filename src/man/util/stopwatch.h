@@ -1,0 +1,34 @@
+// Wall-clock stopwatch for coarse timing of training/benchmark phases.
+#ifndef MAN_UTIL_STOPWATCH_H
+#define MAN_UTIL_STOPWATCH_H
+
+#include <chrono>
+
+namespace man::util {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace man::util
+
+#endif  // MAN_UTIL_STOPWATCH_H

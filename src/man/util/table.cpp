@@ -1,0 +1,102 @@
+#include "man/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace man::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+namespace {
+
+std::string repeat(char c, std::size_t n) { return std::string(n, c); }
+
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + repeat(' ', width - s.size());
+}
+
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t i = 0; i < row.cells.size(); ++i)
+      widths[i] = std::max(widths[i], row.cells[i].size());
+  }
+
+  const auto rule = [&](char fill, char junction) {
+    std::string line = std::string(1, junction);
+    for (std::size_t w : widths) {
+      line += repeat(fill, w + 2);
+      line += junction;
+    }
+    return line + "\n";
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      line += " " + pad(i < cells.size() ? cells[i] : "", widths[i]) + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out;
+  out += rule('-', '+');
+  out += emit(header_);
+  out += rule('=', '+');
+  for (const auto& row : rows_) {
+    out += row.separator ? rule('-', '+') : emit(row.cells);
+  }
+  out += rule('-', '+');
+  return out;
+}
+
+std::string Table::to_csv() const {
+  const auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (char c : s) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    return quoted + "\"";
+  };
+  std::ostringstream out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out << ',';
+    out << escape(header_[i]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      if (i) out << ',';
+      out << escape(row.cells[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_percent(double ratio, int decimals) {
+  return format_double(ratio * 100.0, decimals);
+}
+
+}  // namespace man::util

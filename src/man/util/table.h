@@ -1,0 +1,54 @@
+// Plain-text table rendering used by the benchmark harness to print the
+// paper's tables and figure series in a uniform, diff-able format.
+#ifndef MAN_UTIL_TABLE_H
+#define MAN_UTIL_TABLE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace man::util {
+
+/// Column-aligned ASCII table.
+///
+/// Usage:
+///   Table t({"Size", "Alphabets", "Accuracy (%)"});
+///   t.add_row({"8 bits", "4 {1,3,5,7}", "90.46"});
+///   std::cout << t.to_string();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a box-drawing border.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as comma-separated values (header + rows, no separators).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+[[nodiscard]] std::string format_double(double value, int decimals = 2);
+
+/// Formats a ratio as a percentage string, e.g. 0.3512 -> "35.12".
+[[nodiscard]] std::string format_percent(double ratio, int decimals = 2);
+
+}  // namespace man::util
+
+#endif  // MAN_UTIL_TABLE_H

@@ -1,0 +1,139 @@
+// Application registry vs the paper's Table IV, plus the model cache.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "man/apps/app_registry.h"
+#include "man/apps/model_cache.h"
+#include "man/nn/trainer.h"
+
+namespace man::apps {
+namespace {
+
+TEST(AppRegistry, FiveAppsInTableOrder) {
+  const auto& apps = all_apps();
+  ASSERT_EQ(apps.size(), 5u);
+  EXPECT_EQ(apps[0].id, AppId::kDigitMlp8);
+  EXPECT_EQ(apps[1].id, AppId::kDigitCnn12);
+  EXPECT_EQ(apps[2].id, AppId::kFaceMlp12);
+  EXPECT_EQ(apps[3].id, AppId::kSvhnMlp8);
+  EXPECT_EQ(apps[4].id, AppId::kTichMlp8);
+  EXPECT_EQ(&get_app(AppId::kFaceMlp12), &apps[2]);
+}
+
+// Table IV: the 8-bit digit MLP (1024-100-10) has exactly 103510
+// trainable synapses and 110 neurons; the face MLP (1024-100-2) has
+// exactly 102702 and 102.
+TEST(AppRegistry, ExactTableIvMatches) {
+  const AppMetrics digit = compute_metrics(get_app(AppId::kDigitMlp8));
+  EXPECT_EQ(digit.synapses, 103510u);
+  EXPECT_EQ(digit.neurons, 110u);
+  EXPECT_EQ(digit.paper_style_layers, 2);
+
+  const AppMetrics face = compute_metrics(get_app(AppId::kFaceMlp12));
+  EXPECT_EQ(face.synapses, 102702u);
+  EXPECT_EQ(face.neurons, 102u);
+  EXPECT_EQ(face.paper_style_layers, 2);
+}
+
+// The remaining apps approximate the paper's totals; require agreement
+// within 10% and exact layer counts.
+TEST(AppRegistry, ApproximateTableIvMatches) {
+  for (const AppSpec& app : all_apps()) {
+    const AppMetrics metrics = compute_metrics(app);
+    EXPECT_EQ(metrics.paper_style_layers, app.paper_layers) << app.name;
+    const double synapse_ratio =
+        static_cast<double>(metrics.synapses) /
+        static_cast<double>(app.paper_synapses);
+    EXPECT_GT(synapse_ratio, 0.90) << app.name;
+    EXPECT_LT(synapse_ratio, 1.10) << app.name;
+  }
+}
+
+TEST(AppRegistry, CnnIsLeNetShaped) {
+  const AppMetrics cnn = compute_metrics(get_app(AppId::kDigitCnn12));
+  EXPECT_EQ(cnn.weight_layers, 4);       // C1, C3, F5, F6
+  EXPECT_EQ(cnn.paper_style_layers, 6);  // + S2, S4 pools
+  EXPECT_GT(cnn.neurons, 7000u);
+}
+
+TEST(AppRegistry, QuantSpecsFollowBitWidth) {
+  EXPECT_EQ(get_app(AppId::kDigitMlp8).quant().weight_bits(), 8);
+  EXPECT_EQ(get_app(AppId::kDigitCnn12).quant().weight_bits(), 12);
+  EXPECT_EQ(get_app(AppId::kFaceMlp12).quant().weight_bits(), 12);
+}
+
+TEST(AppRegistry, EnergySpecsMatchArchitecture) {
+  const auto spec = get_app(AppId::kDigitMlp8).energy_spec();
+  ASSERT_EQ(spec.layers.size(), 2u);
+  EXPECT_EQ(spec.layers[0].macs, 1024u * 100);
+  EXPECT_EQ(spec.layers[1].macs, 100u * 10);
+
+  const auto cnn = get_app(AppId::kDigitCnn12).energy_spec();
+  ASSERT_EQ(cnn.layers.size(), 4u);
+  EXPECT_EQ(cnn.layers[0].macs, 6ull * 28 * 28 * 25);
+  EXPECT_EQ(cnn.total_macs(),
+            6ull * 28 * 28 * 25 + 12ull * 10 * 10 * 150 + 300ull * 160 +
+                160ull * 10);
+}
+
+TEST(AppRegistry, SvhnFinalLayersAreSmallShareOfCycles) {
+  // Paper §VI.E: "the last 2 layers use only 3.84% of total processing
+  // cycles" in the 6-layer SVHN network. Our architecture matches the
+  // magnitude of that share.
+  const auto spec = get_app(AppId::kSvhnMlp8).energy_spec();
+  ASSERT_EQ(spec.layers.size(), 6u);
+  const double tail = static_cast<double>(spec.layers[4].macs +
+                                          spec.layers[5].macs);
+  const double share = tail / static_cast<double>(spec.total_macs());
+  EXPECT_LT(share, 0.08);
+  EXPECT_GT(share, 0.005);
+}
+
+TEST(AppRegistry, DatasetsMatchDeclaredShape) {
+  for (const AppSpec& app : all_apps()) {
+    const auto ds = app.make_dataset(0.05);
+    EXPECT_NO_THROW(ds.validate());
+    EXPECT_EQ(ds.input_size(), 1024) << app.name;
+    EXPECT_FALSE(ds.train.empty());
+    EXPECT_FALSE(ds.test.empty());
+  }
+}
+
+TEST(AppRegistry, BuildNetworkIsDeterministic) {
+  const AppSpec& app = get_app(AppId::kDigitMlp8);
+  auto a = app.build_network(9);
+  auto b = app.build_network(9);
+  EXPECT_EQ(a.snapshot_params(), b.snapshot_params());
+  auto c = app.build_network(10);
+  EXPECT_NE(a.snapshot_params(), c.snapshot_params());
+}
+
+TEST(ModelCache, TrainsOnceThenLoads) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("man_cache_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    ModelCache cache(dir.string());
+    const AppSpec& app = get_app(AppId::kFaceMlp12);
+    const auto ds = app.make_dataset(0.03);
+
+    bool trained_first = false;
+    auto net1 = cache.baseline(app, ds, 0.03, &trained_first);
+    EXPECT_TRUE(trained_first);
+
+    bool trained_second = true;
+    auto net2 = cache.baseline(app, ds, 0.03, &trained_second);
+    EXPECT_FALSE(trained_second);
+    EXPECT_EQ(net1.snapshot_params(), net2.snapshot_params());
+
+    // A different scale is a different key.
+    bool trained_third = false;
+    (void)cache.baseline(app, app.make_dataset(0.02), 0.02, &trained_third);
+    EXPECT_TRUE(trained_third);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace man::apps

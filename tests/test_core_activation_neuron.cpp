@@ -1,0 +1,141 @@
+// Activation functions, the LUT used by the fixed-point engine, and
+// the per-neuron datapath models (paper §II Fig 1a, §IV.D Fig 6).
+#include "man/core/activation.h"
+#include "man/core/neuron.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace man::core {
+namespace {
+
+TEST(Activation, SigmoidValuesAndDerivative) {
+  EXPECT_NEAR(activate(ActivationKind::kSigmoid, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(activate(ActivationKind::kSigmoid, 100.0), 1.0, 1e-9);
+  EXPECT_NEAR(activate(ActivationKind::kSigmoid, -100.0), 0.0, 1e-9);
+  const double y = activate(ActivationKind::kSigmoid, 0.7);
+  EXPECT_NEAR(activate_derivative_from_output(ActivationKind::kSigmoid, y),
+              y * (1 - y), 1e-12);
+}
+
+TEST(Activation, TanhReluIdentity) {
+  EXPECT_NEAR(activate(ActivationKind::kTanh, 0.5), std::tanh(0.5), 1e-12);
+  EXPECT_EQ(activate(ActivationKind::kRelu, -2.0), 0.0);
+  EXPECT_EQ(activate(ActivationKind::kRelu, 2.0), 2.0);
+  EXPECT_EQ(activate(ActivationKind::kIdentity, 3.25), 3.25);
+  EXPECT_EQ(activate_derivative_from_output(ActivationKind::kRelu, 0.0), 0.0);
+  EXPECT_EQ(activate_derivative_from_output(ActivationKind::kRelu, 1.0), 1.0);
+}
+
+TEST(FixedActivationLut, ApproximatesSigmoidWithinLutResolution) {
+  const man::fixed::QFormat acc(30, 14);
+  const man::fixed::QFormat out = man::fixed::QFormat::input8();
+  const FixedActivationLut lut(ActivationKind::kSigmoid, acc, out, 10);
+  for (double x : {-6.0, -2.0, -0.5, 0.0, 0.5, 2.0, 6.0}) {
+    const double expected = activate(ActivationKind::kSigmoid, x);
+    // Tolerance: LUT step (16/1024) times max slope (0.25) plus the
+    // output quantization step.
+    EXPECT_NEAR(lut.apply(x), expected, 16.0 / 1024.0 * 0.25 + 1.0 / 256.0)
+        << "x=" << x;
+  }
+}
+
+TEST(FixedActivationLut, SaturatesOutsideClipRange) {
+  const man::fixed::QFormat acc(30, 14);
+  const man::fixed::QFormat out = man::fixed::QFormat::input8();
+  const FixedActivationLut lut(ActivationKind::kSigmoid, acc, out);
+  EXPECT_NEAR(lut.apply(100.0), 1.0, 1.0 / 256.0);
+  EXPECT_NEAR(lut.apply(-100.0), 0.0, 1.0 / 256.0);
+}
+
+TEST(FixedActivationLut, MonotoneForMonotoneFunctions) {
+  const man::fixed::QFormat acc(30, 14);
+  const man::fixed::QFormat out = man::fixed::QFormat::input8();
+  const FixedActivationLut lut(ActivationKind::kTanh, acc, out, 8);
+  std::int32_t previous = lut.apply_raw(-(1 << 20));
+  for (std::int64_t raw = -(1 << 20); raw <= (1 << 20); raw += 1 << 14) {
+    const std::int32_t value = lut.apply_raw(raw);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(NeuronConfig, EffectiveAlphabetsFollowKind) {
+  NeuronConfig config;
+  config.multiplier = MultiplierKind::kMan;
+  config.alphabets = AlphabetSet::four();  // ignored for MAN
+  EXPECT_EQ(config.effective_alphabets(), AlphabetSet::man());
+  config.multiplier = MultiplierKind::kAsm;
+  EXPECT_EQ(config.effective_alphabets(), AlphabetSet::four());
+}
+
+TEST(Neuron, ExactAndFullAsmNeuronsAgreeBitExactly) {
+  NeuronConfig exact_cfg;
+  exact_cfg.multiplier = MultiplierKind::kExact;
+  NeuronConfig asm_cfg;
+  asm_cfg.multiplier = MultiplierKind::kAsm;
+  asm_cfg.alphabets = AlphabetSet::full();
+
+  const Neuron exact(exact_cfg);
+  const Neuron asm_neuron(asm_cfg);
+
+  const std::vector<std::int32_t> inputs{10, 200, 255, 0, 128};
+  const std::vector<int> weights{64, -37, 115, 127, -90};
+  const auto a = exact.forward(inputs, weights, 500);
+  const auto b = asm_neuron.forward(inputs, weights, 500);
+  EXPECT_EQ(a.accumulator_raw, b.accumulator_raw);
+  EXPECT_EQ(a.activation_raw, b.activation_raw);
+}
+
+TEST(Neuron, ManNeuronConstrainsWeights) {
+  NeuronConfig cfg;
+  cfg.multiplier = MultiplierKind::kMan;
+  const Neuron man_neuron(cfg);
+  // Weight 9 is unsupported under {1}; it constrains to 8.
+  const std::vector<std::int32_t> inputs{100};
+  const std::vector<int> weights{9};
+  const auto out = man_neuron.forward(inputs, weights, 0);
+  EXPECT_EQ(out.accumulator_raw, 8 * 100);
+}
+
+TEST(Neuron, AccumulatesOpCounts) {
+  NeuronConfig cfg;
+  cfg.multiplier = MultiplierKind::kAsm;
+  cfg.alphabets = AlphabetSet::two();
+  const Neuron neuron(cfg);
+  const std::vector<std::int32_t> inputs{10, 20};
+  const std::vector<int> weights{3, 48};  // both representable
+  OpCounts counts;
+  (void)neuron.forward(inputs, weights, 0, &counts);
+  EXPECT_GT(counts.selects, 0u);
+  EXPECT_GT(counts.adds, 0u);
+  EXPECT_EQ(counts.precomputer_adds, 2u);  // one bank firing per input
+}
+
+TEST(Neuron, RejectsMismatchedSpans) {
+  const Neuron neuron{NeuronConfig{}};
+  const std::vector<std::int32_t> inputs{1, 2, 3};
+  const std::vector<int> weights{1};
+  EXPECT_THROW((void)neuron.forward(inputs, weights, 0),
+               std::invalid_argument);
+}
+
+TEST(Neuron, SigmoidOutputInUnitRange) {
+  const Neuron neuron{NeuronConfig{}};
+  const std::vector<std::int32_t> inputs{255, 255, 255};
+  const std::vector<int> weights{127, 127, 127};
+  const auto out = neuron.forward(inputs, weights, 0);
+  EXPECT_GE(out.activation_value, 0.0);
+  EXPECT_LE(out.activation_value, 1.0);
+  EXPECT_GT(out.activation_value, 0.9);  // strongly positive input
+}
+
+TEST(MultiplierKind, ToStringCoversAll) {
+  EXPECT_EQ(to_string(MultiplierKind::kExact), "conventional");
+  EXPECT_EQ(to_string(MultiplierKind::kAsm), "ASM");
+  EXPECT_EQ(to_string(MultiplierKind::kMan), "MAN");
+}
+
+}  // namespace
+}  // namespace man::core

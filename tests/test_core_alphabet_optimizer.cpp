@@ -1,0 +1,110 @@
+// Alphabet-set search (extension): enumeration, optimality against the
+// prefix ladder, empirical-distribution optimization.
+#include "man/core/alphabet_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "man/core/weight_constraint.h"
+#include "man/util/rng.h"
+
+namespace man::core {
+namespace {
+
+TEST(AlphabetEnumeration, CountsAreBinomial) {
+  // C(7, k-1) sets containing alphabet 1.
+  EXPECT_EQ(enumerate_alphabet_sets(1).size(), 1u);
+  EXPECT_EQ(enumerate_alphabet_sets(2).size(), 7u);
+  EXPECT_EQ(enumerate_alphabet_sets(3).size(), 21u);
+  EXPECT_EQ(enumerate_alphabet_sets(4).size(), 35u);
+  EXPECT_EQ(enumerate_alphabet_sets(8).size(), 1u);
+  EXPECT_THROW((void)enumerate_alphabet_sets(0), std::invalid_argument);
+  EXPECT_THROW((void)enumerate_alphabet_sets(9), std::invalid_argument);
+}
+
+TEST(AlphabetEnumeration, EverySetContainsOne) {
+  for (std::size_t k = 1; k <= 8; ++k) {
+    for (const AlphabetSet& set : enumerate_alphabet_sets(k)) {
+      EXPECT_TRUE(set.contains(1));
+      EXPECT_EQ(set.size(), k);
+    }
+  }
+}
+
+TEST(UniformCost, FullSetIsZeroAndMoreAlphabetsNeverHurt) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  EXPECT_EQ(uniform_constraint_cost(layout, AlphabetSet::full()), 0.0);
+  const double c1 = uniform_constraint_cost(layout, AlphabetSet::man());
+  const double c2 = uniform_constraint_cost(layout, AlphabetSet::two());
+  const double c4 = uniform_constraint_cost(layout, AlphabetSet::four());
+  EXPECT_GT(c1, c2);
+  EXPECT_GT(c2, c4);
+}
+
+TEST(OptimizeUniform, NeverWorseThanLadderAndExhaustive) {
+  for (int bits : {8, 12}) {
+    const QuartetLayout layout(bits);
+    for (std::size_t k : {2u, 3u, 4u}) {
+      const auto result = optimize_uniform(layout, k);
+      EXPECT_LE(result.best_cost, result.ladder_cost)
+          << "bits=" << bits << " k=" << k;
+      EXPECT_EQ(result.candidates,
+                static_cast<int>(enumerate_alphabet_sets(k).size()));
+      // Verify optimality by re-checking every candidate.
+      for (const AlphabetSet& set : enumerate_alphabet_sets(k)) {
+        EXPECT_GE(uniform_constraint_cost(layout, set) + 1e-12,
+                  result.best_cost);
+      }
+    }
+  }
+}
+
+TEST(OptimizeUniform, SingletonIsTrivially1) {
+  const auto result = optimize_uniform(QuartetLayout::bits8(), 1);
+  EXPECT_EQ(result.best, AlphabetSet::man());
+  EXPECT_EQ(result.best_cost, result.ladder_cost);
+}
+
+TEST(OptimizeEmpirical, AdaptsToTheDistribution) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  // A weight population concentrated on magnitudes with quartet value
+  // 9 (unsupported by {1,3}): weights like 9, 25 (R=9), 9<<4 ...
+  std::vector<int> weights;
+  for (int i = 0; i < 50; ++i) {
+    weights.push_back(9);
+    weights.push_back(-9);
+    weights.push_back(0x19);  // R=9, P=1
+  }
+  const auto result = optimize_empirical(layout, 2, weights);
+  // A 2-set containing 9 serves this population with zero error —
+  // strictly better than the ladder {1,3}.
+  EXPECT_TRUE(result.best.contains(9));
+  EXPECT_EQ(result.best_cost, 0.0);
+  EXPECT_GT(result.ladder_cost, 0.0);
+}
+
+TEST(OptimizeEmpirical, EmptyWeightsCostZero) {
+  const auto result =
+      optimize_empirical(QuartetLayout::bits8(), 2, {});
+  EXPECT_EQ(result.best_cost, 0.0);
+}
+
+TEST(EmpiricalCost, MatchesDirectComputation) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  const WeightConstraint wc(layout, AlphabetSet::man());
+  man::util::Rng rng(5);
+  std::vector<int> weights;
+  for (int i = 0; i < 100; ++i) {
+    weights.push_back(static_cast<int>(rng.next_in(-127, 127)));
+  }
+  double expected = 0.0;
+  for (int w : weights) {
+    const double err = w - wc.constrain(w);
+    expected += err * err;
+  }
+  expected /= static_cast<double>(weights.size());
+  EXPECT_NEAR(empirical_constraint_cost(layout, AlphabetSet::man(), weights),
+              expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace man::core

@@ -1,0 +1,140 @@
+// Alphabet-set semantics, anchored to the paper's §III/§IV.A facts.
+#include "man/core/alphabet_set.h"
+
+#include <gtest/gtest.h>
+
+namespace man::core {
+namespace {
+
+TEST(AlphabetSet, CanonicalSetsHaveExpectedMembers) {
+  EXPECT_EQ(AlphabetSet::man().to_string(), "{1}");
+  EXPECT_EQ(AlphabetSet::two().to_string(), "{1,3}");
+  EXPECT_EQ(AlphabetSet::four().to_string(), "{1,3,5,7}");
+  EXPECT_EQ(AlphabetSet::full().to_string(), "{1,3,5,7,9,11,13,15}");
+}
+
+TEST(AlphabetSet, FirstNMatchesCanonical) {
+  EXPECT_EQ(AlphabetSet::first_n(1), AlphabetSet::man());
+  EXPECT_EQ(AlphabetSet::first_n(2), AlphabetSet::two());
+  EXPECT_EQ(AlphabetSet::first_n(4), AlphabetSet::four());
+  EXPECT_EQ(AlphabetSet::first_n(8), AlphabetSet::full());
+  EXPECT_TRUE(AlphabetSet::first_n(0).empty());
+  EXPECT_THROW((void)AlphabetSet::first_n(9), std::invalid_argument);
+}
+
+TEST(AlphabetSet, RejectsInvalidAlphabets) {
+  EXPECT_THROW(AlphabetSet({2}), std::invalid_argument);    // even
+  EXPECT_THROW(AlphabetSet({0}), std::invalid_argument);    // zero
+  EXPECT_THROW(AlphabetSet({17}), std::invalid_argument);   // > 15
+  EXPECT_THROW(AlphabetSet({-3}), std::invalid_argument);   // negative
+  EXPECT_THROW(AlphabetSet({1, 1}), std::invalid_argument); // duplicate
+}
+
+TEST(AlphabetSet, SortsMembers) {
+  const AlphabetSet set{7, 1, 5};
+  EXPECT_EQ(set.to_string(), "{1,5,7}");
+}
+
+// Paper §IV.A: "if we use 4 alphabets {1,3,5,7}, we can generate 12
+// (including 0) out of 16 possible combinations ... the unsupported bit
+// quartet values are {9,11,13,15}".
+TEST(AlphabetSet, PaperFourAlphabetSupportIn4Bits) {
+  const AlphabetSet& four = AlphabetSet::four();
+  EXPECT_EQ(four.supported_values(4).size(), 12u);
+  EXPECT_EQ(four.unsupported_values(4), (std::vector<int>{9, 11, 13, 15}));
+}
+
+// Paper §IV.A: with {1,3}, "we cannot support 5 and 7 for P, while
+// 5, 7, 9, 10, 11, 13, 14, 15 for Q and R".
+TEST(AlphabetSet, PaperTwoAlphabetSupport) {
+  const AlphabetSet& two = AlphabetSet::two();
+  EXPECT_EQ(two.unsupported_values(4),
+            (std::vector<int>{5, 7, 9, 10, 11, 13, 14, 15}));
+  EXPECT_EQ(two.supported_values(4),
+            (std::vector<int>{0, 1, 2, 3, 4, 6, 8, 12}));
+  // P is a 3-bit field (sign bit excluded).
+  EXPECT_EQ(two.unsupported_values(3), (std::vector<int>{5, 7}));
+}
+
+TEST(AlphabetSet, FullSetSupportsEverything) {
+  for (int width = 1; width <= 4; ++width) {
+    EXPECT_TRUE(AlphabetSet::full().unsupported_values(width).empty())
+        << "width " << width;
+  }
+}
+
+TEST(AlphabetSet, ManSupportsExactlyPowersOfTwo) {
+  EXPECT_EQ(AlphabetSet::man().supported_values(4),
+            (std::vector<int>{0, 1, 2, 4, 8}));
+}
+
+TEST(AlphabetSet, ZeroAlwaysSupported) {
+  EXPECT_TRUE(AlphabetSet{}.supports(0, 4));
+  EXPECT_TRUE(AlphabetSet::man().supports(0, 1));
+}
+
+TEST(AlphabetSet, EncodePrefersSmallestAlphabet) {
+  // 12 = 3<<2 but also, with {1,3}, only via 3.
+  const auto enc = AlphabetSet::two().encode(12, 4);
+  ASSERT_TRUE(enc.has_value());
+  EXPECT_EQ(enc->alphabet, 3);
+  EXPECT_EQ(enc->shift, 2);
+  // 4 = 1<<2; smallest alphabet 1 wins even though no other choice.
+  const auto enc4 = AlphabetSet::four().encode(4, 4);
+  ASSERT_TRUE(enc4.has_value());
+  EXPECT_EQ(enc4->alphabet, 1);
+  EXPECT_EQ(enc4->shift, 2);
+}
+
+TEST(AlphabetSet, EncodeReturnsNulloptForUnsupportedAndZero) {
+  EXPECT_FALSE(AlphabetSet::two().encode(5, 4).has_value());
+  EXPECT_FALSE(AlphabetSet::two().encode(0, 4).has_value());
+  EXPECT_FALSE(AlphabetSet::two().encode(16, 4).has_value());
+}
+
+// Property: encoding round-trips for every supported value under every
+// first_n ladder set.
+class AlphabetEncodingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AlphabetEncodingSweep, EncodingReconstructsValue) {
+  const auto [n, width] = GetParam();
+  const AlphabetSet set = AlphabetSet::first_n(static_cast<std::size_t>(n));
+  for (int value = 1; value < (1 << width); ++value) {
+    const auto enc = set.encode(value, width);
+    if (set.supports(value, width)) {
+      ASSERT_TRUE(enc.has_value()) << "value " << value;
+      EXPECT_EQ(enc->alphabet << enc->shift, value);
+      EXPECT_TRUE(set.contains(enc->alphabet));
+    } else {
+      EXPECT_FALSE(enc.has_value()) << "value " << value;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LadderTimesWidth, AlphabetEncodingSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(1, 2, 3, 4)));
+
+// Property: supported set grows monotonically with the ladder.
+TEST(AlphabetSet, SupportMonotoneInLadder) {
+  for (int width = 1; width <= 4; ++width) {
+    for (std::size_t n = 1; n < 8; ++n) {
+      const auto smaller = AlphabetSet::first_n(n).supported_mask(width);
+      const auto larger = AlphabetSet::first_n(n + 1).supported_mask(width);
+      EXPECT_EQ(smaller & larger, smaller)
+          << "n=" << n << " width=" << width;
+    }
+  }
+}
+
+TEST(AlphabetSet, SupportedMaskRejectsBadWidth) {
+  EXPECT_THROW((void)AlphabetSet::man().supported_mask(0),
+               std::invalid_argument);
+  EXPECT_THROW((void)AlphabetSet::man().supported_mask(5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace man::core

@@ -1,0 +1,168 @@
+// ASM multiplier datapath emulation (paper §III, Fig 2). The central
+// property: the datapath is EXACT on representable weights — all
+// approximation lives in the weight constraint.
+#include "man/core/asm_multiplier.h"
+
+#include <gtest/gtest.h>
+
+#include "man/util/rng.h"
+
+namespace man::core {
+namespace {
+
+// Paper Table I, W1: 105·I = 2⁵·(3·I) + 2⁰·(9·I) with the full set.
+TEST(AsmMultiplier, PaperTableOnePlan105) {
+  const AsmMultiplier mult(QuartetLayout::bits8(), AlphabetSet::full());
+  const auto plan = mult.plan(105);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].quartet_index, 0);
+  EXPECT_EQ(plan[0].quartet_value, 9);
+  EXPECT_EQ(plan[0].alphabet, 9);
+  EXPECT_EQ(plan[0].total_shift, 0);
+  EXPECT_EQ(plan[1].quartet_index, 1);
+  EXPECT_EQ(plan[1].quartet_value, 6);
+  EXPECT_EQ(plan[1].alphabet, 3);
+  EXPECT_EQ(plan[1].total_shift, 5);  // 3·2⁵ = 96
+}
+
+// Paper Table I, W2: 66·I = 2⁶·I + 2¹·I.
+TEST(AsmMultiplier, PaperTableOnePlan66) {
+  const AsmMultiplier mult(QuartetLayout::bits8(), AlphabetSet::full());
+  const auto plan = mult.plan(66);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].alphabet, 1);
+  EXPECT_EQ(plan[0].total_shift, 1);
+  EXPECT_EQ(plan[1].alphabet, 1);
+  EXPECT_EQ(plan[1].total_shift, 6);
+}
+
+// Paper §III worked example: 01001010₂·M = (4M)·2⁴ + (10M)·2⁰ where
+// 10M = 5M≪1 and 4M = 1M≪2 with the {1,3,5,7} set.
+TEST(AsmMultiplier, PaperSectionThreeExample74) {
+  const AsmMultiplier mult(QuartetLayout::bits8(), AlphabetSet::four());
+  const auto plan = mult.plan(0b01001010);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].quartet_value, 10);
+  EXPECT_EQ(plan[0].alphabet, 5);
+  EXPECT_EQ(plan[0].alphabet_shift, 1);
+  EXPECT_EQ(plan[0].total_shift, 1);
+  EXPECT_EQ(plan[1].quartet_value, 4);
+  EXPECT_EQ(plan[1].alphabet, 1);
+  EXPECT_EQ(plan[1].total_shift, 6);  // 1·2²·2⁴
+  EXPECT_EQ(mult.multiply(0b01001010, 123), 74 * 123);
+}
+
+TEST(AsmMultiplier, ZeroWeightHasEmptyPlanAndZeroProduct) {
+  const AsmMultiplier mult(QuartetLayout::bits8(), AlphabetSet::man());
+  EXPECT_TRUE(mult.plan(0).empty());
+  EXPECT_EQ(mult.multiply(0, 9999), 0);
+}
+
+// THE exactness property: full alphabet set ⇒ every 8-bit weight
+// multiplies exactly, for positive and negative weights and inputs.
+TEST(AsmMultiplier, FullSetExactForAllWeights8Bit) {
+  const AsmMultiplier mult(QuartetLayout::bits8(), AlphabetSet::full());
+  man::util::Rng rng(7);
+  for (int w = -127; w <= 127; ++w) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto input = static_cast<std::int64_t>(rng.next_in(-4096, 4095));
+      EXPECT_EQ(mult.multiply(w, input), static_cast<std::int64_t>(w) * input)
+          << "w=" << w << " input=" << input;
+    }
+  }
+}
+
+// Exactness on *representable* weights for every ladder set.
+class ExactnessSweep : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(ExactnessSweep, ExactOnRepresentableWeights) {
+  const auto [bits, n_alphabets] = GetParam();
+  const QuartetLayout layout(bits);
+  const AlphabetSet set =
+      AlphabetSet::first_n(static_cast<std::size_t>(n_alphabets));
+  const AsmMultiplier mult(layout, set, UnsupportedPolicy::kThrow);
+  const WeightConstraint wc(layout, set);
+  man::util::Rng rng(13);
+  for (int mag : wc.representable()) {
+    for (int sign : {1, -1}) {
+      const int w = sign * mag;
+      const auto input = static_cast<std::int64_t>(rng.next_in(-255, 255));
+      EXPECT_EQ(mult.multiply(w, input), static_cast<std::int64_t>(w) * input)
+          << "w=" << w;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsTimesLadder, ExactnessSweep,
+    ::testing::Combine(::testing::Values(8, 12),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8)));
+
+// Unsupported weights: kConstrainFirst multiplies the constrained
+// weight; kThrow throws.
+TEST(AsmMultiplier, UnsupportedPolicyBehaviour) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  const AlphabetSet& man_set = AlphabetSet::man();
+  const WeightConstraint wc(layout, man_set);
+  const int unsupported = 0b0001001;  // R=9 unsupported under {1}
+
+  const AsmMultiplier lenient(layout, man_set,
+                              UnsupportedPolicy::kConstrainFirst);
+  const int expected = wc.constrain(unsupported);
+  EXPECT_EQ(lenient.multiply(unsupported, 100), expected * 100);
+
+  const AsmMultiplier strict(layout, man_set, UnsupportedPolicy::kThrow);
+  EXPECT_THROW((void)strict.multiply(unsupported, 100), std::domain_error);
+  EXPECT_THROW((void)strict.plan(unsupported), std::domain_error);
+}
+
+TEST(AsmMultiplier, OpCountsMatchPlanShape) {
+  const AsmMultiplier mult(QuartetLayout::bits8(), AlphabetSet::four());
+  OpCounts counts;
+  // 74 = two non-zero quartets: 2 selects, 2 shifts, 1 partial add;
+  // the {1,3,5,7} bank uses 3 adders.
+  (void)mult.multiply(74, 50, counts);
+  EXPECT_EQ(counts.selects, 2u);
+  EXPECT_EQ(counts.shifts, 2u);
+  EXPECT_EQ(counts.adds, 1u);
+  EXPECT_EQ(counts.negates, 0u);
+  EXPECT_EQ(counts.precomputer_adds, 3u);
+
+  OpCounts neg_counts;
+  (void)mult.multiply(-74, 50, neg_counts);
+  EXPECT_EQ(neg_counts.negates, 1u);
+}
+
+TEST(AsmMultiplier, MultiplyWithBankValidatesSize) {
+  const AsmMultiplier mult(QuartetLayout::bits8(), AlphabetSet::two());
+  OpCounts counts;
+  const std::vector<std::int64_t> wrong_size{100};
+  EXPECT_THROW((void)mult.multiply_with_bank(3, wrong_size, counts),
+               std::invalid_argument);
+}
+
+TEST(AsmMultiplier, NegativeInputsHandled) {
+  const AsmMultiplier mult(QuartetLayout::bits12(), AlphabetSet::two());
+  const WeightConstraint wc(QuartetLayout::bits12(), AlphabetSet::two());
+  for (int mag : {0, 1, 3, 48, 1056}) {
+    ASSERT_TRUE(wc.is_representable(mag));
+    EXPECT_EQ(mult.multiply(mag, -77), static_cast<std::int64_t>(mag) * -77);
+    EXPECT_EQ(mult.multiply(-mag, -77), static_cast<std::int64_t>(-mag) * -77);
+  }
+}
+
+// MAN ({1}) multiplies by any power-of-two-quartet weight exactly.
+TEST(AsmMultiplier, ManMultipliesPowerOfTwoCombinations) {
+  const AsmMultiplier mult(QuartetLayout::bits8(), AlphabetSet::man(),
+                           UnsupportedPolicy::kThrow);
+  for (int p : {0, 1, 2, 4}) {
+    for (int r : {0, 1, 2, 4, 8}) {
+      const int w = (p << 4) | r;
+      EXPECT_EQ(mult.multiply(w, 33), static_cast<std::int64_t>(w) * 33);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace man::core

@@ -1,0 +1,115 @@
+// Quartet layout and sign/magnitude decomposition (paper Fig 4).
+#include "man/core/quartet.h"
+
+#include <gtest/gtest.h>
+
+namespace man::core {
+namespace {
+
+TEST(QuartetLayout, EightBitLayout) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  EXPECT_EQ(layout.total_bits(), 8);
+  EXPECT_EQ(layout.magnitude_bits(), 7);
+  EXPECT_EQ(layout.max_magnitude(), 127);
+  EXPECT_EQ(layout.num_quartets(), 2);
+  EXPECT_EQ(layout.quartet_width(0), 4);  // R
+  EXPECT_EQ(layout.quartet_width(1), 3);  // P (sign bit excluded)
+  EXPECT_EQ(layout.quartet_shift(0), 0);
+  EXPECT_EQ(layout.quartet_shift(1), 4);
+}
+
+TEST(QuartetLayout, TwelveBitLayout) {
+  const QuartetLayout layout = QuartetLayout::bits12();
+  EXPECT_EQ(layout.magnitude_bits(), 11);
+  EXPECT_EQ(layout.max_magnitude(), 2047);
+  EXPECT_EQ(layout.num_quartets(), 3);
+  EXPECT_EQ(layout.quartet_width(0), 4);  // R
+  EXPECT_EQ(layout.quartet_width(1), 4);  // Q
+  EXPECT_EQ(layout.quartet_width(2), 3);  // P
+}
+
+TEST(QuartetLayout, RejectsOutOfRangeBits) {
+  EXPECT_THROW(QuartetLayout(3), std::invalid_argument);
+  EXPECT_THROW(QuartetLayout(21), std::invalid_argument);
+  EXPECT_NO_THROW(QuartetLayout(4));
+  EXPECT_NO_THROW(QuartetLayout(20));
+}
+
+// Paper Table I: W1 = 01101001₂ = 105 decomposes into P=0110 (6) and
+// R=1001 (9) — i.e. 105 = 6·2⁴ + 9.
+TEST(QuartetLayout, PaperTableOneDecomposition) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  const auto q105 = layout.decompose(105);
+  ASSERT_EQ(q105.size(), 2u);
+  EXPECT_EQ(q105[0], 9);  // R (LSB)
+  EXPECT_EQ(q105[1], 6);  // P
+  // W2 = 01000010₂ = 66: R=0010 (2), P=100 (4).
+  const auto q66 = layout.decompose(66);
+  EXPECT_EQ(q66[0], 2);
+  EXPECT_EQ(q66[1], 4);
+}
+
+TEST(QuartetLayout, DecomposeComposeRoundTripAllMagnitudes8) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  for (int mag = 0; mag <= layout.max_magnitude(); ++mag) {
+    EXPECT_EQ(layout.compose(layout.decompose(mag)), mag);
+  }
+}
+
+TEST(QuartetLayout, DecomposeComposeRoundTripAllMagnitudes12) {
+  const QuartetLayout layout = QuartetLayout::bits12();
+  for (int mag = 0; mag <= layout.max_magnitude(); ++mag) {
+    EXPECT_EQ(layout.compose(layout.decompose(mag)), mag);
+  }
+}
+
+TEST(QuartetLayout, DecomposeRejectsOutOfRange) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  EXPECT_THROW((void)layout.decompose(-1), std::out_of_range);
+  EXPECT_THROW((void)layout.decompose(128), std::out_of_range);
+}
+
+TEST(QuartetLayout, ComposeRejectsBadShapes) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  EXPECT_THROW((void)layout.compose({1}), std::invalid_argument);
+  EXPECT_THROW((void)layout.compose({1, 8}), std::out_of_range);  // P > 7
+}
+
+TEST(SignMagnitude, RoundTripsSymmetricRange) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  for (int w = -127; w <= 127; ++w) {
+    const SignMagnitude sm = to_sign_magnitude(w, layout);
+    EXPECT_EQ(sm.magnitude, w < 0 ? -w : w);
+    EXPECT_EQ(sm.negative, w < 0);
+    EXPECT_EQ(from_sign_magnitude(sm), w);
+  }
+}
+
+TEST(SignMagnitude, RejectsAsymmetricMinimum) {
+  const QuartetLayout layout = QuartetLayout::bits8();
+  // -128's magnitude does not fit in 7 bits — excluded by design.
+  EXPECT_THROW((void)to_sign_magnitude(-128, layout), std::out_of_range);
+  EXPECT_THROW((void)to_sign_magnitude(128, layout), std::out_of_range);
+}
+
+// Property sweep: widths 4..20 produce consistent layouts.
+class LayoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutSweep, WidthsSumToMagnitudeBits) {
+  const QuartetLayout layout(GetParam());
+  int sum = 0;
+  for (int q = 0; q < layout.num_quartets(); ++q) {
+    sum += layout.quartet_width(q);
+    if (q < layout.num_quartets() - 1) {
+      EXPECT_EQ(layout.quartet_width(q), 4);
+    }
+  }
+  EXPECT_EQ(sum, layout.magnitude_bits());
+  EXPECT_EQ(layout.max_magnitude(), (1 << layout.magnitude_bits()) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, LayoutSweep,
+                         ::testing::Range(4, 21));
+
+}  // namespace
+}  // namespace man::core

@@ -1,0 +1,178 @@
+// Weight constraining (paper §IV.A, Algorithm 1): nearest-supported
+// rounding with midpoint-up thresholds, representability, and the
+// hierarchical variant.
+#include "man/core/weight_constraint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace man::core {
+namespace {
+
+// Paper's Rounding Logic example: supported neighbours 8 and 12 under
+// {1,3}; threshold (8+12)/2 = 10; 9 -> 8, 10 -> 12, 11 -> 12.
+TEST(RoundQuartet, PaperThresholdExample) {
+  const AlphabetSet& two = AlphabetSet::two();
+  EXPECT_EQ(round_quartet_to_supported(9, 4, two), 8);
+  EXPECT_EQ(round_quartet_to_supported(10, 4, two), 12);
+  EXPECT_EQ(round_quartet_to_supported(11, 4, two), 12);
+}
+
+TEST(RoundQuartet, SupportedValuesPassThrough) {
+  const AlphabetSet& two = AlphabetSet::two();
+  for (int v : two.supported_values(4)) {
+    EXPECT_EQ(round_quartet_to_supported(v, 4, two), v);
+  }
+}
+
+TEST(RoundQuartet, CanRoundUpIntoCarry) {
+  // {1}: supported {0,1,2,4,8}; 13,14,15 are above (8+16)/2 = 12, so
+  // they round up to 16 — a carry into the next quartet.
+  const AlphabetSet& man = AlphabetSet::man();
+  EXPECT_EQ(round_quartet_to_supported(13, 4, man), 16);
+  EXPECT_EQ(round_quartet_to_supported(15, 4, man), 16);
+  // 9,10,11 are below 12 -> down to 8; 12 is at the threshold -> up.
+  EXPECT_EQ(round_quartet_to_supported(9, 4, man), 8);
+  EXPECT_EQ(round_quartet_to_supported(11, 4, man), 8);
+  EXPECT_EQ(round_quartet_to_supported(12, 4, man), 16);
+}
+
+TEST(RoundQuartet, RejectsBadArguments) {
+  EXPECT_THROW((void)round_quartet_to_supported(16, 4, AlphabetSet::man()),
+               std::out_of_range);
+  EXPECT_THROW((void)round_quartet_to_supported(-1, 4, AlphabetSet::man()),
+               std::out_of_range);
+  EXPECT_THROW((void)round_quartet_to_supported(1, 5, AlphabetSet::man()),
+               std::invalid_argument);
+}
+
+TEST(WeightConstraint, RepresentableCountsMatchCombinatorics) {
+  // 8-bit, {1,3}: R has 8 supported values, P has 6 -> 48 magnitudes.
+  const WeightConstraint wc8(QuartetLayout::bits8(), AlphabetSet::two());
+  EXPECT_EQ(wc8.representable().size(), 48u);
+  // 12-bit, {1,3}: R and Q have 8 each, P has 6 -> 384.
+  const WeightConstraint wc12(QuartetLayout::bits12(), AlphabetSet::two());
+  EXPECT_EQ(wc12.representable().size(), 384u);
+  // Full set: everything representable.
+  const WeightConstraint wcf(QuartetLayout::bits8(), AlphabetSet::full());
+  EXPECT_EQ(wcf.representable().size(), 128u);
+  EXPECT_EQ(wcf.mean_absolute_error(), 0.0);
+}
+
+TEST(WeightConstraint, ConstrainIsIdempotentAndRepresentable) {
+  for (const AlphabetSet& set :
+       {AlphabetSet::man(), AlphabetSet::two(), AlphabetSet::four()}) {
+    const WeightConstraint wc(QuartetLayout::bits8(), set);
+    for (int mag = 0; mag <= 127; ++mag) {
+      const int c = wc.constrain_magnitude(mag);
+      EXPECT_TRUE(wc.is_representable(c)) << set.to_string() << " " << mag;
+      EXPECT_EQ(wc.constrain_magnitude(c), c);
+    }
+  }
+}
+
+// Brute-force reference: nearest representable with midpoint-up.
+int brute_force_nearest(const WeightConstraint& wc, int mag) {
+  const auto& rep = wc.representable();
+  int best = rep.front();
+  long best_dist = std::labs(mag - best);
+  for (int r : rep) {
+    const long dist = std::labs(mag - r);
+    // Midpoint up: prefer the larger value on ties.
+    if (dist < best_dist || (dist == best_dist && r > best)) {
+      best = r;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+class ConstraintSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConstraintSweep, LutMatchesBruteForceNearest) {
+  const auto [bits, n_alphabets] = GetParam();
+  const WeightConstraint wc(QuartetLayout(bits),
+                            AlphabetSet::first_n(
+                                static_cast<std::size_t>(n_alphabets)));
+  const int max_mag = wc.layout().max_magnitude();
+  for (int mag = 0; mag <= max_mag; ++mag) {
+    EXPECT_EQ(wc.constrain_magnitude(mag), brute_force_nearest(wc, mag))
+        << "bits=" << bits << " n=" << n_alphabets << " mag=" << mag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsTimesLadder, ConstraintSweep,
+    ::testing::Combine(::testing::Values(8, 12),
+                       ::testing::Values(1, 2, 4, 8)));
+
+TEST_P(ConstraintSweep, HierarchicalIsRepresentableAndClose) {
+  const auto [bits, n_alphabets] = GetParam();
+  const WeightConstraint wc(QuartetLayout(bits),
+                            AlphabetSet::first_n(
+                                static_cast<std::size_t>(n_alphabets)));
+  const int max_mag = wc.layout().max_magnitude();
+  double nearest_error = 0.0;
+  double hier_error = 0.0;
+  for (int mag = 0; mag <= max_mag; ++mag) {
+    const int hier = wc.constrain_magnitude_hierarchical(mag);
+    ASSERT_TRUE(wc.is_representable(hier)) << "mag=" << mag;
+    nearest_error += std::abs(mag - wc.constrain_magnitude(mag));
+    hier_error += std::abs(mag - hier);
+  }
+  // Greedy per-quartet rounding (the paper's Algorithm 1 shape) is
+  // never better than true-nearest. It can be notably worse where a
+  // round-up carry lands on an unsupported neighbour (measured worst
+  // case: ~2.9x total error at 12-bit {1,3,5,7}); bound it at 3x.
+  EXPECT_GE(hier_error, nearest_error);
+  if (nearest_error > 0.0) {
+    EXPECT_LE(hier_error, 3.0 * nearest_error)
+        << "bits=" << bits << " n=" << n_alphabets;
+  }
+}
+
+TEST(WeightConstraint, SignedConstrainPreservesSign) {
+  const WeightConstraint wc(QuartetLayout::bits8(), AlphabetSet::two());
+  for (int w = -127; w <= 127; ++w) {
+    const int c = wc.constrain(w);
+    EXPECT_TRUE(wc.is_weight_representable(c));
+    if (w > 0) EXPECT_GE(c, 0);
+    if (w < 0) EXPECT_LE(c, 0);
+    EXPECT_EQ(wc.constrain(-w), -c);  // odd symmetry
+  }
+}
+
+TEST(WeightConstraint, SaturatesOutOfRangeWeights) {
+  const WeightConstraint wc(QuartetLayout::bits8(), AlphabetSet::two());
+  EXPECT_EQ(wc.constrain(1000), wc.max_representable());
+  EXPECT_EQ(wc.constrain(-1000), -wc.max_representable());
+}
+
+TEST(WeightConstraint, MeanErrorShrinksWithMoreAlphabets) {
+  double previous = 1e9;
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    const WeightConstraint wc(QuartetLayout::bits8(),
+                              AlphabetSet::first_n(n));
+    EXPECT_LT(wc.mean_absolute_error(), previous) << "n=" << n;
+    previous = wc.mean_absolute_error();
+  }
+}
+
+TEST(WeightConstraint, TwelveBitMaxRepresentableIsSane) {
+  // {1}: top quartet P supports {0,1,2,4}, Q and R support
+  // {0,1,2,4,8} -> max = 4<<8 | 8<<4 | 8 = 1160.
+  const WeightConstraint wc(QuartetLayout::bits12(), AlphabetSet::man());
+  EXPECT_EQ(wc.max_representable(), (4 << 8) | (8 << 4) | 8);
+}
+
+TEST(WeightConstraint, ConstrainMagnitudeRejectsOutOfRange) {
+  const WeightConstraint wc(QuartetLayout::bits8(), AlphabetSet::man());
+  EXPECT_THROW((void)wc.constrain_magnitude(-1), std::out_of_range);
+  EXPECT_THROW((void)wc.constrain_magnitude(128), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace man::core

@@ -1,0 +1,129 @@
+// IDX (MNIST format) loader: round-trips on fabricated files, failure
+// injection on corrupt ones.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "man/data/idx_loader.h"
+
+namespace man::data {
+namespace {
+
+void write_be32(std::ofstream& out, std::uint32_t v) {
+  const unsigned char bytes[4] = {
+      static_cast<unsigned char>(v >> 24),
+      static_cast<unsigned char>(v >> 16),
+      static_cast<unsigned char>(v >> 8),
+      static_cast<unsigned char>(v),
+  };
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+class IdxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("man_idx_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Writes a tiny fabricated images/labels pair: `count` images of
+  /// rows×cols, pixel = (index + image) mod 256, label = image mod 10.
+  void write_pair(const std::string& images, const std::string& labels,
+                  int count, int rows, int cols,
+                  std::uint32_t image_magic = 0x0803,
+                  std::uint32_t label_magic = 0x0801,
+                  int label_count = -1) {
+    std::ofstream img(path(images), std::ios::binary);
+    write_be32(img, image_magic);
+    write_be32(img, static_cast<std::uint32_t>(count));
+    write_be32(img, static_cast<std::uint32_t>(rows));
+    write_be32(img, static_cast<std::uint32_t>(cols));
+    for (int n = 0; n < count; ++n) {
+      for (int p = 0; p < rows * cols; ++p) {
+        const char byte = static_cast<char>((p + n) % 256);
+        img.write(&byte, 1);
+      }
+    }
+    std::ofstream lab(path(labels), std::ios::binary);
+    write_be32(lab, label_magic);
+    write_be32(lab, static_cast<std::uint32_t>(
+                        label_count < 0 ? count : label_count));
+    for (int n = 0; n < count; ++n) {
+      const char byte = static_cast<char>(n % 10);
+      lab.write(&byte, 1);
+    }
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IdxTest, LoadsFabricatedPair) {
+  write_pair("img", "lab", 5, 4, 3);
+  const auto examples = load_idx_pair(path("img"), path("lab"));
+  ASSERT_EQ(examples.size(), 5u);
+  EXPECT_EQ(examples[0].pixels.size(), 12u);
+  EXPECT_EQ(examples[2].label, 2);
+  // pixel (p=1, n=2) = 3/255.
+  EXPECT_NEAR(examples[2].pixels[1], 3.0f / 255.0f, 1e-6);
+}
+
+TEST_F(IdxTest, MaxExamplesTruncates) {
+  write_pair("img", "lab", 10, 2, 2);
+  const auto examples = load_idx_pair(path("img"), path("lab"), 3);
+  EXPECT_EQ(examples.size(), 3u);
+}
+
+TEST_F(IdxTest, MissingFileThrows) {
+  write_pair("img", "lab", 2, 2, 2);
+  EXPECT_THROW((void)load_idx_pair(path("nope"), path("lab")),
+               std::runtime_error);
+  EXPECT_THROW((void)load_idx_pair(path("img"), path("nope")),
+               std::runtime_error);
+}
+
+TEST_F(IdxTest, BadMagicThrows) {
+  write_pair("img", "lab", 2, 2, 2, /*image_magic=*/0x1234);
+  EXPECT_THROW((void)load_idx_pair(path("img"), path("lab")),
+               std::runtime_error);
+  write_pair("img2", "lab2", 2, 2, 2, 0x0803, /*label_magic=*/0x9999);
+  EXPECT_THROW((void)load_idx_pair(path("img2"), path("lab2")),
+               std::runtime_error);
+}
+
+TEST_F(IdxTest, CountMismatchThrows) {
+  write_pair("img", "lab", 3, 2, 2, 0x0803, 0x0801, /*label_count=*/4);
+  EXPECT_THROW((void)load_idx_pair(path("img"), path("lab")),
+               std::runtime_error);
+}
+
+TEST_F(IdxTest, TruncatedPayloadThrows) {
+  write_pair("img", "lab", 3, 2, 2);
+  std::filesystem::resize_file(path("img"), 16 + 2 * 4);  // 2 of 3 images
+  EXPECT_THROW((void)load_idx_pair(path("img"), path("lab")),
+               std::runtime_error);
+}
+
+TEST_F(IdxTest, TryLoadMnistReturnsNulloptWhenAbsent) {
+  EXPECT_FALSE(try_load_mnist(dir_.string()).has_value());
+}
+
+TEST_F(IdxTest, TryLoadMnistLoadsCanonicalFiles) {
+  write_pair("train-images-idx3-ubyte", "train-labels-idx1-ubyte", 6, 28, 28);
+  write_pair("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte", 4, 28, 28);
+  const auto ds = try_load_mnist(dir_.string());
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(ds->width, 28);
+  EXPECT_EQ(ds->train.size(), 6u);
+  EXPECT_EQ(ds->test.size(), 4u);
+  EXPECT_NO_THROW(ds->validate());
+}
+
+}  // namespace
+}  // namespace man::data

@@ -1,0 +1,108 @@
+// Structural component cost model sanity: monotonicity, composition,
+// argument validation.
+#include "man/hw/components.h"
+
+#include <gtest/gtest.h>
+
+namespace man::hw {
+namespace {
+
+const TechParams& tech() { return TechParams::generic45nm(); }
+
+TEST(Components, RippleAdderScalesLinearly) {
+  const auto a8 = ripple_adder(8, tech());
+  const auto a16 = ripple_adder(16, tech());
+  EXPECT_NEAR(a16.area_um2, 2.0 * a8.area_um2, 1e-9);
+  EXPECT_NEAR(a16.energy_pj, 2.0 * a8.energy_pj, 1e-9);
+  EXPECT_NEAR(a16.delay_ps, 2.0 * a8.delay_ps, 1e-9);
+}
+
+TEST(Components, FastAdderTradesAreaForDelay) {
+  const auto ripple = ripple_adder(24, tech());
+  const auto fast = fast_adder(24, tech());
+  EXPECT_GT(fast.area_um2, ripple.area_um2);
+  EXPECT_LT(fast.delay_ps, ripple.delay_ps);
+}
+
+TEST(Components, MultiplierGrowsSuperlinearlyInWidth) {
+  const auto m8 = array_multiplier(8, 8, tech());
+  const auto m12 = array_multiplier(12, 12, tech());
+  const auto m16 = array_multiplier(16, 16, tech());
+  // Gate count is ~quadratic: 12²/8² = 2.25.
+  EXPECT_GT(m12.area_um2, 2.0 * m8.area_um2);
+  EXPECT_LT(m12.area_um2, 2.5 * m8.area_um2);
+  EXPECT_GT(m16.energy_pj, 3.5 * m8.energy_pj);
+  EXPECT_GT(m12.delay_ps, m8.delay_ps);
+}
+
+TEST(Components, BarrelShifterStages) {
+  // Shift 0 is fixed wiring: free.
+  const auto none = barrel_shifter(16, 0, tech());
+  EXPECT_EQ(none.area_um2, 0.0);
+  // Shifts up to 3 -> 2 stages; up to 7 -> 3 stages.
+  const auto s3 = barrel_shifter(16, 3, tech());
+  const auto s7 = barrel_shifter(16, 7, tech());
+  EXPECT_NEAR(s7.area_um2 / s3.area_um2, 1.5, 1e-9);
+}
+
+TEST(Components, MuxTreeGrowsWithInputs) {
+  const auto one = mux_tree(1, 16, tech());
+  EXPECT_EQ(one.area_um2, 0.0);  // a wire
+  const auto two = mux_tree(2, 16, tech());
+  const auto four = mux_tree(4, 16, tech());
+  const auto eight = mux_tree(8, 16, tech());
+  EXPECT_NEAR(four.area_um2 / two.area_um2, 3.0, 1e-9);   // 3 vs 1 mux2
+  EXPECT_NEAR(eight.area_um2 / two.area_um2, 7.0, 1e-9);  // 7 vs 1
+  EXPECT_GT(eight.delay_ps, two.delay_ps);
+}
+
+TEST(Components, ActivationLutAreaScalesWithEntries) {
+  const auto small = activation_lut(6, 8, tech());
+  const auto large = activation_lut(10, 8, tech());
+  EXPECT_NEAR(large.area_um2 / small.area_um2, 16.0, 1e-9);
+  // Read energy depends on the output width, not the depth.
+  EXPECT_NEAR(large.energy_pj, small.energy_pj, 1e-12);
+}
+
+TEST(Components, BroadcastBusScalesWithFanout) {
+  const auto f1 = broadcast_bus(12, 1, tech());
+  const auto f4 = broadcast_bus(12, 4, tech());
+  EXPECT_NEAR(f4.energy_pj / f1.energy_pj, 4.0, 1e-9);
+}
+
+TEST(Components, SignNegateAndControlNonTrivial) {
+  const auto sign = sign_negate(16, tech());
+  EXPECT_GT(sign.area_um2, 0.0);
+  const auto ctrl2 = quartet_control(2, tech());
+  const auto ctrl8 = quartet_control(8, tech());
+  EXPECT_GT(ctrl8.area_um2, ctrl2.area_um2);
+}
+
+TEST(Components, CompositionAddsAreaEnergyDelay) {
+  const auto a = ripple_adder(8, tech());
+  const auto b = register_bank(8, tech());
+  const auto sum = a + b;
+  EXPECT_NEAR(sum.area_um2, a.area_um2 + b.area_um2, 1e-9);
+  EXPECT_NEAR(sum.energy_pj, a.energy_pj + b.energy_pj, 1e-12);
+  EXPECT_NEAR(sum.delay_ps, a.delay_ps + b.delay_ps, 1e-9);
+}
+
+TEST(Components, ScaledDividesAreaEnergyOnly) {
+  const auto a = ripple_adder(8, tech());
+  const auto shared = a.scaled(0.25);
+  EXPECT_NEAR(shared.area_um2, a.area_um2 / 4, 1e-9);
+  EXPECT_NEAR(shared.energy_pj, a.energy_pj / 4, 1e-12);
+  EXPECT_EQ(shared.delay_ps, a.delay_ps);
+}
+
+TEST(Components, ValidationThrows) {
+  EXPECT_THROW((void)ripple_adder(0, tech()), std::invalid_argument);
+  EXPECT_THROW((void)array_multiplier(0, 8, tech()), std::invalid_argument);
+  EXPECT_THROW((void)barrel_shifter(8, -1, tech()), std::invalid_argument);
+  EXPECT_THROW((void)mux_tree(0, 8, tech()), std::invalid_argument);
+  EXPECT_THROW((void)broadcast_bus(8, 0, tech()), std::invalid_argument);
+  EXPECT_THROW((void)quartet_control(0, tech()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace man::hw

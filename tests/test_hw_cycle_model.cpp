@@ -1,0 +1,96 @@
+// Cycle-accurate CSHM engine schedule (extension; backs the paper's
+// §VI.E cycle-share argument).
+#include "man/hw/cycle_model.h"
+
+#include <gtest/gtest.h>
+
+#include "man/apps/app_registry.h"
+
+namespace man::hw {
+namespace {
+
+using man::core::AlphabetSet;
+using man::core::MultiplierKind;
+
+NetworkEnergySpec simple_spec() {
+  NetworkEnergySpec spec;
+  spec.name = "test";
+  spec.weight_bits = 8;
+  spec.layers = {
+      {"big", 100000, MultiplierKind::kMan, AlphabetSet::man()},
+      {"small", 1000, MultiplierKind::kMan, AlphabetSet::man()},
+  };
+  return spec;
+}
+
+TEST(CycleModel, IssueCyclesAreMacsOverLanes) {
+  const auto report = schedule_network(simple_spec(), 4);
+  ASSERT_EQ(report.layers.size(), 2u);
+  // 100000/4 = 25000 issue cycles plus a few pipeline-fill cycles.
+  EXPECT_GE(report.layers[0].cycles, 25000u);
+  EXPECT_LE(report.layers[0].cycles, 25000u + 16);
+  EXPECT_GE(report.layers[1].cycles, 250u);
+  EXPECT_EQ(report.total_cycles,
+            report.layers[0].cycles + report.layers[1].cycles);
+}
+
+TEST(CycleModel, SharesSumToOne) {
+  const auto report = schedule_network(simple_spec(), 4);
+  double total = 0.0;
+  for (const auto& layer : report.layers) total += layer.share;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(CycleModel, MoreLanesFewerCycles) {
+  const auto lanes4 = schedule_network(simple_spec(), 4);
+  const auto lanes8 = schedule_network(simple_spec(), 8);
+  EXPECT_LT(lanes8.total_cycles, lanes4.total_cycles);
+  EXPECT_NEAR(static_cast<double>(lanes4.total_cycles) /
+                  static_cast<double>(lanes8.total_cycles),
+              2.0, 0.01);
+}
+
+TEST(CycleModel, LatencyAndThroughputConsistent) {
+  const auto report = schedule_network(simple_spec(), 4);
+  EXPECT_GT(report.latency_us(), 0.0);
+  EXPECT_NEAR(report.inferences_per_second() * report.latency_us(), 1e6,
+              1.0);
+  // 8-bit networks run at 3 GHz (Table V).
+  EXPECT_EQ(report.frequency_ghz, 3.0);
+  const auto spec12 = [] {
+    auto s = simple_spec();
+    s.weight_bits = 12;
+    return s;
+  }();
+  EXPECT_EQ(schedule_network(spec12, 4).frequency_ghz, 2.5);
+}
+
+// The paper's §VI.E anchor: in the 6-layer SVHN network, the last two
+// layers account for a few percent of total processing cycles (paper:
+// 3.84% on their architecture; ours is close but not identical).
+TEST(CycleModel, SvhnTailShareMatchesPaperMagnitude) {
+  const auto spec = man::apps::get_app(man::apps::AppId::kSvhnMlp8)
+                        .energy_spec();
+  const auto report = schedule_network(spec, 4);
+  const double share = tail_cycle_share(report, 2);
+  EXPECT_GT(share, 0.003);
+  EXPECT_LT(share, 0.08);
+}
+
+TEST(CycleModel, TailShareHandlesShortNetworks) {
+  const auto report = schedule_network(simple_spec(), 4);
+  EXPECT_NEAR(tail_cycle_share(report, 10), 1.0, 1e-12);  // all layers
+  EXPECT_GT(tail_cycle_share(report, 1), 0.0);
+}
+
+TEST(CycleModel, EmptyNetwork) {
+  NetworkEnergySpec empty;
+  empty.weight_bits = 8;
+  const auto report = schedule_network(empty, 4);
+  EXPECT_EQ(report.total_cycles, 0u);
+  EXPECT_EQ(report.latency_us(), 0.0);
+  EXPECT_EQ(report.inferences_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace man::hw

@@ -1,0 +1,111 @@
+// Network-level energy accounting (Figs 9, 11).
+#include "man/hw/network_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace man::hw {
+namespace {
+
+using man::core::AlphabetSet;
+using man::core::MultiplierKind;
+
+NetworkEnergySpec two_layer_mlp() {
+  NetworkEnergySpec spec;
+  spec.name = "mlp";
+  spec.weight_bits = 8;
+  spec.layers = {
+      {"hidden", 1024ull * 100, MultiplierKind::kExact, AlphabetSet::full()},
+      {"output", 100ull * 10, MultiplierKind::kExact, AlphabetSet::full()},
+  };
+  return spec;
+}
+
+TEST(NetworkCost, TotalMacs) {
+  EXPECT_EQ(two_layer_mlp().total_macs(), 1024ull * 100 + 100 * 10);
+}
+
+TEST(NetworkCost, EnergySumsLayerEnergies) {
+  const auto report = compute_network_energy(two_layer_mlp());
+  ASSERT_EQ(report.layer_energy_pj.size(), 2u);
+  EXPECT_NEAR(report.total_energy_pj,
+              report.layer_energy_pj[0] + report.layer_energy_pj[1], 1e-9);
+  EXPECT_GT(report.total_energy_pj, 0.0);
+}
+
+TEST(NetworkCost, CycleSharesSumToOne) {
+  const auto report = compute_network_energy(two_layer_mlp());
+  double total = 0.0;
+  for (double share : report.layer_cycle_share) total += share;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // The hidden layer dominates (102400 of 103400 MACs).
+  EXPECT_GT(report.layer_cycle_share[0], 0.98);
+}
+
+TEST(NetworkCost, UniformManCheaperThanConventional) {
+  const auto conv = compute_network_energy(two_layer_mlp());
+  const auto man_spec = with_uniform_scheme(
+      two_layer_mlp(), MultiplierKind::kMan, AlphabetSet::man());
+  const auto man_report = compute_network_energy(man_spec);
+  EXPECT_LT(man_report.total_energy_pj, conv.total_energy_pj);
+  // Savings band mirrors the neuron-level MAN reduction (Fig 9 shows
+  // network savings tracking the neuron savings).
+  const double saving =
+      1.0 - man_report.total_energy_pj / conv.total_energy_pj;
+  EXPECT_NEAR(saving, 0.35, 0.10);
+}
+
+TEST(NetworkCost, MixedPlanCostsBetweenUniformExtremes) {
+  // Fig 11 recipe: MAN everywhere except a 4-alphabet output layer.
+  NetworkEnergySpec mixed = two_layer_mlp();
+  mixed.layers[0].multiplier = MultiplierKind::kMan;
+  mixed.layers[0].alphabets = AlphabetSet::man();
+  mixed.layers[1].multiplier = MultiplierKind::kAsm;
+  mixed.layers[1].alphabets = AlphabetSet::four();
+
+  const auto man_only = compute_network_energy(with_uniform_scheme(
+      two_layer_mlp(), MultiplierKind::kMan, AlphabetSet::man()));
+  const auto conv = compute_network_energy(two_layer_mlp());
+  const auto mixed_report = compute_network_energy(mixed);
+
+  EXPECT_GT(mixed_report.total_energy_pj, man_only.total_energy_pj);
+  EXPECT_LT(mixed_report.total_energy_pj, conv.total_energy_pj);
+  // The overhead over MAN-only is small because the output layer is a
+  // tiny share of the cycles (paper: "this increase is quite small in
+  // practice").
+  const double overhead = mixed_report.total_energy_pj /
+                              man_only.total_energy_pj -
+                          1.0;
+  EXPECT_LT(overhead, 0.05);
+}
+
+TEST(NetworkCost, EmptyNetworkIsZero) {
+  NetworkEnergySpec empty;
+  empty.weight_bits = 8;
+  const auto report = compute_network_energy(empty);
+  EXPECT_EQ(report.total_energy_pj, 0.0);
+  EXPECT_EQ(empty.total_macs(), 0u);
+}
+
+TEST(NetworkCost, LargerNetworksSaveProportionallyMore) {
+  // Fig 9: "energy savings increases almost linearly with the increase
+  // in NN size" — absolute savings scale with MAC count.
+  NetworkEnergySpec small = two_layer_mlp();
+  NetworkEnergySpec large = two_layer_mlp();
+  for (auto& layer : large.layers) layer.macs *= 10;
+
+  const auto small_conv = compute_network_energy(small);
+  const auto small_man = compute_network_energy(with_uniform_scheme(
+      small, MultiplierKind::kMan, AlphabetSet::man()));
+  const auto large_conv = compute_network_energy(large);
+  const auto large_man = compute_network_energy(with_uniform_scheme(
+      large, MultiplierKind::kMan, AlphabetSet::man()));
+
+  const double small_saving =
+      small_conv.total_energy_pj - small_man.total_energy_pj;
+  const double large_saving =
+      large_conv.total_energy_pj - large_man.total_energy_pj;
+  EXPECT_NEAR(large_saving / small_saving, 10.0, 0.2);
+}
+
+}  // namespace
+}  // namespace man::hw

@@ -1,0 +1,222 @@
+// Layer forward/backward correctness, including finite-difference
+// gradient checks for every parameterized layer type.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "man/nn/activation_layer.h"
+#include "man/nn/conv2d.h"
+#include "man/nn/dense.h"
+#include "man/nn/loss.h"
+#include "man/nn/pool.h"
+#include "man/util/rng.h"
+
+namespace man::nn {
+namespace {
+
+// Scalar loss used for gradient checking: L = Σ c_i · y_i with fixed
+// random coefficients (gives a non-trivial, exactly-differentiable
+// objective).
+struct ProbeLoss {
+  std::vector<float> coeffs;
+  explicit ProbeLoss(std::size_t n, man::util::Rng& rng) {
+    coeffs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      coeffs.push_back(static_cast<float>(rng.next_double_in(-1.0, 1.0)));
+    }
+  }
+  [[nodiscard]] double value(const Tensor& y) const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) acc += coeffs[i] * y[i];
+    return acc;
+  }
+  [[nodiscard]] Tensor grad(const Shape& shape) const {
+    Tensor g(shape);
+    for (std::size_t i = 0; i < g.size(); ++i) g[i] = coeffs[i];
+    return g;
+  }
+};
+
+// Checks dL/dparam and dL/dinput of `layer` against central
+// differences.
+void check_gradients(Layer& layer, const Tensor& input, double tol = 2e-2) {
+  man::util::Rng rng(99);
+  Tensor x = input;
+  Tensor y = layer.forward(x);
+  ProbeLoss probe(y.size(), rng);
+
+  layer.zero_grad();
+  y = layer.forward(x);
+  const Tensor grad_in = layer.backward(probe.grad(y.shape()));
+
+  // Parameter gradients.
+  for (const ParamRef& ref : layer.params()) {
+    for (std::size_t i = 0; i < ref.value.size();
+         i += std::max<std::size_t>(1, ref.value.size() / 17)) {
+      const float saved = ref.value[i];
+      const float h = 1e-3f;
+      ref.value[i] = saved + h;
+      const double up = probe.value(layer.forward(x));
+      ref.value[i] = saved - h;
+      const double down = probe.value(layer.forward(x));
+      ref.value[i] = saved;
+      const double numeric = (up - down) / (2.0 * h);
+      EXPECT_NEAR(ref.grad[i], numeric,
+                  tol * std::max(1.0, std::abs(numeric)))
+          << "param index " << i;
+    }
+  }
+  // Input gradients.
+  for (std::size_t i = 0; i < x.size();
+       i += std::max<std::size_t>(1, x.size() / 13)) {
+    const float saved = x[i];
+    const float h = 1e-3f;
+    x[i] = saved + h;
+    const double up = probe.value(layer.forward(x));
+    x[i] = saved - h;
+    const double down = probe.value(layer.forward(x));
+    x[i] = saved;
+    const double numeric = (up - down) / (2.0 * h);
+    EXPECT_NEAR(grad_in[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "input index " << i;
+  }
+}
+
+Tensor random_tensor(Shape shape, man::util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.next_double_in(-1.0, 1.0));
+  }
+  return t;
+}
+
+TEST(Dense, ForwardMatchesManualComputation) {
+  Dense dense(2, 2);
+  auto params = dense.params();
+  // W = [[1,2],[3,4]], b = [0.5, -0.5]
+  params[0].value[0] = 1; params[0].value[1] = 2;
+  params[0].value[2] = 3; params[0].value[3] = 4;
+  params[1].value[0] = 0.5f; params[1].value[1] = -0.5f;
+  const Tensor y = dense.forward(Tensor::from_vector({10, 20}));
+  EXPECT_FLOAT_EQ(y[0], 1 * 10 + 2 * 20 + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 3 * 10 + 4 * 20 - 0.5f);
+}
+
+TEST(Dense, GradientCheck) {
+  man::util::Rng rng(1);
+  Dense dense(6, 4);
+  dense.init_xavier(rng);
+  check_gradients(dense, random_tensor(Shape{6}, rng));
+}
+
+TEST(Dense, Validation) {
+  EXPECT_THROW(Dense(0, 5), std::invalid_argument);
+  Dense dense(3, 2);
+  EXPECT_THROW((void)dense.forward(Tensor::from_vector({1, 2})),
+               std::invalid_argument);
+  Dense fresh(3, 2);
+  EXPECT_THROW((void)fresh.backward(Tensor::from_vector({1, 2})),
+               std::logic_error);  // backward before forward
+}
+
+TEST(Conv2D, ForwardMatchesManualComputation) {
+  Conv2D conv(1, 1, 2, 3, 3);
+  auto params = conv.params();
+  // kernel [[1,0],[0,1]] (trace), bias 1.
+  params[0].value[0] = 1; params[0].value[1] = 0;
+  params[0].value[2] = 0; params[0].value[3] = 1;
+  params[1].value[0] = 1.0f;
+  Tensor x(Shape{1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor y = conv.forward(x);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_FLOAT_EQ(y[0], 1 + 5 + 1);  // (0,0): x00 + x11 + bias
+  EXPECT_FLOAT_EQ(y[1], 2 + 6 + 1);
+  EXPECT_FLOAT_EQ(y[2], 4 + 8 + 1);
+  EXPECT_FLOAT_EQ(y[3], 5 + 9 + 1);
+}
+
+TEST(Conv2D, GradientCheck) {
+  man::util::Rng rng(2);
+  Conv2D conv(2, 3, 3, 6, 6);
+  conv.init_xavier(rng);
+  check_gradients(conv, random_tensor(Shape{2, 6, 6}, rng));
+}
+
+TEST(Conv2D, MacsPerInference) {
+  const Conv2D conv(6, 12, 5, 14, 14);
+  EXPECT_EQ(conv.macs_per_inference(), 12ull * 10 * 10 * 6 * 5 * 5);
+}
+
+TEST(Conv2D, Validation) {
+  EXPECT_THROW(Conv2D(1, 1, 5, 3, 3), std::invalid_argument);  // kernel > in
+  EXPECT_THROW(Conv2D(0, 1, 3, 8, 8), std::invalid_argument);
+}
+
+TEST(AvgPool2D, ForwardAveragesWindows) {
+  AvgPool2D pool(1, 4, 4, 2);
+  Tensor x(Shape{1, 4, 4},
+           {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_FLOAT_EQ(y[0], (1 + 2 + 5 + 6) / 4.0f);
+  EXPECT_FLOAT_EQ(y[3], (11 + 12 + 15 + 16) / 4.0f);
+}
+
+TEST(AvgPool2D, BackwardDistributesEvenly) {
+  AvgPool2D pool(1, 2, 2, 2);
+  (void)pool.forward(Tensor(Shape{1, 2, 2}, {1, 2, 3, 4}));
+  const Tensor g = pool.backward(Tensor::from_vector({8.0f}));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], 2.0f);
+}
+
+TEST(AvgPool2D, Validation) {
+  EXPECT_THROW(AvgPool2D(1, 5, 4, 2), std::invalid_argument);  // 5 % 2 != 0
+}
+
+TEST(ActivationLayer, GradientCheckSigmoidTanh) {
+  man::util::Rng rng(3);
+  for (auto kind :
+       {man::core::ActivationKind::kSigmoid, man::core::ActivationKind::kTanh,
+        man::core::ActivationKind::kIdentity}) {
+    ActivationLayer layer(kind);
+    check_gradients(layer, random_tensor(Shape{10}, rng));
+  }
+}
+
+TEST(ActivationLayer, HasNoParams) {
+  ActivationLayer layer(man::core::ActivationKind::kSigmoid);
+  EXPECT_TRUE(layer.params().empty());
+  EXPECT_FALSE(layer.has_weights());
+  EXPECT_EQ(layer.num_params(), 0u);
+}
+
+TEST(Loss, SoftmaxSumsToOne) {
+  const Tensor probs = softmax(Tensor::from_vector({1.0f, 2.0f, 3.0f}));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) sum += probs[i];
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(probs[2], probs[1]);
+}
+
+TEST(Loss, CrossEntropyGradientIsSoftmaxMinusOneHot) {
+  const Tensor logits = Tensor::from_vector({0.2f, -0.3f, 1.1f});
+  const LossResult loss = softmax_cross_entropy(logits, 1);
+  const Tensor probs = softmax(logits);
+  EXPECT_NEAR(loss.grad[0], probs[0], 1e-6);
+  EXPECT_NEAR(loss.grad[1], probs[1] - 1.0f, 1e-6);
+  EXPECT_NEAR(loss.grad[2], probs[2], 1e-6);
+  EXPECT_GT(loss.value, 0.0);
+  EXPECT_THROW((void)softmax_cross_entropy(logits, 3), std::out_of_range);
+}
+
+TEST(Loss, MseZeroAtTarget) {
+  const Tensor y = Tensor::from_vector({0.25f, 0.75f});
+  const LossResult loss = mse(y, y);
+  EXPECT_EQ(loss.value, 0.0);
+  EXPECT_EQ(loss.grad[0], 0.0f);
+  EXPECT_THROW((void)mse(y, Tensor::from_vector({1.0f})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace man::nn

@@ -1,0 +1,100 @@
+// Model serialization cache: round-trips, key binding, corruption.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "man/nn/activation_layer.h"
+#include "man/nn/dense.h"
+#include "man/nn/model_io.h"
+#include "man/util/rng.h"
+
+namespace man::nn {
+namespace {
+
+Network make_net(std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  Network net;
+  net.add<Dense>(4, 6).init_xavier(rng);
+  net.add<ActivationLayer>(man::core::ActivationKind::kSigmoid);
+  net.add<Dense>(6, 3).init_xavier(rng);
+  return net;
+}
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("man_model_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ModelIoTest, SaveLoadRoundTrip) {
+  Network original = make_net(1);
+  ASSERT_TRUE(save_params(original, path("model.bin"), "key-a"));
+
+  Network restored = make_net(2);  // different init
+  ASSERT_TRUE(load_params(restored, path("model.bin"), "key-a"));
+
+  const auto a = original.snapshot_params();
+  const auto b = restored.snapshot_params();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_F(ModelIoTest, WrongKeyRejected) {
+  Network net = make_net(3);
+  ASSERT_TRUE(save_params(net, path("model.bin"), "key-a"));
+  Network other = make_net(4);
+  EXPECT_FALSE(load_params(other, path("model.bin"), "key-b"));
+}
+
+TEST_F(ModelIoTest, MissingFileRejected) {
+  Network net = make_net(5);
+  EXPECT_FALSE(load_params(net, path("nonexistent.bin"), "key"));
+}
+
+TEST_F(ModelIoTest, WrongShapeRejected) {
+  Network net = make_net(6);
+  ASSERT_TRUE(save_params(net, path("model.bin"), "key"));
+  man::util::Rng rng(7);
+  Network bigger;
+  bigger.add<Dense>(4, 7).init_xavier(rng);  // mismatched hidden size
+  bigger.add<Dense>(7, 3).init_xavier(rng);
+  EXPECT_FALSE(load_params(bigger, path("model.bin"), "key"));
+}
+
+TEST_F(ModelIoTest, CorruptMagicRejected) {
+  Network net = make_net(8);
+  ASSERT_TRUE(save_params(net, path("model.bin"), "key"));
+  {
+    std::fstream f(path("model.bin"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    const char junk[4] = {'J', 'U', 'N', 'K'};
+    f.write(junk, 4);
+  }
+  Network other = make_net(9);
+  EXPECT_FALSE(load_params(other, path("model.bin"), "key"));
+}
+
+TEST_F(ModelIoTest, TruncatedFileRejected) {
+  Network net = make_net(10);
+  ASSERT_TRUE(save_params(net, path("model.bin"), "key"));
+  const auto full_size = std::filesystem::file_size(path("model.bin"));
+  std::filesystem::resize_file(path("model.bin"), full_size / 2);
+  Network other = make_net(11);
+  EXPECT_FALSE(load_params(other, path("model.bin"), "key"));
+}
+
+}  // namespace
+}  // namespace man::nn

@@ -1,0 +1,241 @@
+// Constraint projection (Algorithm 1 applied during training) and the
+// Algorithm 2 methodology loop.
+#include <gtest/gtest.h>
+
+#include "man/nn/activation_layer.h"
+#include "man/nn/algorithm2.h"
+#include "man/nn/dense.h"
+#include "man/nn/network.h"
+#include "man/nn/sgd.h"
+#include "man/nn/trainer.h"
+#include "man/util/rng.h"
+
+namespace man::nn {
+namespace {
+
+using man::core::AlphabetSet;
+using man::core::QuartetLayout;
+using man::core::WeightConstraint;
+using man::data::Example;
+
+std::vector<Example> make_blobs(int per_class, std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  std::vector<Example> examples;
+  for (int i = 0; i < per_class; ++i) {
+    for (int label = 0; label < 2; ++label) {
+      const double cx = label == 0 ? 0.25 : 0.75;
+      Example ex;
+      ex.pixels = {static_cast<float>(cx + rng.next_gaussian() * 0.08),
+                   static_cast<float>(cx + rng.next_gaussian() * 0.08)};
+      ex.label = label;
+      examples.push_back(ex);
+    }
+  }
+  return examples;
+}
+
+Network make_mlp(std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  Network net;
+  net.add<Dense>(2, 8).init_xavier(rng);
+  net.add<ActivationLayer>(man::core::ActivationKind::kSigmoid);
+  net.add<Dense>(8, 2).init_xavier(rng);
+  return net;
+}
+
+TEST(ProjectionPlan, ProjectedWeightsAreRepresentable) {
+  const QuantSpec spec = QuantSpec::bits8();
+  const ProjectionPlan plan(spec, AlphabetSet::man(), 2);
+  const WeightConstraint wc(QuartetLayout::bits8(), AlphabetSet::man());
+
+  man::util::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const float w = static_cast<float>(rng.next_double_in(-2.5, 2.5));
+    const float projected = plan.project_weight(0, w);
+    const auto raw = spec.weight_format.quantize(projected);
+    EXPECT_TRUE(wc.is_weight_representable(raw)) << "w=" << w;
+    // Idempotence.
+    EXPECT_EQ(plan.project_weight(0, projected), projected);
+  }
+}
+
+TEST(ProjectionPlan, FullSetProjectionIsPlainQuantization) {
+  const QuantSpec spec = QuantSpec::bits8();
+  const ProjectionPlan plan(spec, AlphabetSet::full(), 1);
+  man::util::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const float w = static_cast<float>(rng.next_double_in(-1.9, 1.9));
+    EXPECT_EQ(plan.project_weight(0, w), quantize_weight(w, spec));
+  }
+}
+
+TEST(ProjectionPlan, BiasOnlyQuantized) {
+  const ProjectionPlan plan(QuantSpec::bits8(), AlphabetSet::man(), 1);
+  // 9/64 has an unsupported magnitude (9) as a weight, but biases are
+  // not constrained — only snapped to the grid.
+  const float b = 9.0f / 64.0f;
+  EXPECT_EQ(plan.project_bias(b), b);
+  const float w = plan.project_weight(0, b);
+  EXPECT_NE(w, b);  // weight gets constrained to 8/64
+  EXPECT_FLOAT_EQ(w, 8.0f / 64.0f);
+}
+
+TEST(ProjectionPlan, MixedPerLayerSets) {
+  const ProjectionPlan plan(QuantSpec::bits8(),
+                            {AlphabetSet::man(), AlphabetSet::four()});
+  EXPECT_EQ(plan.layer_set(0), AlphabetSet::man());
+  EXPECT_EQ(plan.layer_set(1), AlphabetSet::four());
+  EXPECT_THROW((void)plan.layer_set(2), std::out_of_range);
+  // 9/64: unsupported under {1} (rounds to 8/64) but supported under
+  // {1,3,5,7} (9 = 9? no — 9 unsupported under {1,3,5,7} too; use 5).
+  const float five = 5.0f / 64.0f;
+  EXPECT_FLOAT_EQ(plan.project_weight(1, five), five);
+  EXPECT_NE(plan.project_weight(0, five), five);
+}
+
+TEST(ProjectionPlan, ProjectNetworkConstrainsEverything) {
+  Network net = make_mlp(41);
+  const QuantSpec spec = QuantSpec::bits8();
+  const ProjectionPlan plan(spec, AlphabetSet::two(), 2);
+  plan.project_network(net);
+
+  const WeightConstraint wc(QuartetLayout::bits8(), AlphabetSet::two());
+  for (const ParamRef& ref : net.params()) {
+    for (float v : ref.value) {
+      const auto raw = spec.weight_format.quantize(v);
+      if (ref.kind == ParamKind::kWeight) {
+        EXPECT_TRUE(wc.is_weight_representable(raw));
+      }
+      // Both kinds are on the quantization grid.
+      EXPECT_EQ(static_cast<float>(spec.weight_format.dequantize(raw)), v);
+    }
+  }
+}
+
+TEST(SgdProjection, LiveWeightsStayConstrainedDuringTraining) {
+  Network net = make_mlp(43);
+  const auto train = make_blobs(50, 10);
+
+  Sgd::Options opts;
+  opts.learning_rate = 0.1;
+  opts.projection = ProjectionPlan(QuantSpec::bits8(), AlphabetSet::man(), 2);
+  Sgd optimizer(net, opts);
+
+  const WeightConstraint wc(QuartetLayout::bits8(), AlphabetSet::man());
+  const QuantSpec spec = QuantSpec::bits8();
+  TrainerConfig config;
+  config.epochs = 3;
+  config.on_epoch = [&](const EpochStats&) {
+    for (const ParamRef& ref : net.params()) {
+      if (ref.kind != ParamKind::kWeight) continue;
+      for (float v : ref.value) {
+        EXPECT_TRUE(
+            wc.is_weight_representable(spec.weight_format.quantize(v)));
+      }
+    }
+    return true;
+  };
+  (void)fit(net, optimizer, train, config);
+}
+
+TEST(SgdProjection, MastersAccumulateSmallUpdates) {
+  // A single weight receiving tiny gradients must eventually move,
+  // even though each step is below the quantization threshold — this
+  // is why the optimizer keeps float masters.
+  Network net;
+  net.add<Dense>(1, 1);
+  Sgd::Options opts;
+  opts.learning_rate = 0.001;  // step = 1e-3 << 1/128 threshold
+  opts.momentum = 0.0;
+  opts.projection = ProjectionPlan(QuantSpec::bits8(), AlphabetSet::man(), 1);
+  Sgd optimizer(net, opts);
+
+  const auto refs = net.params();
+  const float initial = refs[0].value[0];
+  for (int step = 0; step < 40; ++step) {
+    refs[0].grad[0] = -1.0f;  // constant pull upward
+    refs[1].grad[0] = 0.0f;
+    optimizer.step(1);
+  }
+  EXPECT_GT(refs[0].value[0], initial);  // 40 × 1e-3 crossed a grid step
+}
+
+TEST(Algorithm2, MeetsQualityOnEasyProblem) {
+  Network net = make_mlp(47);
+  const auto train = make_blobs(120, 21);
+  const auto test = make_blobs(60, 22);
+
+  Algorithm2Config config;
+  config.quant = QuantSpec::bits8();
+  config.quality_constraint = 0.95;
+  config.baseline_training.epochs = 15;
+  config.retraining.epochs = 8;
+  config.retrain_lr = 0.02;
+
+  const Algorithm2Result result = run_algorithm2(net, train, test, config);
+  EXPECT_GT(result.baseline_accuracy, 0.9);
+  ASSERT_FALSE(result.steps.empty());
+  EXPECT_TRUE(result.satisfied);
+  // The paper starts the ladder at 1 alphabet; an easy problem should
+  // be satisfied immediately.
+  EXPECT_EQ(result.steps.front().num_alphabets, 1u);
+  EXPECT_EQ(result.chosen_alphabets,
+            result.steps.back().num_alphabets);
+  for (const auto& step : result.steps) {
+    EXPECT_GE(step.accuracy, 0.0);
+    EXPECT_LE(step.accuracy, 1.0);
+  }
+}
+
+TEST(Algorithm2, LadderRespectsConfiguredRungs) {
+  Network net = make_mlp(53);
+  const auto train = make_blobs(40, 31);
+  const auto test = make_blobs(20, 32);
+
+  Algorithm2Config config;
+  // Impossible bound: K >= 5·J cannot hold once the baseline learns
+  // anything (J >= 0.5 on separable blobs while K <= 1).
+  config.quality_constraint = 5.0;
+  config.alphabet_ladder = {1, 2};
+  config.baseline_training.epochs = 5;
+  config.retraining.epochs = 2;
+
+  const Algorithm2Result result = run_algorithm2(net, train, test, config);
+  EXPECT_FALSE(result.satisfied);
+  ASSERT_EQ(result.steps.size(), 2u);
+  EXPECT_EQ(result.steps[0].num_alphabets, 1u);
+  EXPECT_EQ(result.steps[1].num_alphabets, 2u);
+  EXPECT_EQ(result.chosen_alphabets, 2u);  // falls back to the last rung
+}
+
+TEST(RetrainConstrained, ImprovesOverHardProjection) {
+  // Constrained retraining should do at least as well as projecting
+  // the trained weights with no retraining at all.
+  Network net = make_mlp(59);
+  const auto train = make_blobs(150, 41);
+  const auto test = make_blobs(80, 42);
+
+  Sgd optimizer(net, {.learning_rate = 0.1});
+  TrainerConfig base_cfg;
+  base_cfg.epochs = 15;
+  (void)fit(net, optimizer, train, base_cfg);
+
+  const ProjectionPlan plan(QuantSpec::bits8(), AlphabetSet::man(), 2);
+
+  // Hard projection, no retraining.
+  Network projected = make_mlp(59);
+  projected.restore_params(net.snapshot_params());
+  plan.project_network(projected);
+  const double projected_acc = evaluate_accuracy(projected, test);
+
+  // Retraining with the constraint in place.
+  TrainerConfig retrain_cfg;
+  retrain_cfg.epochs = 8;
+  const double retrained_acc =
+      retrain_constrained(net, train, test, plan, retrain_cfg, 0.02);
+
+  EXPECT_GE(retrained_acc + 1e-9, projected_acc);
+}
+
+}  // namespace
+}  // namespace man::nn

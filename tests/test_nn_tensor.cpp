@@ -1,0 +1,62 @@
+// Tensor and shape semantics.
+#include "man/nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace man::nn {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.elements(), 24u);
+  EXPECT_EQ(s.to_string(), "[2x3x4]");
+}
+
+TEST(Shape, Validation) {
+  EXPECT_THROW(Shape({}), std::invalid_argument);
+  EXPECT_THROW(Shape({1, 2, 3, 4, 5}), std::invalid_argument);
+  EXPECT_THROW(Shape({0}), std::invalid_argument);
+  EXPECT_THROW(Shape({-1, 2}), std::invalid_argument);
+  const Shape s{2};
+  EXPECT_THROW((void)s.dim(1), std::out_of_range);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t(Shape{3, 3});
+  EXPECT_EQ(t.size(), 9u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FromVectorAndArgmax) {
+  Tensor t = Tensor::from_vector({0.5f, -1.0f, 3.0f, 2.0f});
+  EXPECT_EQ(t.shape().rank(), 1);
+  EXPECT_EQ(t.argmax(), 2);
+  EXPECT_EQ(Tensor{}.argmax(), -1);
+}
+
+TEST(Tensor, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndReshape) {
+  Tensor t(Shape{2, 6});
+  t.fill(2.5f);
+  EXPECT_EQ(t[11], 2.5f);
+  t.reshape(Shape{3, 4});
+  EXPECT_EQ(t.shape(), (Shape{3, 4}));
+  EXPECT_THROW(t.reshape(Shape{5}), std::invalid_argument);
+}
+
+TEST(Tensor, At3IndexesChannelRowCol) {
+  Tensor t(Shape{2, 2, 3});
+  t.at3(1, 1, 2, 2, 3) = 7.0f;
+  // (c*height + h)*width + w = (1*2+1)*3+2 = 11
+  EXPECT_EQ(t[11], 7.0f);
+  EXPECT_EQ(t.at3(1, 1, 2, 2, 3), 7.0f);
+}
+
+}  // namespace
+}  // namespace man::nn

@@ -1,0 +1,181 @@
+// Training loop correctness: networks learn separable problems, the
+// trainer honours its configuration, snapshots restore.
+#include <gtest/gtest.h>
+
+#include "man/nn/activation_layer.h"
+#include "man/nn/dense.h"
+#include "man/nn/network.h"
+#include "man/nn/sgd.h"
+#include "man/nn/trainer.h"
+#include "man/util/rng.h"
+
+namespace man::nn {
+namespace {
+
+using man::core::ActivationKind;
+using man::data::Example;
+
+// Two noisy Gaussian blobs in 2-D: linearly separable.
+std::vector<Example> make_blobs(int per_class, std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  std::vector<Example> examples;
+  for (int i = 0; i < per_class; ++i) {
+    for (int label = 0; label < 2; ++label) {
+      const double cx = label == 0 ? 0.25 : 0.75;
+      Example ex;
+      ex.pixels = {
+          static_cast<float>(cx + rng.next_gaussian() * 0.08),
+          static_cast<float>(cx + rng.next_gaussian() * 0.08),
+      };
+      ex.label = label;
+      examples.push_back(ex);
+    }
+  }
+  return examples;
+}
+
+// XOR: requires the hidden layer (not linearly separable).
+std::vector<Example> make_xor() {
+  std::vector<Example> examples;
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      Example ex;
+      ex.pixels = {static_cast<float>(a), static_cast<float>(b)};
+      ex.label = a ^ b;
+      examples.push_back(ex);
+    }
+  }
+  return examples;
+}
+
+Network make_mlp(int in, int hidden, int out, std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  Network net;
+  net.add<Dense>(in, hidden).init_xavier(rng);
+  net.add<ActivationLayer>(ActivationKind::kTanh);
+  net.add<Dense>(hidden, out).init_xavier(rng);
+  return net;
+}
+
+TEST(Training, LearnsLinearlySeparableBlobs) {
+  Network net = make_mlp(2, 4, 2, 7);
+  Sgd optimizer(net, {.learning_rate = 0.1});
+  const auto train = make_blobs(100, 1);
+  const auto test = make_blobs(50, 2);
+
+  TrainerConfig config;
+  config.epochs = 20;
+  config.batch_size = 8;
+  (void)fit(net, optimizer, train, config);
+  EXPECT_GT(evaluate_accuracy(net, test), 0.97);
+}
+
+TEST(Training, LearnsXor) {
+  Network net = make_mlp(2, 8, 2, 11);
+  Sgd optimizer(net, {.learning_rate = 0.5, .momentum = 0.9});
+  const auto data = make_xor();
+
+  TrainerConfig config;
+  config.epochs = 500;
+  config.batch_size = 4;
+  (void)fit(net, optimizer, data, config);
+  EXPECT_EQ(evaluate_accuracy(net, data), 1.0);
+}
+
+TEST(Training, EpochCallbackCanStopEarly) {
+  Network net = make_mlp(2, 4, 2, 13);
+  Sgd optimizer(net, {.learning_rate = 0.1});
+  const auto train = make_blobs(20, 3);
+
+  int epochs_seen = 0;
+  TrainerConfig config;
+  config.epochs = 50;
+  config.on_epoch = [&](const EpochStats& stats) {
+    epochs_seen = stats.epoch + 1;
+    return stats.epoch < 2;  // stop after the 3rd epoch
+  };
+  (void)fit(net, optimizer, train, config);
+  EXPECT_EQ(epochs_seen, 3);
+}
+
+TEST(Training, LossDecreasesOnAverage) {
+  Network net = make_mlp(2, 6, 2, 17);
+  Sgd optimizer(net, {.learning_rate = 0.1});
+  const auto train = make_blobs(100, 5);
+
+  std::vector<double> losses;
+  TrainerConfig config;
+  config.epochs = 10;
+  config.on_epoch = [&](const EpochStats& stats) {
+    losses.push_back(stats.mean_loss);
+    return true;
+  };
+  (void)fit(net, optimizer, train, config);
+  ASSERT_GE(losses.size(), 2u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(Training, LearningRateDecays) {
+  Network net = make_mlp(2, 4, 2, 19);
+  Sgd optimizer(net, {.learning_rate = 0.1});
+  const auto train = make_blobs(10, 7);
+
+  std::vector<double> rates;
+  TrainerConfig config;
+  config.epochs = 3;
+  config.lr_decay = 0.5;
+  config.on_epoch = [&](const EpochStats& stats) {
+    rates.push_back(stats.learning_rate);
+    return true;
+  };
+  (void)fit(net, optimizer, train, config);
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_NEAR(rates[1], rates[0] * 0.5, 1e-12);
+  EXPECT_NEAR(rates[2], rates[0] * 0.25, 1e-12);
+}
+
+TEST(Training, MseLossAlsoTrains) {
+  Network net = make_mlp(2, 6, 2, 23);
+  Sgd optimizer(net, {.learning_rate = 0.5});
+  const auto train = make_blobs(100, 9);
+  TrainerConfig config;
+  config.epochs = 30;
+  config.loss = LossKind::kMseOneHot;
+  (void)fit(net, optimizer, train, config);
+  EXPECT_GT(evaluate_accuracy(net, train), 0.95);
+}
+
+TEST(Network, SnapshotRestoreRoundTrip) {
+  Network net = make_mlp(2, 4, 2, 29);
+  const auto snapshot = net.snapshot_params();
+  // Perturb.
+  for (const ParamRef& ref : net.params()) {
+    for (float& v : ref.value) v += 1.0f;
+  }
+  net.restore_params(snapshot);
+  const auto roundtrip = net.snapshot_params();
+  ASSERT_EQ(roundtrip.size(), snapshot.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(roundtrip[i], snapshot[i]);
+  }
+}
+
+TEST(Network, RestoreRejectsMismatchedSnapshot) {
+  Network net = make_mlp(2, 4, 2, 31);
+  Network other = make_mlp(2, 5, 2, 31);
+  EXPECT_THROW(net.restore_params(other.snapshot_params()),
+               std::invalid_argument);
+}
+
+TEST(Network, CountsWeightLayersAndParams) {
+  Network net = make_mlp(2, 4, 2, 37);
+  EXPECT_EQ(net.num_weight_layers(), 2u);
+  EXPECT_EQ(net.num_params(), 2u * 4 + 4 + 4u * 2 + 2);
+  // layer_index on params counts only weight-bearing layers.
+  const auto refs = net.params();
+  EXPECT_EQ(refs.front().layer_index, 0);
+  EXPECT_EQ(refs.back().layer_index, 1);
+}
+
+}  // namespace
+}  // namespace man::nn

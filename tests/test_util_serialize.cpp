@@ -1,0 +1,75 @@
+// Binary serialization round-trips and failure injection.
+#include "man/util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace man::util {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.write_u32(0xDEADBEEF);
+  writer.write_u64(0x0123456789ABCDEFULL);
+  writer.write_i32(-42);
+  writer.write_f32(3.5f);
+  writer.write_f64(-2.25);
+
+  BinaryReader reader(stream);
+  EXPECT_EQ(reader.read_u32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.read_i32(), -42);
+  EXPECT_EQ(reader.read_f32(), 3.5f);
+  EXPECT_EQ(reader.read_f64(), -2.25);
+}
+
+TEST(Serialize, StringAndVectorRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.write_string("hello, world");
+  writer.write_string("");
+  writer.write_f32_vector({1.0f, -2.5f, 0.0f});
+  writer.write_i32_vector({7, -9});
+
+  BinaryReader reader(stream);
+  EXPECT_EQ(reader.read_string(), "hello, world");
+  EXPECT_EQ(reader.read_string(), "");
+  EXPECT_EQ(reader.read_f32_vector(), (std::vector<float>{1.0f, -2.5f, 0.0f}));
+  EXPECT_EQ(reader.read_i32_vector(), (std::vector<std::int32_t>{7, -9}));
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.write_u32(1);
+  BinaryReader reader(stream);
+  (void)reader.read_u32();
+  EXPECT_THROW((void)reader.read_u32(), SerializationError);
+}
+
+TEST(Serialize, TruncatedVectorPayloadThrows) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.write_u64(100);  // claims 100 floats, provides none
+  BinaryReader reader(stream);
+  EXPECT_THROW((void)reader.read_f32_vector(), SerializationError);
+}
+
+TEST(Serialize, ImplausibleLengthRejected) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.write_u64(1ULL << 40);
+  BinaryReader reader(stream);
+  EXPECT_THROW((void)reader.read_string(), SerializationError);
+}
+
+TEST(Fnv1a, StableAndDiscriminating) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+}  // namespace
+}  // namespace man::util

@@ -1,0 +1,70 @@
+// Table rendering used by the benchmark harness.
+#include "man/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace man::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"A", "Beta"});
+  t.add_row({"1", "two"});
+  t.add_row({"three", "4"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| A     | Beta |"), std::string::npos);
+  EXPECT_NE(out.find("| three | 4    |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"A", "B", "C"});
+  t.add_row({"x"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| x"), std::string::npos);
+}
+
+TEST(Table, SeparatorRendersRule) {
+  Table t({"A"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.to_string();
+  // Expect at least 4 horizontal rules: top, header, separator, bottom.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find('+', pos)) != std::string::npos;
+       ++pos) {
+    if (out[pos + 1] == '-' || out[pos + 1] == '=') ++rules;
+  }
+  EXPECT_GE(rules, 4);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvSkipsSeparators) {
+  Table t({"h"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "h\n1\n2\n");
+}
+
+TEST(FormatHelpers, Doubles) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatHelpers, Percent) {
+  EXPECT_EQ(format_percent(0.3512, 2), "35.12");
+  EXPECT_EQ(format_percent(1.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace man::util
