@@ -9,6 +9,7 @@
 
 #include "man/apps/app_registry.h"
 #include "man/apps/model_cache.h"
+#include "man/engine/batch_runner.h"
 #include "man/engine/fixed_network.h"
 #include "man/util/stopwatch.h"
 #include "man/util/table.h"
@@ -24,6 +25,25 @@ inline double bench_scale() {
     if (value > 0.0) return value;
   }
   return 0.5;
+}
+
+/// Worker-pool size for the batched engine runs, from
+/// MAN_BENCH_WORKERS (default 0 = auto-detect).
+inline int bench_workers() {
+  if (const char* env = std::getenv("MAN_BENCH_WORKERS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return 0;
+}
+
+/// Batched accuracy over a split (the engine-evaluation loop every
+/// accuracy bench goes through).
+inline double evaluate_batched(man::engine::FixedNetwork& engine,
+                               std::span<const man::data::Example> examples) {
+  man::engine::BatchRunner runner(
+      engine, man::engine::BatchOptions{.workers = bench_workers()});
+  return runner.evaluate(examples).accuracy;
 }
 
 /// One rung of an accuracy ladder (a row of Tables II/III).
@@ -48,7 +68,7 @@ inline std::vector<LadderRow> run_accuracy_ladder(
   FixedNetwork conventional(
       baseline, app.quant(),
       LayerAlphabetPlan::conventional(baseline.num_weight_layers()));
-  const double conv_acc = conventional.evaluate(dataset.test);
+  const double conv_acc = evaluate_batched(conventional, dataset.test);
   rows.push_back(LadderRow{"conventional NN", conv_acc, 0.0});
 
   for (std::size_t n : {4u, 2u, 1u}) {
@@ -57,7 +77,7 @@ inline std::vector<LadderRow> run_accuracy_ladder(
     FixedNetwork engine(
         net, app.quant(),
         LayerAlphabetPlan::uniform_asm(net.num_weight_layers(), set));
-    const double acc = engine.evaluate(dataset.test);
+    const double acc = evaluate_batched(engine, dataset.test);
     rows.push_back(LadderRow{std::to_string(n) + " " + set.to_string(), acc,
                              (conv_acc - acc) * 100.0});
   }

@@ -13,6 +13,8 @@ int main() {
   using man::apps::energy_from_activity;
   using man::core::AlphabetSet;
   using man::core::MultiplierKind;
+  using man::engine::BatchOptions;
+  using man::engine::BatchRunner;
   using man::engine::FixedNetwork;
   using man::engine::LayerAlphabetPlan;
 
@@ -39,10 +41,14 @@ int main() {
     FixedNetwork engine(
         net, app.quant(),
         LayerAlphabetPlan::uniform_asm(net.num_weight_layers(), set));
-    const double accuracy = engine.evaluate(subset);
+    // Batched run: the recorded per-layer activity is bit-identical to
+    // the sequential path (see test_engine_batch_runner).
+    BatchRunner runner(engine,
+                       BatchOptions{.workers = man::bench::bench_workers()});
+    const double accuracy = runner.evaluate(subset).accuracy;
 
     const auto activity =
-        energy_from_activity(engine.stats(), engine.plan(), app.weight_bits);
+        energy_from_activity(runner.stats(), engine.plan(), app.weight_bits);
 
     const auto kind = n == 1 ? MultiplierKind::kMan : MultiplierKind::kAsm;
     const auto static_spec =

@@ -1,10 +1,17 @@
 // Reproduces Fig 9 — network energy per inference normalized to the
 // conventional implementation, grouped as in the paper: (a) 2-layer
-// MLPs, (b) 5-6 layer MLPs, (c) 6-layer CNN.
+// MLPs, (b) 5-6 layer MLPs, (c) 6-layer CNN — then cross-checks the
+// static model's activity assumptions by replaying the digit MLP
+// through the fixed-point engine, sequentially and through the batched
+// multi-threaded runtime (which must agree bit for bit).
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_common.h"
+#include "man/engine/batch_runner.h"
 #include "man/hw/network_cost.h"
+#include "man/nn/constraint_projection.h"
+#include "man/util/rng.h"
 
 namespace {
 
@@ -71,5 +78,75 @@ int main() {
                    man::util::format_double((conv - man_energy) * 1e-3, 2)});
   }
   std::cout << table.to_string();
-  return 0;
+
+  // Engine replay: the per-layer activity behind the Fig 9 numbers,
+  // recorded live — once sequentially, once through the batched
+  // runtime. Any divergence would invalidate the energy accounting,
+  // so a mismatch fails the bench.
+  const int workers = [] {
+    const int requested = man::bench::bench_workers();
+    return requested > 0 ? requested : 8;
+  }();
+  man::bench::print_banner(
+      "Engine activity replay: sequential vs BatchRunner(" +
+      std::to_string(workers) + " workers), digit MLP, ASM 4 {1,3,5,7}");
+
+  const auto& app = man::apps::get_app(AppId::kDigitMlp8);
+  man::nn::Network net = app.build_network(/*seed=*/21);
+  const AlphabetSet set = AlphabetSet::four();
+  const man::nn::ProjectionPlan projection(app.quant(), set,
+                                           net.num_weight_layers());
+  projection.project_network(net);
+  man::engine::FixedNetwork engine(
+      net, app.quant(),
+      man::engine::LayerAlphabetPlan::uniform_asm(net.num_weight_layers(),
+                                                  set));
+
+  constexpr std::size_t kSamples = 512;
+  man::util::Rng rng(2016);
+  std::vector<float> batch(kSamples * engine.input_size());
+  for (float& p : batch) p = static_cast<float>(rng.next_double());
+  std::vector<std::int64_t> raw_seq(kSamples * engine.output_size());
+  std::vector<std::int64_t> raw_par(kSamples * engine.output_size());
+
+  man::engine::BatchRunner sequential(
+      engine, man::engine::BatchOptions{.workers = 1});
+  man::util::Stopwatch seq_watch;
+  sequential.run(batch, raw_seq);
+  const double seq_s = seq_watch.seconds();
+
+  man::engine::BatchRunner parallel(
+      engine, man::engine::BatchOptions{.workers = workers});
+  man::util::Stopwatch par_watch;
+  parallel.run(batch, raw_par);
+  const double par_s = par_watch.seconds();
+
+  bool identical = raw_seq == raw_par;
+  const auto& seq_stats = sequential.stats();
+  const auto& par_stats = parallel.stats();
+  man::util::Table replay({"Layer", "MACs", "Bank firings", "Total ops",
+                           "Matches sequential"});
+  for (std::size_t i = 0; i < seq_stats.layers.size(); ++i) {
+    const auto& seq_layer = seq_stats.layers[i];
+    const auto& par_layer = par_stats.layers[i];
+    const bool layer_match = seq_layer.macs == par_layer.macs &&
+                             seq_layer.bank_activations ==
+                                 par_layer.bank_activations &&
+                             seq_layer.ops == par_layer.ops;
+    identical = identical && layer_match;
+    replay.add_row({par_layer.name, std::to_string(par_layer.macs),
+                    std::to_string(par_layer.bank_activations),
+                    std::to_string(par_layer.ops.total()),
+                    layer_match ? "yes" : "NO"});
+  }
+  std::cout << replay.to_string();
+  std::cout << kSamples << " inferences: sequential "
+            << man::util::format_double(seq_s * 1e3, 1) << " ms, "
+            << workers << " workers "
+            << man::util::format_double(par_s * 1e3, 1) << " ms (speedup "
+            << man::util::format_double(par_s > 0 ? seq_s / par_s : 0.0, 2)
+            << "x)\n";
+  std::cout << "per-layer EngineStats + raw outputs: "
+            << (identical ? "bit-identical" : "MISMATCH") << "\n";
+  return identical ? 0 : 1;
 }

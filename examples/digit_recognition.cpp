@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "man/apps/app_registry.h"
+#include "man/engine/batch_runner.h"
 #include "man/engine/fixed_network.h"
 #include "man/hw/network_cost.h"
 #include "man/nn/algorithm2.h"
@@ -48,13 +49,15 @@ int main(int argc, char** argv) {
               result.chosen_alphabets,
               result.satisfied ? "" : " (quality constraint NOT met)");
 
-  // Deploy on the fixed-point engine.
+  // Deploy on the fixed-point engine, evaluated through the batched
+  // multi-threaded runtime (bit-identical to the sequential path).
   const auto set = core::AlphabetSet::first_n(result.chosen_alphabets);
   engine::FixedNetwork fixed(
       net, app.quant(),
       engine::LayerAlphabetPlan::uniform_asm(net.num_weight_layers(), set));
-  std::printf("fixed-point engine accuracy: %.4f\n",
-              fixed.evaluate(dataset.test));
+  engine::BatchRunner runner(fixed);
+  std::printf("fixed-point engine accuracy: %.4f (%d workers)\n",
+              runner.evaluate(dataset.test).accuracy, runner.workers());
 
   // Energy estimate for the deployed configuration.
   const auto conv_energy =

@@ -7,9 +7,21 @@
 
 #include "man/apps/app_registry.h"
 #include "man/apps/model_cache.h"
+#include "man/engine/batch_runner.h"
 #include "man/engine/fixed_network.h"
 #include "man/nn/trainer.h"
 #include "man/util/table.h"
+
+namespace {
+
+// Engine accuracy through the batched multi-threaded runtime.
+double batched_accuracy(man::engine::FixedNetwork& engine,
+                        std::span<const man::data::Example> examples) {
+  man::engine::BatchRunner runner(engine);
+  return runner.evaluate(examples).accuracy;
+}
+
+}  // namespace
 
 int main() {
   using namespace man;
@@ -30,7 +42,7 @@ int main() {
     engine::FixedNetwork conventional(
         baseline, app.quant(),
         engine::LayerAlphabetPlan::conventional(2));
-    const double conv_acc = conventional.evaluate(dataset.test);
+    const double conv_acc = batched_accuracy(conventional, dataset.test);
     table.add_row({std::to_string(bits) + " bits", "conventional",
                    util::format_percent(conv_acc), "--"});
 
@@ -40,7 +52,7 @@ int main() {
       engine::FixedNetwork engine_net(
           net, app.quant(),
           engine::LayerAlphabetPlan::uniform_asm(2, set));
-      const double acc = engine_net.evaluate(dataset.test);
+      const double acc = batched_accuracy(engine_net, dataset.test);
       table.add_row({"", std::to_string(n) + " " + set.to_string(),
                      util::format_percent(acc),
                      util::format_double((conv_acc - acc) * 100.0)});

@@ -7,6 +7,7 @@
 
 #include "man/apps/app_registry.h"
 #include "man/apps/model_cache.h"
+#include "man/engine/batch_runner.h"
 #include "man/engine/fixed_network.h"
 #include "man/hw/network_cost.h"
 #include "man/util/table.h"
@@ -25,7 +26,8 @@ int main() {
   engine::FixedNetwork conventional(
       baseline, app.quant(),
       engine::LayerAlphabetPlan::conventional(layers));
-  const double conv_acc = conventional.evaluate(dataset.test);
+  const double conv_acc =
+      engine::BatchRunner(conventional).evaluate(dataset.test).accuracy;
   const double conv_energy =
       hw::compute_network_energy(app.energy_spec()).total_energy_pj;
   std::printf("%s: conventional engine accuracy %.2f%%, energy %.2f nJ\n\n",
@@ -62,7 +64,8 @@ int main() {
         net, app.quant(),
         engine::LayerAlphabetPlan::mixed_tail(layers, config.penultimate,
                                               config.final));
-    const double acc = engine_net.evaluate(dataset.test);
+    const double acc =
+        engine::BatchRunner(engine_net).evaluate(dataset.test).accuracy;
 
     auto energy_spec = app.energy_spec();
     for (std::size_t i = 0; i < energy_spec.layers.size(); ++i) {

@@ -117,6 +117,13 @@ std::vector<std::int64_t> PrecomputerBank::compute(std::int64_t input) const {
 
 std::vector<std::int64_t> PrecomputerBank::compute(std::int64_t input,
                                                    OpCounts& counts) const {
+  std::vector<std::int64_t> out(set_.size());
+  compute_into(input, out.data(), counts);
+  return out;
+}
+
+void PrecomputerBank::compute_into(std::int64_t input, std::int64_t* out,
+                                   OpCounts& counts) const {
   // Evaluate the structural network exactly as hardware would: each
   // step reads previously produced multiples, shifts, and adds.
   std::int64_t multiples_by_value[AlphabetSet::kMaxAlphabetValue + 1] = {};
@@ -129,10 +136,8 @@ std::vector<std::int64_t> PrecomputerBank::compute(std::int64_t input,
     multiples_by_value[step.result] = step.subtract ? lhs - rhs : lhs + rhs;
     counts.precomputer_adds += 1;
   }
-  std::vector<std::int64_t> out;
-  out.reserve(set_.size());
-  for (Alphabet a : set_.alphabets()) out.push_back(multiples_by_value[a]);
-  return out;
+  std::size_t i = 0;
+  for (Alphabet a : set_.alphabets()) out[i++] = multiples_by_value[a];
 }
 
 std::int64_t PrecomputerBank::multiple_of(int alphabet,
@@ -149,6 +154,29 @@ std::int64_t PrecomputerBank::multiple_of(int alphabet,
     if (alphabets[i] == alphabet) return multiples[i];
   }
   throw std::logic_error("PrecomputerBank: alphabet lookup failed");
+}
+
+const std::int64_t* PrecomputerCache::lookup(std::int64_t input,
+                                             OpCounts& counts) {
+  if (bank_ == nullptr) {
+    throw std::logic_error("PrecomputerCache: lookup on unbound cache");
+  }
+  if (const auto it = index_.find(input); it != index_.end()) {
+    ++hits_;
+    return pool_.data() + it->second;
+  }
+  ++misses_;
+  const std::size_t k = bank_->alphabet_set().size();
+  if (index_.size() >= kMaxEntries) {
+    overflow_.resize(k);
+    bank_->compute_into(input, overflow_.data(), counts);
+    return overflow_.data();
+  }
+  const std::size_t offset = pool_.size();
+  pool_.resize(offset + k);
+  bank_->compute_into(input, pool_.data() + offset, counts);
+  index_.emplace(input, offset);
+  return pool_.data() + offset;
 }
 
 }  // namespace man::core

@@ -15,6 +15,7 @@
 #define MAN_CORE_PRECOMPUTER_BANK_H
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "man/core/alphabet_set.h"
@@ -47,6 +48,11 @@ class PrecomputerBank {
   [[nodiscard]] std::vector<std::int64_t> compute(std::int64_t input,
                                                   OpCounts& counts) const;
 
+  /// Allocation-free variant: writes alphabet_set().size() multiples
+  /// into `out` (caller-sized). The workhorse behind PrecomputerCache.
+  void compute_into(std::int64_t input, std::int64_t* out,
+                    OpCounts& counts) const;
+
   /// a·I for a single alphabet; throws std::invalid_argument if a is
   /// not in the set.
   [[nodiscard]] std::int64_t multiple_of(int alphabet,
@@ -75,6 +81,62 @@ class PrecomputerBank {
 
   AlphabetSet set_;
   std::vector<PrecomputeStep> steps_;
+};
+
+/// Memoized view of one bank: the multiples of each distinct input
+/// value are evaluated once and replayed on later lookups, modelling a
+/// CSHM bank whose outputs stay latched while the input repeats. One
+/// cache per worker/shard gives re-entrant reuse without locking; call
+/// reset() to drop the memo (e.g. between batches whose value
+/// distributions differ). Structural adder activity is charged to
+/// `counts` only on misses. Note: FixedNetwork's EngineStats do NOT
+/// use these dynamic counts — the engine bills the static
+/// every-unit-fires activity per inference so that recorded stats
+/// stay bit-identical between cached, uncached, and sharded runs; the
+/// miss-only accounting here serves emulation-level studies (and the
+/// hit/miss counters quantify the memoization itself).
+class PrecomputerCache {
+ public:
+  PrecomputerCache() = default;
+  explicit PrecomputerCache(const PrecomputerBank& bank) : bank_(&bank) {}
+
+  /// Re-targets the cache at `bank` (clears the memo). The bank must
+  /// outlive the cache.
+  void bind(const PrecomputerBank& bank) {
+    bank_ = &bank;
+    reset();
+  }
+
+  /// Drops every memoized entry and the hit/miss counters.
+  void reset() noexcept {
+    index_.clear();
+    pool_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+  /// Pointer to bank().alphabet_set().size() multiples of `input`;
+  /// valid until the next lookup()/reset()/bind().
+  [[nodiscard]] const std::int64_t* lookup(std::int64_t input,
+                                           OpCounts& counts);
+
+  [[nodiscard]] const PrecomputerBank* bank() const noexcept { return bank_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t entries() const noexcept { return index_.size(); }
+
+ private:
+  /// Memo cap: quantized activations span a few thousand distinct
+  /// values at most, so this is never hit in practice; it bounds
+  /// memory if someone streams arbitrary 64-bit inputs through.
+  static constexpr std::size_t kMaxEntries = std::size_t{1} << 16;
+
+  const PrecomputerBank* bank_ = nullptr;
+  std::unordered_map<std::int64_t, std::size_t> index_;  ///< input -> offset
+  std::vector<std::int64_t> pool_;      ///< memoized multiples, k-strided
+  std::vector<std::int64_t> overflow_;  ///< scratch once kMaxEntries is hit
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace man::core

@@ -1,0 +1,148 @@
+#include "man/engine/batch_runner.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace man::engine {
+
+namespace {
+
+int resolve_workers(int requested) {
+  if (requested > 0) return std::min(requested, 64);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw), 1, 16);
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(const FixedNetwork& network, BatchOptions options)
+    : network_(&network),
+      workers_(resolve_workers(options.workers)),
+      min_samples_per_worker_(std::max<std::size_t>(
+          1, options.min_samples_per_worker)),
+      stats_(network.make_stats()) {}
+
+void BatchRunner::run_sharded(
+    std::size_t count,
+    const std::function<void(std::size_t, EngineStats&,
+                             FixedNetwork::InferScratch&)>& fn) {
+  if (count == 0) return;
+
+  const std::size_t pool = std::min<std::size_t>(
+      static_cast<std::size_t>(workers_),
+      (count + min_samples_per_worker_ - 1) / min_samples_per_worker_);
+
+  if (pool <= 1) {
+    EngineStats local = network_->make_stats();
+    FixedNetwork::InferScratch scratch = network_->make_scratch();
+    for (std::size_t i = 0; i < count; ++i) fn(i, local, scratch);
+    stats_.merge(local);
+    return;
+  }
+
+  // Contiguous shards: worker w takes [w*per + min(w, extra) ...), so
+  // shard sizes differ by at most one sample.
+  const std::size_t per = count / pool;
+  const std::size_t extra = count % pool;
+
+  std::vector<EngineStats> worker_stats(pool);
+  std::vector<std::exception_ptr> worker_errors(pool);
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+
+  for (std::size_t w = 0; w < pool; ++w) {
+    const std::size_t begin = w * per + std::min(w, extra);
+    const std::size_t end = begin + per + (w < extra ? 1 : 0);
+    threads.emplace_back([&, w, begin, end] {
+      try {
+        EngineStats local = network_->make_stats();
+        FixedNetwork::InferScratch scratch = network_->make_scratch();
+        for (std::size_t i = begin; i < end; ++i) fn(i, local, scratch);
+        worker_stats[w] = std::move(local);
+      } catch (...) {
+        worker_errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const std::exception_ptr& error : worker_errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  // Fixed worker order keeps the reduction deterministic (the counts
+  // are integers, so it is also order-independent — belt and braces).
+  for (EngineStats& local : worker_stats) stats_.merge(local);
+}
+
+void BatchRunner::run(std::span<const float> inputs,
+                      std::span<std::int64_t> outputs) {
+  const std::size_t in_size = network_->input_size();
+  const std::size_t out_size = network_->output_size();
+  if (in_size == 0 || inputs.size() % in_size != 0) {
+    throw std::invalid_argument(
+        "BatchRunner: input span is not a whole number of samples");
+  }
+  const std::size_t count = inputs.size() / in_size;
+  if (outputs.size() != count * out_size) {
+    throw std::invalid_argument(
+        "BatchRunner: output span has " + std::to_string(outputs.size()) +
+        " slots for " + std::to_string(count) + " samples of " +
+        std::to_string(out_size));
+  }
+
+  run_sharded(count, [&](std::size_t i, EngineStats& stats,
+                         FixedNetwork::InferScratch& scratch) {
+    network_->infer_into(inputs.subspan(i * in_size, in_size),
+                         outputs.subspan(i * out_size, out_size), stats,
+                         scratch);
+  });
+}
+
+std::vector<int> BatchRunner::predict(std::span<const float> inputs) {
+  const std::size_t in_size = network_->input_size();
+  if (in_size == 0 || inputs.size() % in_size != 0) {
+    throw std::invalid_argument(
+        "BatchRunner: input span is not a whole number of samples");
+  }
+  const std::size_t count = inputs.size() / in_size;
+  std::vector<std::int64_t> raw(count * network_->output_size());
+  run(inputs, raw);
+
+  const std::size_t out_size = network_->output_size();
+  std::vector<int> predictions(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    predictions[i] = argmax_raw(
+        std::span<const std::int64_t>(raw).subspan(i * out_size, out_size));
+  }
+  return predictions;
+}
+
+std::vector<int> BatchRunner::predict(
+    std::span<const man::data::Example> examples) {
+  const std::size_t out_size = network_->output_size();
+  std::vector<int> predictions(examples.size());
+  run_sharded(examples.size(), [&](std::size_t i, EngineStats& stats,
+                                   FixedNetwork::InferScratch& scratch) {
+    scratch.raw_out.resize(out_size);  // per-worker, reused across samples
+    network_->infer_into(examples[i].pixels, scratch.raw_out, stats, scratch);
+    predictions[i] = argmax_raw(scratch.raw_out);
+  });
+  return predictions;
+}
+
+BatchAccuracy BatchRunner::evaluate(
+    std::span<const man::data::Example> examples) {
+  BatchAccuracy result;
+  result.predictions = predict(examples);
+  if (examples.empty()) return result;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    if (result.predictions[i] == examples[i].label) ++correct;
+  }
+  result.accuracy = static_cast<double>(correct) / examples.size();
+  return result;
+}
+
+}  // namespace man::engine

@@ -1,0 +1,90 @@
+// Batched, multi-threaded driver for the fixed-point engine: shards a
+// batch of inputs across a small worker pool, gives every worker its
+// own InferScratch (so the CSHM pre-computer outputs are memoized
+// within a shard instead of rebuilt per sample — the amortization the
+// shared bank exists for, paper §III), and reduces the per-worker
+// EngineStats into one aggregate with per-layer activity preserved.
+//
+// Results are bit-identical to the sequential path for any worker
+// count: every sample's output lands in its own slot, and the
+// per-layer counters are integer sums, which commute.
+#ifndef MAN_ENGINE_BATCH_RUNNER_H
+#define MAN_ENGINE_BATCH_RUNNER_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "man/data/dataset.h"
+#include "man/engine/engine_stats.h"
+#include "man/engine/fixed_network.h"
+
+namespace man::engine {
+
+/// Worker-pool knobs for BatchRunner.
+struct BatchOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency()
+  /// (clamped to [1, 16]).
+  int workers = 0;
+  /// Below this many samples per worker the pool shrinks, down to a
+  /// plain inline loop — thread spawn is not worth a handful of
+  /// inferences.
+  std::size_t min_samples_per_worker = 8;
+};
+
+/// Per-sample predictions plus batch accuracy (evaluate() result).
+struct BatchAccuracy {
+  double accuracy = 0.0;
+  std::vector<int> predictions;
+};
+
+/// Shards batches of inferences over worker threads. The runner holds
+/// only a reference to the engine (which must outlive it); all mutable
+/// state is per-worker, so several runners may share one engine.
+class BatchRunner {
+ public:
+  explicit BatchRunner(const FixedNetwork& network, BatchOptions options = {});
+
+  /// Resolved pool size (the cap; small batches may use fewer).
+  [[nodiscard]] int workers() const noexcept { return workers_; }
+
+  /// Runs `count` samples stored contiguously in `inputs` (count ×
+  /// input_size() floats) and writes the raw final-layer accumulators
+  /// into `outputs` (count × output_size() slots).
+  void run(std::span<const float> inputs, std::span<std::int64_t> outputs);
+
+  /// Argmax predictions for a contiguous batch.
+  [[nodiscard]] std::vector<int> predict(std::span<const float> inputs);
+
+  /// Argmax predictions for a dataset split (one sample per Example).
+  [[nodiscard]] std::vector<int> predict(
+      std::span<const man::data::Example> examples);
+
+  /// Top-1 accuracy plus per-sample predictions over a split.
+  [[nodiscard]] BatchAccuracy evaluate(
+      std::span<const man::data::Example> examples);
+
+  /// Aggregate activity across every batch run so far (per-layer
+  /// layout identical to FixedNetwork::stats()).
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+ private:
+  /// Runs fn(sample_index, stats, scratch) for every index in [0,
+  /// count) across the pool, then merges worker stats (in worker
+  /// order) into stats_. Rethrows the first worker exception.
+  void run_sharded(
+      std::size_t count,
+      const std::function<void(std::size_t, EngineStats&,
+                               FixedNetwork::InferScratch&)>& fn);
+
+  const FixedNetwork* network_;
+  int workers_;
+  std::size_t min_samples_per_worker_;
+  EngineStats stats_;
+};
+
+}  // namespace man::engine
+
+#endif  // MAN_ENGINE_BATCH_RUNNER_H

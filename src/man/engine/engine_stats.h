@@ -5,6 +5,7 @@
 #define MAN_ENGINE_ENGINE_STATS_H
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,13 @@ struct LayerStats {
   std::uint64_t macs = 0;              ///< multiply-accumulates executed
   std::uint64_t bank_activations = 0;  ///< shared pre-computer firings
   man::core::OpCounts ops;             ///< select/shift/add activity
+
+  LayerStats& operator+=(const LayerStats& other) {
+    macs += other.macs;
+    bank_activations += other.bank_activations;
+    ops += other.ops;
+    return *this;
+  }
 };
 
 /// Whole-network activity.
@@ -38,6 +46,30 @@ struct EngineStats {
       layer.ops = man::core::OpCounts{};
     }
     inferences = 0;
+  }
+
+  /// Layer-wise accumulation of another run's activity into this one
+  /// (the BatchRunner reduction). Layer layouts must match; an empty
+  /// `this` adopts `other`'s layout first.
+  void merge(const EngineStats& other) {
+    if (layers.empty()) {
+      layers = other.layers;
+      for (auto& layer : layers) {
+        layer.macs = 0;
+        layer.bank_activations = 0;
+        layer.ops = man::core::OpCounts{};
+      }
+    }
+    if (layers.size() != other.layers.size()) {
+      throw std::invalid_argument(
+          "EngineStats::merge: layer count mismatch (" +
+          std::to_string(layers.size()) + " vs " +
+          std::to_string(other.layers.size()) + ")");
+    }
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      layers[i] += other.layers[i];
+    }
+    inferences += other.inferences;
   }
 };
 

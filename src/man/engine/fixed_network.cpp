@@ -92,6 +92,68 @@ FixedNetwork::FixedNetwork(man::nn::Network& network,
                                   layer.name());
     }
   }
+
+  // Static stage-graph geometry: records input/output sizes (span
+  // validation, batch buffer pre-allocation) and rejects mis-chained
+  // networks up front — infer_into() itself no longer re-checks every
+  // stage boundary per sample.
+  std::size_t current = 0;  // 0 until the first size-defining stage
+  const auto check_chain = [&](std::size_t expected, const char* kind) {
+    if (current != 0 && current != expected) {
+      throw std::invalid_argument(
+          std::string("FixedNetwork: ") + kind + " stage expects " +
+          std::to_string(expected) + " inputs but previous stage produces " +
+          std::to_string(current));
+    }
+  };
+  for (const Stage& stage : stages_) {
+    if (const auto* dense = std::get_if<DenseStage>(&stage)) {
+      check_chain(static_cast<std::size_t>(dense->in), "dense");
+      if (input_size_ == 0) input_size_ = static_cast<std::size_t>(dense->in);
+      current = static_cast<std::size_t>(dense->out);
+    } else if (const auto* conv = std::get_if<ConvStage>(&stage)) {
+      const auto conv_in =
+          static_cast<std::size_t>(conv->ic) * conv->ih * conv->iw;
+      check_chain(conv_in, "conv");
+      if (input_size_ == 0) input_size_ = conv_in;
+      current = static_cast<std::size_t>(conv->oc) * conv->oh * conv->ow;
+    } else if (const auto* pool = std::get_if<PoolStage>(&stage)) {
+      const auto pool_in =
+          static_cast<std::size_t>(pool->c) * pool->ih * pool->iw;
+      check_chain(pool_in, "pool");
+      if (input_size_ == 0) input_size_ = pool_in;
+      current = static_cast<std::size_t>(pool->c) * pool->oh * pool->ow;
+    }
+  }
+  output_size_ = current;
+}
+
+const FixedNetwork::SynapseData& FixedNetwork::synapse_at(
+    std::size_t stage_index) const {
+  const Stage& stage = stages_[stage_index];
+  if (const auto* dense = std::get_if<DenseStage>(&stage)) {
+    return dense->synapse;
+  }
+  return std::get<ConvStage>(stage).synapse;
+}
+
+FixedNetwork::InferScratch FixedNetwork::make_scratch() const {
+  InferScratch scratch;
+  scratch.buffer.reserve(input_size_);
+  scratch.caches.reserve(synapse_stage_indices_.size());
+  for (std::size_t idx : synapse_stage_indices_) {
+    scratch.caches.emplace_back(synapse_at(idx).bank);
+  }
+  return scratch;
+}
+
+EngineStats FixedNetwork::make_stats() const {
+  EngineStats stats;
+  stats.layers.reserve(stats_.layers.size());
+  for (const LayerStats& layer : stats_.layers) {
+    stats.layers.push_back(LayerStats{layer.name, 0, 0, {}});
+  }
+  return stats;
 }
 
 void FixedNetwork::compile_synapse(SynapseData& synapse,
@@ -187,29 +249,52 @@ void FixedNetwork::compile_synapse(SynapseData& synapse,
       static_cast<std::uint64_t>(synapse.bank.adder_count());
 }
 
-std::vector<std::int64_t> FixedNetwork::multiples_of(
-    const SynapseData& synapse, std::int64_t input) const {
-  OpCounts scratch;
-  return synapse.bank.compute(input, scratch);
-}
+void FixedNetwork::infer_into(std::span<const float> pixels,
+                              std::span<std::int64_t> out,
+                              EngineStats& stats,
+                              InferScratch& scratch) const {
+  if (pixels.size() != input_size_) {
+    throw std::invalid_argument(
+        "FixedNetwork: input has " + std::to_string(pixels.size()) +
+        " values, engine expects " + std::to_string(input_size_));
+  }
+  if (out.size() != output_size_) {
+    throw std::invalid_argument(
+        "FixedNetwork: output span has " + std::to_string(out.size()) +
+        " slots, engine produces " + std::to_string(output_size_));
+  }
+  // Re-bind the caches of a scratch that is default-constructed or was
+  // made by a different engine (they would serve another bank's
+  // multiples). Only the caches are replaced: `out` may alias
+  // scratch.raw_out, so the buffers must stay put.
+  bool scratch_matches =
+      scratch.caches.size() == synapse_stage_indices_.size();
+  for (std::size_t si = 0; scratch_matches && si < scratch.caches.size();
+       ++si) {
+    scratch_matches = scratch.caches[si].bank() ==
+                      &synapse_at(synapse_stage_indices_[si]).bank;
+  }
+  if (!scratch_matches) scratch.caches = make_scratch().caches;
+  if (stats.layers.empty()) stats = make_stats();
+  if (stats.layers.size() != stats_.layers.size()) {
+    throw std::invalid_argument(
+        "FixedNetwork: stats layout mismatch; use make_stats()");
+  }
 
-std::vector<std::int64_t> FixedNetwork::forward_raw(
-    std::span<const float> pixels) {
   const auto& afmt = spec_.activation_format;
-  std::vector<std::int64_t> buffer;
+  std::vector<std::int64_t>& buffer = scratch.buffer;
+  buffer.clear();
   buffer.reserve(pixels.size());
   for (float p : pixels) {
     buffer.push_back(afmt.quantize(static_cast<double>(p)));
   }
 
   std::size_t synapse_counter = 0;
-  for (Stage& stage : stages_) {
-    if (auto* dense = std::get_if<DenseStage>(&stage)) {
-      if (buffer.size() != static_cast<std::size_t>(dense->in)) {
-        throw std::invalid_argument("FixedNetwork: dense input size mismatch");
-      }
+  for (const Stage& stage : stages_) {
+    if (const auto* dense = std::get_if<DenseStage>(&stage)) {
       const SynapseData& syn = dense->synapse;
-      std::vector<std::int64_t> out(static_cast<std::size_t>(dense->out));
+      std::vector<std::int64_t>& next = scratch.next;
+      next.assign(static_cast<std::size_t>(dense->out), 0);
 
       if (syn.scheme.multiplier == MultiplierKind::kExact) {
         for (int o = 0; o < dense->out; ++o) {
@@ -217,27 +302,32 @@ std::vector<std::int64_t> FixedNetwork::forward_raw(
               &syn.weights_raw[static_cast<std::size_t>(o) * dense->in];
           std::int64_t acc = syn.biases_raw[static_cast<std::size_t>(o)];
           for (int i = 0; i < dense->in; ++i) {
-            acc += static_cast<std::int64_t>(wrow[i]) * buffer[static_cast<std::size_t>(i)];
+            acc += static_cast<std::int64_t>(wrow[i]) *
+                   buffer[static_cast<std::size_t>(i)];
           }
-          out[static_cast<std::size_t>(o)] = acc;
+          next[static_cast<std::size_t>(o)] = acc;
         }
       } else {
         // Pre-computer bank outputs for every input value (computed
-        // once, shared across lanes — CSHM).
+        // once per distinct value per shard, shared across lanes —
+        // CSHM).
         const std::size_t k = syn.bank.alphabet_set().size();
-        std::vector<std::int64_t> multiples(buffer.size() * k);
+        std::vector<std::int64_t>& multiples = scratch.multiples;
+        multiples.resize(buffer.size() * k);
+        man::core::PrecomputerCache& cache = scratch.caches[synapse_counter];
+        OpCounts discard;
         for (std::size_t i = 0; i < buffer.size(); ++i) {
-          const auto m = multiples_of(syn, buffer[i]);
-          std::copy(m.begin(), m.end(), multiples.begin() + i * k);
+          const std::int64_t* m = cache.lookup(buffer[i], discard);
+          std::copy(m, m + k, multiples.begin() + i * k);
         }
         for (int o = 0; o < dense->out; ++o) {
           std::int64_t acc = syn.biases_raw[static_cast<std::size_t>(o)];
-          const std::size_t row =
-              static_cast<std::size_t>(o) * dense->in;
+          const std::size_t row = static_cast<std::size_t>(o) * dense->in;
           for (int i = 0; i < dense->in; ++i) {
             const AsmWeight& w = syn.asm_weights[row + i];
             if (w.step_count == 0) continue;
-            const std::int64_t* m = &multiples[static_cast<std::size_t>(i) * k];
+            const std::int64_t* m =
+                &multiples[static_cast<std::size_t>(i) * k];
             std::int64_t product = 0;
             for (std::uint8_t s = 0; s < w.step_count; ++s) {
               const Step& step = syn.steps[w.step_begin + s];
@@ -245,23 +335,20 @@ std::vector<std::int64_t> FixedNetwork::forward_raw(
             }
             acc += w.negative ? -product : product;
           }
-          out[static_cast<std::size_t>(o)] = acc;
+          next[static_cast<std::size_t>(o)] = acc;
         }
       }
 
-      LayerStats& ls = stats_.layers[synapse_counter++];
+      LayerStats& ls = stats.layers[synapse_counter++];
       ls.macs += syn.macs;
       ls.bank_activations += syn.bank_activations;
       ls.ops += syn.ops_per_inference;
-      buffer = std::move(out);
-    } else if (auto* conv = std::get_if<ConvStage>(&stage)) {
-      if (buffer.size() !=
-          static_cast<std::size_t>(conv->ic) * conv->ih * conv->iw) {
-        throw std::invalid_argument("FixedNetwork: conv input size mismatch");
-      }
+      std::swap(buffer, next);
+    } else if (const auto* conv = std::get_if<ConvStage>(&stage)) {
       const SynapseData& syn = conv->synapse;
-      std::vector<std::int64_t> out(
-          static_cast<std::size_t>(conv->oc) * conv->oh * conv->ow);
+      std::vector<std::int64_t>& next = scratch.next;
+      next.assign(static_cast<std::size_t>(conv->oc) * conv->oh * conv->ow,
+                  0);
       const auto in_at = [&](int c, int y, int x) {
         return buffer[static_cast<std::size_t>((c * conv->ih + y) * conv->iw +
                                                x)];
@@ -282,17 +369,20 @@ std::vector<std::int64_t> FixedNetwork::forward_raw(
                   }
                 }
               }
-              out[static_cast<std::size_t>((oc * conv->oh + oy) * conv->ow +
-                                           ox)] = acc;
+              next[static_cast<std::size_t>((oc * conv->oh + oy) * conv->ow +
+                                            ox)] = acc;
             }
           }
         }
       } else {
         const std::size_t k = syn.bank.alphabet_set().size();
-        std::vector<std::int64_t> multiples(buffer.size() * k);
+        std::vector<std::int64_t>& multiples = scratch.multiples;
+        multiples.resize(buffer.size() * k);
+        man::core::PrecomputerCache& cache = scratch.caches[synapse_counter];
+        OpCounts discard;
         for (std::size_t i = 0; i < buffer.size(); ++i) {
-          const auto m = multiples_of(syn, buffer[i]);
-          std::copy(m.begin(), m.end(), multiples.begin() + i * k);
+          const std::int64_t* m = cache.lookup(buffer[i], discard);
+          std::copy(m, m + k, multiples.begin() + i * k);
         }
         const auto multiples_at = [&](int c, int y, int x) {
           return &multiples[static_cast<std::size_t>(
@@ -320,21 +410,21 @@ std::vector<std::int64_t> FixedNetwork::forward_raw(
                   }
                 }
               }
-              out[static_cast<std::size_t>((oc * conv->oh + oy) * conv->ow +
-                                           ox)] = acc;
+              next[static_cast<std::size_t>((oc * conv->oh + oy) * conv->ow +
+                                            ox)] = acc;
             }
           }
         }
       }
 
-      LayerStats& ls = stats_.layers[synapse_counter++];
+      LayerStats& ls = stats.layers[synapse_counter++];
       ls.macs += syn.macs;
       ls.bank_activations += syn.bank_activations;
       ls.ops += syn.ops_per_inference;
-      buffer = std::move(out);
-    } else if (auto* pool = std::get_if<PoolStage>(&stage)) {
-      std::vector<std::int64_t> out(
-          static_cast<std::size_t>(pool->c) * pool->oh * pool->ow);
+      std::swap(buffer, next);
+    } else if (const auto* pool = std::get_if<PoolStage>(&stage)) {
+      std::vector<std::int64_t>& next = scratch.next;
+      next.assign(static_cast<std::size_t>(pool->c) * pool->oh * pool->ow, 0);
       const int n = pool->window * pool->window;
       for (int c = 0; c < pool->c; ++c) {
         for (int oy = 0; oy < pool->oh; ++oy) {
@@ -351,36 +441,46 @@ std::vector<std::int64_t> FixedNetwork::forward_raw(
             // power-of-two windows).
             const std::int64_t rounded =
                 acc >= 0 ? (acc + n / 2) / n : -((-acc + n / 2) / n);
-            out[static_cast<std::size_t>((c * pool->oh + oy) * pool->ow +
-                                         ox)] = rounded;
+            next[static_cast<std::size_t>((c * pool->oh + oy) * pool->ow +
+                                          ox)] = rounded;
           }
         }
       }
-      buffer = std::move(out);
-    } else if (auto* lut = std::get_if<LutStage>(&stage)) {
+      std::swap(buffer, next);
+    } else if (const auto* lut = std::get_if<LutStage>(&stage)) {
       for (std::int64_t& v : buffer) v = lut->lut.apply_raw(v);
     }
   }
-  stats_.inferences += 1;
-  return buffer;
+  stats.inferences += 1;
+  std::copy(buffer.begin(), buffer.end(), out.begin());
+}
+
+void FixedNetwork::infer_into(std::span<const float> pixels,
+                              std::span<std::int64_t> out,
+                              EngineStats& stats) const {
+  InferScratch scratch = make_scratch();
+  infer_into(pixels, out, stats, scratch);
+}
+
+std::vector<std::int64_t> FixedNetwork::forward_raw(
+    std::span<const float> pixels) {
+  std::vector<std::int64_t> out(output_size_);
+  infer_into(pixels, out, stats_);
+  return out;
 }
 
 int FixedNetwork::predict(std::span<const float> pixels) {
-  const auto raw = forward_raw(pixels);
-  int best = 0;
-  for (std::size_t i = 1; i < raw.size(); ++i) {
-    if (raw[i] > raw[static_cast<std::size_t>(best)]) {
-      best = static_cast<int>(i);
-    }
-  }
-  return best;
+  return argmax_raw(forward_raw(pixels));
 }
 
 double FixedNetwork::evaluate(std::span<const man::data::Example> examples) {
   if (examples.empty()) return 0.0;
+  InferScratch scratch = make_scratch();
+  std::vector<std::int64_t> raw(output_size_);
   std::size_t correct = 0;
   for (const man::data::Example& ex : examples) {
-    if (predict(ex.pixels) == ex.label) ++correct;
+    infer_into(ex.pixels, raw, stats_, scratch);
+    if (argmax_raw(raw) == ex.label) ++correct;
   }
   return static_cast<double>(correct) / examples.size();
 }

@@ -30,6 +30,20 @@
 
 namespace man::engine {
 
+/// Index of the largest raw accumulator (first max wins) — the one
+/// argmax every prediction path shares, so tie-breaking can never
+/// diverge between the single-sample and batched runtimes.
+[[nodiscard]] inline int argmax_raw(
+    std::span<const std::int64_t> raw) noexcept {
+  int best = 0;
+  for (std::size_t i = 1; i < raw.size(); ++i) {
+    if (raw[i] > raw[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
 /// Bit-accurate fixed-point inference engine.
 class FixedNetwork {
  public:
@@ -49,8 +63,53 @@ class FixedNetwork {
   }
   [[nodiscard]] int lanes() const noexcept { return lanes_; }
 
-  /// Final-layer raw accumulators (pre-activation, product scale) for
-  /// one image.
+  /// Pixels per input image / accumulators per output (fixed by the
+  /// compiled stage graph).
+  [[nodiscard]] std::size_t input_size() const noexcept {
+    return input_size_;
+  }
+  [[nodiscard]] std::size_t output_size() const noexcept {
+    return output_size_;
+  }
+
+  /// Per-worker mutable state for the re-entrant forward path: the
+  /// activation ping-pong buffers plus one PrecomputerCache per
+  /// synapse stage, so the CSHM bank outputs computed for one sample
+  /// are reused across every later sample fed through the same
+  /// scratch (a shard). Obtain via make_scratch(); the engine must
+  /// outlive it.
+  struct InferScratch {
+    std::vector<std::int64_t> buffer;     ///< current stage activations
+    std::vector<std::int64_t> next;       ///< next stage activations
+    std::vector<std::int64_t> multiples;  ///< bank outputs, k-strided
+    std::vector<man::core::PrecomputerCache> caches;  ///< per synapse stage
+    /// Output staging for callers that loop infer_into per sample
+    /// (e.g. BatchRunner's Example path) without re-allocating.
+    std::vector<std::int64_t> raw_out;
+  };
+  [[nodiscard]] InferScratch make_scratch() const;
+
+  /// Zeroed stats with this engine's layer layout (names prefilled) —
+  /// the shape infer_into() accumulates into and EngineStats::merge()
+  /// reduces over.
+  [[nodiscard]] EngineStats make_stats() const;
+
+  /// Re-entrant forward pass: quantizes `pixels`, runs every stage,
+  /// and writes the final-layer raw accumulators (pre-activation,
+  /// product scale) into `out` (size output_size()). Activity is
+  /// accumulated into `stats`; `scratch` carries the buffers and the
+  /// CSHM caches between calls. Safe to call concurrently from many
+  /// threads as long as each thread owns its `stats` and `scratch`.
+  void infer_into(std::span<const float> pixels, std::span<std::int64_t> out,
+                  EngineStats& stats, InferScratch& scratch) const;
+
+  /// Convenience overload with throwaway scratch (no cross-sample
+  /// bank reuse).
+  void infer_into(std::span<const float> pixels, std::span<std::int64_t> out,
+                  EngineStats& stats) const;
+
+  /// Final-layer raw accumulators for one image (thin wrapper over
+  /// infer_into, accumulating into the member stats).
   [[nodiscard]] std::vector<std::int64_t> forward_raw(
       std::span<const float> pixels);
 
@@ -116,14 +175,15 @@ class FixedNetwork {
   void compile_synapse(SynapseData& synapse, std::span<const float> weights,
                        std::span<const float> biases, std::uint64_t macs,
                        int out_neurons);
-  [[nodiscard]] std::vector<std::int64_t> multiples_of(
-      const SynapseData& synapse, std::int64_t input) const;
+  [[nodiscard]] const SynapseData& synapse_at(std::size_t stage_index) const;
 
   man::nn::QuantSpec spec_;
   LayerAlphabetPlan plan_;
   int lanes_;
   std::vector<Stage> stages_;
   std::vector<std::size_t> synapse_stage_indices_;
+  std::size_t input_size_ = 0;
+  std::size_t output_size_ = 0;
   EngineStats stats_;
 };
 

@@ -38,9 +38,16 @@ std::int32_t QFormat::saturate(std::int64_t raw) const noexcept {
 }
 
 std::string QFormat::to_string() const {
-  return "Q" + std::to_string(integer_bits()) + "." +
-         std::to_string(frac_bits_) + " (" + std::to_string(total_bits_) +
-         "b)";
+  // Built incrementally: GCC 12's -Wrestrict misfires on long
+  // operator+ chains of std::string temporaries.
+  std::string out = "Q";
+  out += std::to_string(integer_bits());
+  out += '.';
+  out += std::to_string(frac_bits_);
+  out += " (";
+  out += std::to_string(total_bits_);
+  out += "b)";
+  return out;
 }
 
 std::int32_t rescale_product(std::int64_t product_raw, const QFormat& a,

@@ -44,9 +44,13 @@ std::string Table::to_string() const {
     return line + "\n";
   };
   const auto emit = [&](const std::vector<std::string>& cells) {
+    // Appended piecewise: GCC 12's -Wrestrict misfires on operator+
+    // chains of std::string temporaries.
     std::string line = "|";
     for (std::size_t i = 0; i < widths.size(); ++i) {
-      line += " " + pad(i < cells.size() ? cells[i] : "", widths[i]) + " |";
+      line += ' ';
+      line += pad(i < cells.size() ? cells[i] : "", widths[i]);
+      line += " |";
     }
     return line + "\n";
   };
