@@ -1,0 +1,174 @@
+// Serving-layer throughput/latency bench: concurrent clients hammer
+// InferenceServer front-ends (digit + face engines sharing one
+// persistent ThreadPool) with single-sample requests, and the bench
+// reports QPS, p50/p99 client-observed latency, micro-batch shape,
+// and a bit-identity spot check against the sequential engine path.
+//
+// Env knobs: MAN_SERVE_CLIENTS (default 4), MAN_SERVE_REQUESTS per
+// client (default 200), MAN_SERVE_MAX_BATCH (default 64),
+// MAN_SERVE_MAX_WAIT_US (default 200), MAN_BENCH_WORKERS (pool size,
+// default auto).
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "man/serve/engine_cache.h"
+#include "man/serve/inference_server.h"
+#include "man/serve/thread_pool.h"
+#include "man/util/rng.h"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[rank];
+}
+
+struct ClientStats {
+  std::vector<double> latencies_ms;
+  std::size_t mismatches = 0;
+};
+
+}  // namespace
+
+int main() {
+  using man::serve::EngineCache;
+  using man::serve::EngineSpec;
+  using man::serve::InferenceServer;
+  using man::serve::ServerOptions;
+  using man::serve::ThreadPool;
+
+  const int clients = env_int("MAN_SERVE_CLIENTS", 4);
+  const int requests_per_client = env_int("MAN_SERVE_REQUESTS", 200);
+  const int max_batch = env_int("MAN_SERVE_MAX_BATCH", 64);
+  const int max_wait_us = env_int("MAN_SERVE_MAX_WAIT_US", 200);
+  const int pool_threads = [] {
+    const int requested = man::bench::bench_workers();
+    if (requested > 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp(static_cast<int>(hw), 1, 16);
+  }();
+
+  man::bench::print_banner(
+      "Serving throughput: " + std::to_string(clients) + " clients x " +
+      std::to_string(requests_per_client) + " requests, max_batch " +
+      std::to_string(max_batch) + ", max_wait " +
+      std::to_string(max_wait_us) + " us, pool " +
+      std::to_string(pool_threads) + " threads");
+
+  // Untrained engines: serving throughput does not depend on the
+  // weights, and the bench must not pay minutes of training.
+  EngineCache engine_cache;
+  EngineSpec digit_spec;
+  digit_spec.app = man::apps::AppId::kDigitMlp8;
+  digit_spec.alphabets = 4;
+  digit_spec.trained = false;
+  EngineSpec face_spec = digit_spec;
+  face_spec.app = man::apps::AppId::kFaceMlp12;
+  face_spec.alphabets = 1;
+
+  const auto digit_engine = engine_cache.get(digit_spec);
+  const auto face_engine = engine_cache.get(face_spec);
+
+  const auto pool = std::make_shared<ThreadPool>(pool_threads);
+  ServerOptions options;
+  options.max_batch = static_cast<std::size_t>(max_batch);
+  options.max_wait = std::chrono::microseconds(max_wait_us);
+  options.batch.pool = pool;
+  options.batch.min_samples_per_worker = 1;
+  InferenceServer digit_server(*digit_engine, options);
+  InferenceServer face_server(*face_engine, options);
+
+  std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+
+  man::util::Stopwatch wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      man::util::Rng rng(7000 + static_cast<std::uint64_t>(c));
+      auto& mine = stats[static_cast<std::size_t>(c)];
+      mine.latencies_ms.reserve(
+          static_cast<std::size_t>(requests_per_client));
+      for (int r = 0; r < requests_per_client; ++r) {
+        const bool to_digit = (r + c) % 2 == 0;
+        const auto& engine = to_digit ? *digit_engine : *face_engine;
+        auto& server = to_digit ? digit_server : face_server;
+        std::vector<float> pixels(engine.input_size());
+        for (float& p : pixels) p = static_cast<float>(rng.next_double());
+
+        man::util::Stopwatch latency;
+        auto result = server.submit(pixels).get();
+        mine.latencies_ms.push_back(latency.seconds() * 1e3);
+
+        // Spot-check bit-identity on a sample of responses.
+        if (r % 50 == 0) {
+          auto check_stats = engine.make_stats();
+          auto scratch = engine.make_scratch();
+          std::vector<std::int64_t> expected(engine.output_size());
+          engine.infer_into(pixels, expected, check_stats, scratch);
+          if (result.raw != expected) mine.mismatches += 1;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = wall.seconds();
+
+  std::vector<double> all_ms;
+  std::size_t mismatches = 0;
+  for (const auto& s : stats) {
+    all_ms.insert(all_ms.end(), s.latencies_ms.begin(),
+                  s.latencies_ms.end());
+    mismatches += s.mismatches;
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  const auto total_requests = static_cast<double>(all_ms.size());
+
+  const auto digit_metrics = digit_server.metrics();
+  const auto face_metrics = face_server.metrics();
+  const auto batches = digit_metrics.batches + face_metrics.batches;
+  const auto samples = digit_metrics.samples + face_metrics.samples;
+
+  man::util::Table table({"Metric", "Value"});
+  table.add_row({"requests", std::to_string(all_ms.size())});
+  table.add_row({"wall time (s)", man::util::format_double(wall_s, 3)});
+  table.add_row(
+      {"QPS", man::util::format_double(total_requests / wall_s, 1)});
+  table.add_row({"p50 latency (ms)",
+                 man::util::format_double(percentile(all_ms, 0.50), 3)});
+  table.add_row({"p99 latency (ms)",
+                 man::util::format_double(percentile(all_ms, 0.99), 3)});
+  table.add_row({"micro-batches", std::to_string(batches)});
+  table.add_row(
+      {"avg batch (samples)",
+       man::util::format_double(
+           batches > 0 ? static_cast<double>(samples) /
+                             static_cast<double>(batches)
+                       : 0.0,
+           2)});
+  table.add_row({"largest batch",
+                 std::to_string(std::max(digit_metrics.largest_batch,
+                                         face_metrics.largest_batch))});
+  table.add_row({"pool threads started",
+                 std::to_string(pool->threads_started())});
+  std::cout << table.to_string();
+
+  std::cout << "bit-identity spot checks: "
+            << (mismatches == 0 ? "all matched" : "MISMATCH") << "\n";
+  return mismatches == 0 ? 0 : 1;
+}

@@ -42,11 +42,19 @@ std::string ModelCache::path_of(const std::string& key) const {
          std::to_string(man::util::fnv1a(key)) + ".bin";
 }
 
+std::mutex& ModelCache::mutex_of(const std::string& key) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto& slot = key_mutexes_[key];
+  if (slot == nullptr) slot = std::make_unique<std::mutex>();
+  return *slot;
+}
+
 man::nn::Network ModelCache::baseline(const AppSpec& app,
                                       const man::data::Dataset& dataset,
                                       double dataset_scale, bool* trained) {
   const std::string key = key_of(app, dataset_scale, "baseline");
   const std::string path = path_of(key);
+  std::lock_guard<std::mutex> lock(mutex_of(key));
 
   man::nn::Network net = app.build_network(kInitSeed);
   if (man::nn::load_params(net, path, key)) {
@@ -72,6 +80,7 @@ man::nn::Network ModelCache::retrained(const AppSpec& app,
   const std::string key =
       key_of(app, dataset_scale, "asm" + set.to_string());
   const std::string path = path_of(key);
+  std::lock_guard<std::mutex> lock(mutex_of(key));
 
   man::nn::Network net = app.build_network(kInitSeed);
   if (man::nn::load_params(net, path, key)) {
@@ -99,6 +108,7 @@ man::nn::Network ModelCache::retrained_mixed(
   for (const auto& set : per_layer_sets) variant += set.to_string();
   const std::string key = key_of(app, dataset_scale, variant);
   const std::string path = path_of(key);
+  std::lock_guard<std::mutex> lock(mutex_of(key));
 
   man::nn::Network net = app.build_network(kInitSeed);
   if (man::nn::load_params(net, path, key)) {

@@ -3,9 +3,17 @@
 // constrained-retrained variant goes through this cache so the cost is
 // paid once per configuration. Cache keys encode the app, bit width,
 // dataset scale and alphabet set — any change invalidates the entry.
+//
+// Thread-safe: each configuration is guarded by its own mutex, so
+// concurrent callers (the serving EngineCache warms several engines
+// at once) train a given configuration exactly once and never race on
+// its cache file; distinct configurations train in parallel.
 #ifndef MAN_APPS_MODEL_CACHE_H
 #define MAN_APPS_MODEL_CACHE_H
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "man/apps/app_registry.h"
@@ -49,8 +57,14 @@ class ModelCache {
   [[nodiscard]] std::string key_of(const AppSpec& app, double scale,
                                    const std::string& variant) const;
   [[nodiscard]] std::string path_of(const std::string& key) const;
+  /// The per-configuration mutex for `key`, created on first use.
+  /// retrained() holds its own key's mutex while calling baseline()
+  /// (a different key, so a different mutex — never recursive).
+  [[nodiscard]] std::mutex& mutex_of(const std::string& key);
 
   std::string directory_;
+  std::mutex registry_mutex_;  ///< guards key_mutexes_
+  std::map<std::string, std::unique_ptr<std::mutex>> key_mutexes_;
 };
 
 }  // namespace man::apps

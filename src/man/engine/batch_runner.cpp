@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <future>
 #include <stdexcept>
 #include <thread>
 
@@ -22,7 +23,15 @@ BatchRunner::BatchRunner(const FixedNetwork& network, BatchOptions options)
       workers_(resolve_workers(options.workers)),
       min_samples_per_worker_(std::max<std::size_t>(
           1, options.min_samples_per_worker)),
-      stats_(network.make_stats()) {}
+      pool_(std::move(options.pool)),
+      stats_(network.make_stats()) {
+  if (options.workers < 0) {
+    throw std::invalid_argument(
+        "BatchRunner: workers must be >= 0 (0 = auto), got " +
+        std::to_string(options.workers));
+  }
+  if (pool_ != nullptr) workers_ = std::min(workers_, pool_->size());
+}
 
 void BatchRunner::run_sharded(
     std::size_t count,
@@ -30,11 +39,11 @@ void BatchRunner::run_sharded(
                              FixedNetwork::InferScratch&)>& fn) {
   if (count == 0) return;
 
-  const std::size_t pool = std::min<std::size_t>(
+  const std::size_t shards = std::min<std::size_t>(
       static_cast<std::size_t>(workers_),
       (count + min_samples_per_worker_ - 1) / min_samples_per_worker_);
 
-  if (pool <= 1) {
+  if (shards <= 1) {
     EngineStats local = network_->make_stats();
     FixedNetwork::InferScratch scratch = network_->make_scratch();
     for (std::size_t i = 0; i < count; ++i) fn(i, local, scratch);
@@ -42,38 +51,39 @@ void BatchRunner::run_sharded(
     return;
   }
 
-  // Contiguous shards: worker w takes [w*per + min(w, extra) ...), so
+  // First parallel run with no shared pool: create the private pool
+  // once and keep it — never a thread per run().
+  if (pool_ == nullptr) {
+    pool_ = std::make_shared<man::serve::ThreadPool>(workers_);
+  }
+
+  // Contiguous shards: shard w takes [w*per + min(w, extra) ...), so
   // shard sizes differ by at most one sample.
-  const std::size_t per = count / pool;
-  const std::size_t extra = count % pool;
+  const std::size_t per = count / shards;
+  const std::size_t extra = count % shards;
 
-  std::vector<EngineStats> worker_stats(pool);
-  std::vector<std::exception_ptr> worker_errors(pool);
-  std::vector<std::thread> threads;
-  threads.reserve(pool);
+  std::vector<EngineStats> shard_stats(shards);
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards);
 
-  for (std::size_t w = 0; w < pool; ++w) {
+  for (std::size_t w = 0; w < shards; ++w) {
     const std::size_t begin = w * per + std::min(w, extra);
     const std::size_t end = begin + per + (w < extra ? 1 : 0);
-    threads.emplace_back([&, w, begin, end] {
-      try {
-        EngineStats local = network_->make_stats();
-        FixedNetwork::InferScratch scratch = network_->make_scratch();
-        for (std::size_t i = begin; i < end; ++i) fn(i, local, scratch);
-        worker_stats[w] = std::move(local);
-      } catch (...) {
-        worker_errors[w] = std::current_exception();
-      }
-    });
+    pending.push_back(pool_->submit([&, w, begin, end] {
+      EngineStats local = network_->make_stats();
+      FixedNetwork::InferScratch scratch = network_->make_scratch();
+      for (std::size_t i = begin; i < end; ++i) fn(i, local, scratch);
+      shard_stats[w] = std::move(local);
+    }));
   }
-  for (std::thread& t : threads) t.join();
+  // Every shard must finish before we unwind (the tasks capture
+  // references to locals); only then rethrow the first failure.
+  for (std::future<void>& f : pending) f.wait();
+  for (std::future<void>& f : pending) f.get();
 
-  for (const std::exception_ptr& error : worker_errors) {
-    if (error) std::rethrow_exception(error);
-  }
-  // Fixed worker order keeps the reduction deterministic (the counts
+  // Fixed shard order keeps the reduction deterministic (the counts
   // are integers, so it is also order-independent — belt and braces).
-  for (EngineStats& local : worker_stats) stats_.merge(local);
+  for (EngineStats& local : shard_stats) stats_.merge(local);
 }
 
 void BatchRunner::run(std::span<const float> inputs,
@@ -125,7 +135,7 @@ std::vector<int> BatchRunner::predict(
   std::vector<int> predictions(examples.size());
   run_sharded(examples.size(), [&](std::size_t i, EngineStats& stats,
                                    FixedNetwork::InferScratch& scratch) {
-    scratch.raw_out.resize(out_size);  // per-worker, reused across samples
+    scratch.raw_out.resize(out_size);  // per-shard, reused across samples
     network_->infer_into(examples[i].pixels, scratch.raw_out, stats, scratch);
     predictions[i] = argmax_raw(scratch.raw_out);
   });

@@ -1,36 +1,50 @@
 // Batched, multi-threaded driver for the fixed-point engine: shards a
-// batch of inputs across a small worker pool, gives every worker its
-// own InferScratch (so the CSHM pre-computer outputs are memoized
+// batch of inputs across a persistent worker pool, gives every shard
+// its own InferScratch (so the CSHM pre-computer outputs are memoized
 // within a shard instead of rebuilt per sample — the amortization the
-// shared bank exists for, paper §III), and reduces the per-worker
+// shared bank exists for, paper §III), and reduces the per-shard
 // EngineStats into one aggregate with per-layer activity preserved.
 //
 // Results are bit-identical to the sequential path for any worker
 // count: every sample's output lands in its own slot, and the
 // per-layer counters are integer sums, which commute.
+//
+// Threads are NOT spawned per run(): work executes on a
+// man::serve::ThreadPool — either one the caller shares across
+// runners (BatchOptions::pool, the serving front-end's arrangement)
+// or one the runner lazily creates on its first parallel run and
+// keeps for its lifetime.
 #ifndef MAN_ENGINE_BATCH_RUNNER_H
 #define MAN_ENGINE_BATCH_RUNNER_H
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "man/data/dataset.h"
 #include "man/engine/engine_stats.h"
 #include "man/engine/fixed_network.h"
+#include "man/serve/thread_pool.h"
 
 namespace man::engine {
 
 /// Worker-pool knobs for BatchRunner.
 struct BatchOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency()
-  /// (clamped to [1, 16]).
+  /// (clamped to [1, 16]). Negative values are rejected with
+  /// std::invalid_argument at construction.
   int workers = 0;
-  /// Below this many samples per worker the pool shrinks, down to a
-  /// plain inline loop — thread spawn is not worth a handful of
+  /// Below this many samples per worker the shard count shrinks, down
+  /// to a plain inline loop — pool dispatch is not worth a handful of
   /// inferences.
   std::size_t min_samples_per_worker = 8;
+  /// Persistent pool to run on, shared across runners (and with the
+  /// serving front-end). When null the runner creates a private pool
+  /// of `workers` threads on its first parallel run. When set, the
+  /// effective parallelism is capped at the pool's size.
+  std::shared_ptr<man::serve::ThreadPool> pool;
 };
 
 /// Per-sample predictions plus batch accuracy (evaluate() result).
@@ -39,15 +53,25 @@ struct BatchAccuracy {
   std::vector<int> predictions;
 };
 
-/// Shards batches of inferences over worker threads. The runner holds
-/// only a reference to the engine (which must outlive it); all mutable
-/// state is per-worker, so several runners may share one engine.
+/// Shards batches of inferences over a persistent worker pool. The
+/// runner holds only a reference to the engine (which must outlive
+/// it); all mutable state is per-shard, so several runners may share
+/// one engine. A single runner is not re-entrant: run()/predict()/
+/// evaluate() must not be called concurrently on the same instance
+/// (the stats reduction is unsynchronized by design).
 class BatchRunner {
  public:
   explicit BatchRunner(const FixedNetwork& network, BatchOptions options = {});
 
-  /// Resolved pool size (the cap; small batches may use fewer).
+  /// Resolved shard-count cap (small batches may use fewer shards).
   [[nodiscard]] int workers() const noexcept { return workers_; }
+
+  /// The persistent pool work executes on. Null until the first run
+  /// that actually goes parallel when no pool was passed in.
+  [[nodiscard]] const std::shared_ptr<man::serve::ThreadPool>& pool()
+      const noexcept {
+    return pool_;
+  }
 
   /// Runs `count` samples stored contiguously in `inputs` (count ×
   /// input_size() floats) and writes the raw final-layer accumulators
@@ -72,8 +96,9 @@ class BatchRunner {
 
  private:
   /// Runs fn(sample_index, stats, scratch) for every index in [0,
-  /// count) across the pool, then merges worker stats (in worker
-  /// order) into stats_. Rethrows the first worker exception.
+  /// count) across the pool, then merges shard stats (in shard
+  /// order) into stats_. Rethrows the first shard exception after
+  /// every shard has finished.
   void run_sharded(
       std::size_t count,
       const std::function<void(std::size_t, EngineStats&,
@@ -82,6 +107,7 @@ class BatchRunner {
   const FixedNetwork* network_;
   int workers_;
   std::size_t min_samples_per_worker_;
+  std::shared_ptr<man::serve::ThreadPool> pool_;
   EngineStats stats_;
 };
 

@@ -1,0 +1,145 @@
+#include "man/serve/engine_cache.h"
+
+#include <functional>
+#include <utility>
+
+#include "man/core/alphabet_set.h"
+#include "man/engine/layer_alphabet_plan.h"
+#include "man/nn/constraint_projection.h"
+
+namespace man::serve {
+
+namespace {
+
+constexpr std::uint64_t kUntrainedSeed = 42;
+
+}  // namespace
+
+std::string EngineSpec::key() const {
+  const auto& app_spec = man::apps::get_app(app);
+  std::string key = app_spec.name + "|bits=" +
+                    std::to_string(app_spec.weight_bits) +
+                    "|alphabets=" + std::to_string(alphabets) +
+                    "|lanes=" + std::to_string(lanes);
+  if (trained) {
+    key += "|trained|scale=" + std::to_string(dataset_scale);
+  } else {
+    key += "|untrained";
+  }
+  return key;
+}
+
+EngineCache::EngineCache(std::string model_dir)
+    : models_(std::move(model_dir)) {}
+
+EngineCache::Shard& EngineCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::shared_ptr<const man::engine::FixedNetwork> EngineCache::get(
+    const EngineSpec& spec) {
+  const std::string key = spec.key();
+  Shard& shard = shard_for(key);
+
+  std::promise<std::shared_ptr<const man::engine::FixedNetwork>> promise;
+  EngineFuture future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.engines.find(key);
+    if (it != shard.engines.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      shard.engines.emplace(key, future);
+      builder = true;
+    }
+  }
+
+  if (!builder) return future.get();
+
+  // Build outside the shard lock: a slow training run must not block
+  // lookups of unrelated keys that hash to the same shard.
+  try {
+    auto engine = build(spec);
+    promise.set_value(engine);
+    return engine;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      // Drop the poisoned entry so a later call can retry; waiters
+      // already holding the future still see the original error.
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.engines.erase(key);
+    }
+    throw;
+  }
+}
+
+std::shared_ptr<const man::data::Dataset> EngineCache::dataset(
+    man::apps::AppId app, double scale) {
+  const auto& app_spec = man::apps::get_app(app);
+  const std::string key =
+      app_spec.name + "|scale=" + std::to_string(scale);
+  {
+    std::lock_guard<std::mutex> lock(dataset_mutex_);
+    auto it = datasets_.find(key);
+    if (it != datasets_.end()) return it->second;
+  }
+  // Synthetic generation is deterministic, so a rare duplicate build
+  // (two threads missing at once) yields identical data; last insert
+  // wins and both copies are valid.
+  auto built = std::make_shared<const man::data::Dataset>(
+      app_spec.make_dataset(scale));
+  std::lock_guard<std::mutex> lock(dataset_mutex_);
+  auto [it, inserted] = datasets_.emplace(key, std::move(built));
+  return it->second;
+}
+
+std::size_t EngineCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, future] : shard.engines) {
+      using namespace std::chrono_literals;
+      if (future.wait_for(0s) == std::future_status::ready) total += 1;
+    }
+  }
+  return total;
+}
+
+std::shared_ptr<const man::engine::FixedNetwork> EngineCache::build(
+    const EngineSpec& spec) {
+  const auto& app_spec = man::apps::get_app(spec.app);
+  const man::nn::QuantSpec quant = app_spec.quant();
+
+  man::nn::Network net = app_spec.build_network(kUntrainedSeed);
+  if (spec.trained) {
+    const auto data = dataset(spec.app, spec.dataset_scale);
+    if (spec.alphabets == 0) {
+      net = models_.baseline(app_spec, *data, spec.dataset_scale);
+    } else {
+      net = models_.retrained(app_spec, *data, spec.dataset_scale,
+                              man::core::AlphabetSet::first_n(spec.alphabets));
+    }
+  } else if (spec.alphabets > 0) {
+    // Untrained ASM engines still get projected weights, so they run
+    // the exact Algorithm 1 schedule a retrained engine would.
+    const man::nn::ProjectionPlan plan(
+        quant, man::core::AlphabetSet::first_n(spec.alphabets),
+        net.num_weight_layers());
+    plan.project_network(net);
+  }
+
+  const auto plan =
+      spec.alphabets == 0
+          ? man::engine::LayerAlphabetPlan::conventional(
+                net.num_weight_layers())
+          : man::engine::LayerAlphabetPlan::uniform_asm(
+                net.num_weight_layers(),
+                man::core::AlphabetSet::first_n(spec.alphabets));
+  return std::make_shared<const man::engine::FixedNetwork>(net, quant, plan,
+                                                           spec.lanes);
+}
+
+}  // namespace man::serve

@@ -1,0 +1,190 @@
+#include "man/serve/inference_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace man::serve {
+
+InferenceServer::InferenceServer(const man::engine::FixedNetwork& engine,
+                                 ServerOptions options)
+    : engine_(&engine),
+      options_(std::move(options)),
+      runner_(engine, options_.batch) {
+  if (options_.max_batch == 0) {
+    throw std::invalid_argument("InferenceServer: max_batch must be >= 1");
+  }
+  if (options_.max_wait < std::chrono::microseconds::zero()) {
+    throw std::invalid_argument("InferenceServer: max_wait must be >= 0");
+  }
+  stats_snapshot_ = runner_.stats();
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<InferenceResult> InferenceServer::submit(
+    std::vector<float> pixels, Clock::time_point deadline) {
+  const std::size_t in_size = engine_->input_size();
+  if (pixels.empty()) {
+    throw std::invalid_argument("InferenceServer: empty request");
+  }
+  if (pixels.size() % in_size != 0) {
+    throw std::invalid_argument(
+        "InferenceServer: request of " + std::to_string(pixels.size()) +
+        " floats is not a whole number of " + std::to_string(in_size) +
+        "-pixel samples");
+  }
+
+  Request request;
+  request.count = pixels.size() / in_size;
+  request.pixels = std::move(pixels);
+  request.deadline = deadline;
+  std::future<InferenceResult> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("InferenceServer: submit after shutdown");
+    }
+    queued_samples_ += request.count;
+    metrics_.requests += 1;
+    metrics_.samples += request.count;
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();  // only the dispatcher waits on cv_
+  return future;
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    std::vector<float> pixels) {
+  return submit(std::move(pixels), Clock::now() + options_.max_wait);
+}
+
+void InferenceServer::shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+InferenceServer::Metrics InferenceServer::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_;
+}
+
+man::engine::EngineStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_snapshot_;
+}
+
+void InferenceServer::dispatch_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+
+    // Micro-batching wait: flush when the queue reaches max_batch
+    // samples, when the earliest deadline among queued requests
+    // arrives (a deadline already in the past flushes immediately),
+    // or when shutdown drains the queue. Explicit deadlines need not
+    // be monotonic in arrival order, so scan the whole queue — a
+    // newcomer with a tight deadline must pull the flush forward
+    // (batches still close oldest-first, so everything queued ahead
+    // of it ships with or before it).
+    bool deadline_flush = false;
+    while (!stopping_ && queued_samples_ < options_.max_batch) {
+      Clock::time_point earliest = queue_.front().deadline;
+      for (const Request& request : queue_) {
+        earliest = std::min(earliest, request.deadline);
+      }
+      if (Clock::now() >= earliest) {
+        deadline_flush = true;
+        break;
+      }
+      cv_.wait_until(lock, earliest);
+    }
+    if (stopping_ && queued_samples_ < options_.max_batch) {
+      deadline_flush = true;  // drain counts as a deadline flush
+    }
+
+    // Close the micro-batch: whole requests only, oldest first, up to
+    // max_batch samples — except that a single oversized request is
+    // dispatched alone rather than split or rejected.
+    std::vector<Request> batch;
+    std::size_t total_samples = 0;
+    while (!queue_.empty()) {
+      Request& front = queue_.front();
+      if (!batch.empty() &&
+          total_samples + front.count > options_.max_batch) {
+        break;
+      }
+      total_samples += front.count;
+      batch.push_back(std::move(front));
+      queue_.pop_front();
+      if (total_samples >= options_.max_batch) break;
+    }
+    queued_samples_ -= total_samples;
+    metrics_.batches += 1;
+    if (deadline_flush) {
+      metrics_.deadline_flushes += 1;
+    } else {
+      metrics_.size_flushes += 1;
+    }
+    metrics_.largest_batch = std::max(metrics_.largest_batch, total_samples);
+
+    lock.unlock();
+    run_batch(batch, total_samples);
+    lock.lock();
+    stats_snapshot_ = runner_.stats();
+  }
+}
+
+void InferenceServer::run_batch(std::vector<Request>& batch,
+                                std::size_t total_samples) {
+  const std::size_t in_size = engine_->input_size();
+  const std::size_t out_size = engine_->output_size();
+
+  std::vector<float> inputs;
+  inputs.reserve(total_samples * in_size);
+  for (const Request& request : batch) {
+    inputs.insert(inputs.end(), request.pixels.begin(), request.pixels.end());
+  }
+
+  std::vector<std::int64_t> raw(total_samples * out_size);
+  try {
+    runner_.run(inputs, raw);
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Request& request : batch) request.promise.set_exception(error);
+    return;
+  }
+
+  std::size_t sample_offset = 0;
+  for (Request& request : batch) {
+    InferenceResult result;
+    result.samples = request.count;
+    result.output_size = out_size;
+    const auto begin =
+        raw.begin() + static_cast<std::ptrdiff_t>(sample_offset * out_size);
+    result.raw.assign(begin,
+                      begin + static_cast<std::ptrdiff_t>(request.count *
+                                                          out_size));
+    result.predictions.resize(request.count);
+    for (std::size_t s = 0; s < request.count; ++s) {
+      result.predictions[s] = man::engine::argmax_raw(
+          std::span<const std::int64_t>(result.raw)
+              .subspan(s * out_size, out_size));
+    }
+    sample_offset += request.count;
+    request.promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace man::serve

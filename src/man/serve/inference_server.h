@@ -1,0 +1,151 @@
+// Async serving front-end over the batched fixed-point runtime: a
+// future-based submit() API accepting single samples or whole client
+// batches, a dispatcher thread that coalesces queued requests into
+// micro-batches — flushing on max-batch-size or on the oldest
+// request's deadline, whichever comes first — and a pooled
+// BatchRunner that executes every micro-batch on a persistent
+// man::serve::ThreadPool. Because each sample's result depends only
+// on that sample's pixels, coalescing is invisible: responses are
+// bit-identical to running FixedNetwork::infer_into sample by sample,
+// regardless of how traffic interleaves or how many workers run.
+#ifndef MAN_SERVE_INFERENCE_SERVER_H
+#define MAN_SERVE_INFERENCE_SERVER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "man/engine/batch_runner.h"
+#include "man/engine/fixed_network.h"
+
+namespace man::serve {
+
+/// Micro-batching and execution knobs for InferenceServer.
+struct ServerOptions {
+  /// Flush threshold in samples: the dispatcher closes a micro-batch
+  /// as soon as the queue holds this many. A single request larger
+  /// than this is legal — it is dispatched alone as one oversized
+  /// batch (requests are never split).
+  std::size_t max_batch = 64;
+  /// Default batching deadline: a request submitted without an
+  /// explicit deadline waits at most this long for co-batching before
+  /// the dispatcher flushes whatever is queued.
+  std::chrono::microseconds max_wait{500};
+  /// Worker configuration for the dispatch BatchRunner. Set
+  /// batch.pool to share one persistent ThreadPool across several
+  /// servers (the one-process-many-models arrangement).
+  man::engine::BatchOptions batch;
+};
+
+/// Response for one request: raw final-layer accumulators and argmax
+/// predictions for every sample the request carried.
+struct InferenceResult {
+  std::size_t samples = 0;
+  std::size_t output_size = 0;
+  /// samples × output_size raw accumulators (bit-identical to
+  /// FixedNetwork::infer_into).
+  std::vector<std::int64_t> raw;
+  /// One argmax prediction per sample (same tie-breaking as every
+  /// other prediction path).
+  std::vector<int> predictions;
+};
+
+/// Deadline-aware micro-batching front-end for one compiled engine.
+/// submit() is thread-safe; the engine must outlive the server. Run
+/// several servers over different engines on one shared ThreadPool to
+/// serve many model configurations from a single process.
+class InferenceServer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Serving metrics (snapshot under the queue lock).
+  struct Metrics {
+    /// Accepted submissions / samples across them.
+    std::uint64_t requests = 0;
+    std::uint64_t samples = 0;
+    /// Micro-batches dispatched, split by what closed them
+    /// (max_batch vs oldest-deadline/drain), plus the biggest one.
+    std::uint64_t batches = 0;
+    std::uint64_t size_flushes = 0;
+    std::uint64_t deadline_flushes = 0;
+    std::size_t largest_batch = 0;
+  };
+
+  /// Starts the dispatcher thread. Throws std::invalid_argument for
+  /// max_batch == 0 or a negative max_wait.
+  explicit InferenceServer(const man::engine::FixedNetwork& engine,
+                           ServerOptions options = {});
+
+  /// Graceful: drains every accepted request, then stops.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Submits one sample or a contiguous client batch (size must be a
+  /// non-zero multiple of the engine's input_size; anything else
+  /// throws std::invalid_argument). The request waits for co-batching
+  /// until `deadline` at the latest — the dispatcher flushes on the
+  /// earliest deadline across the queue, so a tight deadline also
+  /// pulls everything queued ahead of it. A deadline already in the
+  /// past simply flushes immediately — the request is still served.
+  /// Throws std::runtime_error after shutdown().
+  std::future<InferenceResult> submit(std::vector<float> pixels,
+                                      Clock::time_point deadline);
+
+  /// Same, with the default deadline now + options.max_wait.
+  std::future<InferenceResult> submit(std::vector<float> pixels);
+
+  /// Stops accepting requests, serves everything already queued, and
+  /// joins the dispatcher. Idempotent; also run by the destructor.
+  void shutdown();
+
+  [[nodiscard]] const man::engine::FixedNetwork& engine() const noexcept {
+    return *engine_;
+  }
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] Metrics metrics() const;
+
+  /// Aggregate per-layer activity over everything served so far (the
+  /// dispatch runner's stats; snapshot, taken between batches).
+  [[nodiscard]] man::engine::EngineStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<float> pixels;
+    std::size_t count = 0;
+    Clock::time_point deadline;
+    std::promise<InferenceResult> promise;
+  };
+
+  void dispatch_loop();
+  void run_batch(std::vector<Request>& batch, std::size_t total_samples);
+
+  const man::engine::FixedNetwork* engine_;
+  ServerOptions options_;
+  man::engine::BatchRunner runner_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  std::size_t queued_samples_ = 0;
+  bool stopping_ = false;
+  Metrics metrics_;
+  /// Copy of the runner's stats, refreshed after each batch so
+  /// readers never race the dispatcher.
+  man::engine::EngineStats stats_snapshot_;
+
+  std::mutex shutdown_mutex_;  ///< serializes shutdown()/~InferenceServer
+  std::thread dispatcher_;
+};
+
+}  // namespace man::serve
+
+#endif  // MAN_SERVE_INFERENCE_SERVER_H

@@ -1,0 +1,79 @@
+#include "man/serve/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace man::serve {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) {
+    throw std::invalid_argument("ThreadPool: thread count must be >= 1, got " +
+                                std::to_string(threads));
+  }
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+    threads_started_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  // Count inside the callable, before the packaged_task marks the
+  // future ready: an observer who synchronized via future::get() must
+  // never read a counter that has not ticked yet.
+  std::packaged_task<void()> packaged([this, t = std::move(task)] {
+    try {
+      t();
+    } catch (...) {
+      tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain before exiting so shutdown never drops accepted work.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future, not here
+  }
+}
+
+const std::shared_ptr<ThreadPool>& ThreadPool::shared() {
+  static const std::shared_ptr<ThreadPool> pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::make_shared<ThreadPool>(
+        std::clamp(static_cast<int>(hw), 1, 16));
+  }();
+  return pool;
+}
+
+}  // namespace man::serve

@@ -1,0 +1,87 @@
+// Persistent worker pool for the serving runtime: a fixed set of
+// threads created once and reused across every batch, request and
+// generation of work — replacing the spawn-and-join pattern the
+// original BatchRunner paid per run(). Tasks go through a
+// condition-variable queue; each submission returns a future that
+// carries the task's exception (if any) back to the caller, so a
+// throwing task never takes a pool thread down. Destruction is
+// graceful: everything already queued still runs before the threads
+// exit.
+#ifndef MAN_SERVE_THREAD_POOL_H
+#define MAN_SERVE_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace man::serve {
+
+/// Fixed-size persistent thread pool with a future-based submit API.
+/// submit() is safe from any number of threads concurrently; a pool
+/// task must not block on another task of the same pool (the classic
+/// self-deadlock), and the pool must outlive every future obtained
+/// from it only if the caller still intends to wait on them.
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (>= 1; throws
+  /// std::invalid_argument otherwise). No further threads are ever
+  /// created for the lifetime of the pool.
+  explicit ThreadPool(int threads);
+
+  /// Graceful shutdown: queued and in-flight tasks complete, then the
+  /// workers exit and are joined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count fixed at construction.
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// Total worker threads ever started — equals size() for the whole
+  /// lifetime of the pool. Exposed so tests (and assertions in
+  /// callers) can prove no code path spawns threads per run.
+  [[nodiscard]] std::uint64_t threads_started() const noexcept {
+    return threads_started_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks executed to completion so far (throwing counts).
+  [[nodiscard]] std::uint64_t tasks_completed() const noexcept {
+    return tasks_completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Enqueues `task` and returns a future that becomes ready when the
+  /// task finishes; if the task throws, the exception is rethrown
+  /// from future::get(). Throws std::runtime_error if the pool is
+  /// shutting down.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Process-wide default pool sized to the hardware (clamped to
+  /// [1, 16]), created on first use. Callers that want sizing control
+  /// construct their own pool instead.
+  [[nodiscard]] static const std::shared_ptr<ThreadPool>& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> threads_started_{0};
+  std::atomic<std::uint64_t> tasks_completed_{0};
+};
+
+}  // namespace man::serve
+
+#endif  // MAN_SERVE_THREAD_POOL_H

@@ -1,0 +1,192 @@
+// Cache-key discipline of the trained-model cache (any change of app,
+// bit width, dataset scale or alphabet set must miss; an identical
+// spec must hit) and the serving EngineCache layered on top of it
+// (one shared compiled engine per spec, across threads).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "man/apps/model_cache.h"
+#include "man/nn/trainer.h"
+#include "man/serve/engine_cache.h"
+
+namespace man::apps {
+namespace {
+
+using man::core::AlphabetSet;
+
+/// A throwaway cache directory under the test temp dir.
+std::string fresh_cache_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "man_model_cache_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Tiny dataset scale: the 1024-100-10 digit MLP trains in well under
+/// a second at 2% of the synthetic per-class counts.
+constexpr double kScale = 0.02;
+
+TEST(ModelCache, BaselineTrainsOnceThenHits) {
+  ModelCache cache(fresh_cache_dir("baseline"));
+  const AppSpec& app = get_app(AppId::kDigitMlp8);
+  const auto dataset = app.make_dataset(kScale);
+
+  bool trained = false;
+  auto first = cache.baseline(app, dataset, kScale, &trained);
+  EXPECT_TRUE(trained);
+
+  auto second = cache.baseline(app, dataset, kScale, &trained);
+  EXPECT_FALSE(trained) << "identical spec must hit the cache";
+
+  // Same weights in, same accuracy out.
+  EXPECT_DOUBLE_EQ(man::nn::evaluate_accuracy(first, dataset.test),
+                   man::nn::evaluate_accuracy(second, dataset.test));
+}
+
+TEST(ModelCache, AlphabetSetChangeMissesTheCache) {
+  ModelCache cache(fresh_cache_dir("alphabets"));
+  const AppSpec& app = get_app(AppId::kDigitMlp8);
+  const auto dataset = app.make_dataset(kScale);
+
+  bool trained = false;
+  (void)cache.retrained(app, dataset, kScale, AlphabetSet::man(), &trained);
+  EXPECT_TRUE(trained);
+
+  // Same app and scale, different alphabet set: must retrain.
+  (void)cache.retrained(app, dataset, kScale, AlphabetSet::two(), &trained);
+  EXPECT_TRUE(trained);
+
+  // Both sets now hit.
+  (void)cache.retrained(app, dataset, kScale, AlphabetSet::man(), &trained);
+  EXPECT_FALSE(trained);
+  (void)cache.retrained(app, dataset, kScale, AlphabetSet::two(), &trained);
+  EXPECT_FALSE(trained);
+}
+
+TEST(ModelCache, BitWidthChangeMissesTheCache) {
+  ModelCache cache(fresh_cache_dir("bits"));
+  AppSpec app = get_app(AppId::kDigitMlp8);  // copy: 8-bit by default
+  const auto dataset = app.make_dataset(kScale);
+
+  bool trained = false;
+  (void)cache.baseline(app, dataset, kScale, &trained);
+  EXPECT_TRUE(trained);
+
+  app.weight_bits = 12;  // same network, different quantization spec
+  (void)cache.baseline(app, dataset, kScale, &trained);
+  EXPECT_TRUE(trained) << "bit-width change must invalidate the key";
+
+  app.weight_bits = 8;
+  (void)cache.baseline(app, dataset, kScale, &trained);
+  EXPECT_FALSE(trained);
+}
+
+TEST(ModelCache, DatasetScaleChangeMissesTheCache) {
+  ModelCache cache(fresh_cache_dir("scale"));
+  const AppSpec& app = get_app(AppId::kDigitMlp8);
+  const auto dataset = app.make_dataset(kScale);
+
+  bool trained = false;
+  (void)cache.baseline(app, dataset, kScale, &trained);
+  EXPECT_TRUE(trained);
+  (void)cache.baseline(app, dataset, kScale * 2, &trained);
+  EXPECT_TRUE(trained);
+  (void)cache.baseline(app, dataset, kScale, &trained);
+  EXPECT_FALSE(trained);
+}
+
+}  // namespace
+}  // namespace man::apps
+
+namespace man::serve {
+namespace {
+
+TEST(EngineCache, SameSpecSameSharedEngineAcrossThreads) {
+  EngineCache cache(man::apps::fresh_cache_dir("engine_threads"));
+  EngineSpec spec;
+  spec.app = man::apps::AppId::kDigitMlp8;
+  spec.alphabets = 1;
+  spec.trained = false;  // untrained: build cost only, no training
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const man::engine::FixedNetwork>> engines(
+      kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { engines[static_cast<std::size_t>(t)] = cache.get(spec); });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_NE(engines[0], nullptr);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(engines[static_cast<std::size_t>(t)].get(), engines[0].get())
+        << "thread " << t << " got a different engine instance";
+  }
+  EXPECT_EQ(cache.size(), 1u) << "concurrent misses must build one engine";
+}
+
+TEST(EngineCache, DistinctSpecsAreDistinctEngines) {
+  EngineCache cache(man::apps::fresh_cache_dir("engine_specs"));
+  EngineSpec man_spec;
+  man_spec.trained = false;
+  man_spec.alphabets = 1;
+
+  EngineSpec asm_spec = man_spec;
+  asm_spec.alphabets = 2;
+  EngineSpec conventional = man_spec;
+  conventional.alphabets = 0;
+  EngineSpec face = man_spec;
+  face.app = man::apps::AppId::kFaceMlp12;
+
+  const auto a = cache.get(man_spec);
+  const auto b = cache.get(asm_spec);
+  const auto c = cache.get(conventional);
+  const auto d = cache.get(face);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_NE(a.get(), d.get());
+  EXPECT_EQ(cache.size(), 4u);
+
+  // Identical spec hits: pointer equality, no rebuild.
+  EXPECT_EQ(cache.get(man_spec).get(), a.get());
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(EngineCache, TrainedSpecGoesThroughModelCacheOnce) {
+  EngineCache cache(man::apps::fresh_cache_dir("engine_trained"));
+  EngineSpec spec;
+  spec.app = man::apps::AppId::kDigitMlp8;
+  spec.alphabets = 1;
+  spec.trained = true;
+  spec.dataset_scale = man::apps::kScale;
+
+  const auto first = cache.get(spec);
+  const auto second = cache.get(spec);
+  EXPECT_EQ(first.get(), second.get());
+
+  // The trained weights landed in the on-disk ModelCache too: a
+  // direct lookup must hit without retraining.
+  const auto& app = man::apps::get_app(spec.app);
+  const auto dataset = cache.dataset(spec.app, spec.dataset_scale);
+  bool trained = true;
+  (void)cache.models().retrained(app, *dataset, spec.dataset_scale,
+                                 man::core::AlphabetSet::man(), &trained);
+  EXPECT_FALSE(trained);
+}
+
+TEST(EngineCache, DatasetsAreBuiltOnceAndShared) {
+  EngineCache cache(man::apps::fresh_cache_dir("engine_datasets"));
+  const auto a = cache.dataset(man::apps::AppId::kDigitMlp8, 0.02);
+  const auto b = cache.dataset(man::apps::AppId::kDigitMlp8, 0.02);
+  const auto c = cache.dataset(man::apps::AppId::kDigitMlp8, 0.03);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_FALSE(a->train.empty());
+}
+
+}  // namespace
+}  // namespace man::serve

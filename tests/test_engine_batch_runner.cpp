@@ -286,6 +286,71 @@ TEST(BatchRunner, RejectsRaggedSpans) {
   EXPECT_THROW(runner.run(one, short_out), std::invalid_argument);
 }
 
+// Regression: negative worker counts used to be silently cast to a
+// huge unsigned shard count; now they are rejected up front.
+TEST(BatchRunner, RejectsNegativeWorkerCount) {
+  Network net = make_mlp(93);
+  FixedNetwork engine(net, QuantSpec::bits8(),
+                      LayerAlphabetPlan::conventional(2));
+  EXPECT_THROW(BatchRunner(engine, BatchOptions{.workers = -1}),
+               std::invalid_argument);
+  EXPECT_THROW(BatchRunner(engine, BatchOptions{.workers = -8}),
+               std::invalid_argument);
+}
+
+// The pool refactor's contract: a runner reused across many run()
+// calls starts its worker threads exactly once.
+TEST(BatchRunner, ReusedRunnerSpawnsNoThreadsPerRun) {
+  Network net = make_mlp(94);
+  FixedNetwork engine(net, QuantSpec::bits8(),
+                      LayerAlphabetPlan::conventional(2));
+  BatchRunner runner(engine, BatchOptions{.workers = 4,
+                                          .min_samples_per_worker = 1});
+
+  const auto batch = random_batch(16, engine.input_size(), 23);
+  std::vector<std::int64_t> raw(16 * engine.output_size());
+  for (int round = 0; round < 20; ++round) runner.run(batch, raw);
+
+  ASSERT_NE(runner.pool(), nullptr);
+  EXPECT_EQ(runner.pool()->size(), 4);
+  EXPECT_EQ(runner.pool()->threads_started(), 4u);
+}
+
+// Several runners (the serving arrangement: many models, one process)
+// share one persistent pool, and results stay bit-identical.
+TEST(BatchRunner, RunnersShareOneProvidedPool) {
+  Network net_a = make_mlp(95);
+  Network net_b = make_mlp(96);
+  FixedNetwork engine_a(net_a, QuantSpec::bits8(),
+                        LayerAlphabetPlan::conventional(2));
+  FixedNetwork engine_b(net_b, QuantSpec::bits8(),
+                        LayerAlphabetPlan::conventional(2));
+
+  const auto pool = std::make_shared<man::serve::ThreadPool>(3);
+  const BatchOptions options{.workers = 8,  // capped at the pool size
+                             .min_samples_per_worker = 1,
+                             .pool = pool};
+  BatchRunner runner_a(engine_a, options);
+  BatchRunner runner_b(engine_b, options);
+  EXPECT_EQ(runner_a.pool().get(), pool.get());
+  EXPECT_EQ(runner_a.workers(), 3);
+
+  const auto batch = random_batch(13, engine_a.input_size(), 29);
+  std::vector<std::int64_t> raw_a(13 * engine_a.output_size());
+  std::vector<std::int64_t> raw_b(13 * engine_b.output_size());
+  for (int round = 0; round < 5; ++round) {
+    runner_a.run(batch, raw_a);
+    runner_b.run(batch, raw_b);
+  }
+  EXPECT_EQ(pool->threads_started(), 3u);
+
+  // Shared-pool results match a sequential runner's.
+  BatchRunner sequential(engine_a, BatchOptions{.workers = 1});
+  std::vector<std::int64_t> expected(13 * engine_a.output_size());
+  sequential.run(batch, expected);
+  EXPECT_EQ(raw_a, expected);
+}
+
 TEST(BatchRunner, StatsAccumulateAcrossRunsAndReset) {
   Network net = make_mlp(91);
   FixedNetwork engine(net, QuantSpec::bits8(),

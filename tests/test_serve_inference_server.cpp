@@ -1,0 +1,319 @@
+// The serving front-end: deadline and queue edge cases (expired
+// deadline, oversized request, empty input, shutdown drain) and the
+// acceptance property — server responses bit-identical to sequential
+// FixedNetwork::infer_into for interleaved mixed-model traffic from
+// concurrent clients, at any worker count.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "man/engine/fixed_network.h"
+#include "man/nn/activation_layer.h"
+#include "man/nn/constraint_projection.h"
+#include "man/nn/dense.h"
+#include "man/serve/inference_server.h"
+#include "man/serve/thread_pool.h"
+#include "man/util/rng.h"
+
+namespace man::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using man::core::AlphabetSet;
+using man::engine::FixedNetwork;
+using man::engine::LayerAlphabetPlan;
+using man::nn::ActivationLayer;
+using man::nn::Dense;
+using man::nn::Network;
+using man::nn::ProjectionPlan;
+using man::nn::QuantSpec;
+
+Network make_mlp(std::uint64_t seed, int in, int hidden, int out) {
+  man::util::Rng rng(seed);
+  Network net;
+  net.add<Dense>(in, hidden).init_xavier(rng);
+  net.add<ActivationLayer>(man::core::ActivationKind::kSigmoid);
+  net.add<Dense>(hidden, out).init_xavier(rng);
+  return net;
+}
+
+/// A small ASM engine ("digit-like" or "face-like" depending on the
+/// geometry) with projected weights, as the serving path would get
+/// from the EngineCache.
+FixedNetwork make_engine(std::uint64_t seed, int in, int hidden, int out,
+                         const AlphabetSet& set) {
+  const QuantSpec spec = QuantSpec::bits8();
+  Network net = make_mlp(seed, in, hidden, out);
+  const ProjectionPlan projection(spec, set, net.num_weight_layers());
+  projection.project_network(net);
+  return FixedNetwork(net, spec,
+                      LayerAlphabetPlan::uniform_asm(net.num_weight_layers(),
+                                                     set));
+}
+
+std::vector<float> random_samples(std::size_t count, std::size_t sample_size,
+                                  std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  std::vector<float> pixels(count * sample_size);
+  for (float& p : pixels) p = static_cast<float>(rng.next_double());
+  return pixels;
+}
+
+/// Sequential ground truth: one sample at a time through infer_into
+/// with fresh scratch, exactly the pre-serving code path.
+std::vector<std::int64_t> sequential_raw(const FixedNetwork& engine,
+                                         std::span<const float> pixels) {
+  const std::size_t count = pixels.size() / engine.input_size();
+  std::vector<std::int64_t> raw(count * engine.output_size());
+  auto stats = engine.make_stats();
+  auto scratch = engine.make_scratch();
+  for (std::size_t i = 0; i < count; ++i) {
+    engine.infer_into(
+        pixels.subspan(i * engine.input_size(), engine.input_size()),
+        std::span<std::int64_t>(raw).subspan(i * engine.output_size(),
+                                             engine.output_size()),
+        stats, scratch);
+  }
+  return raw;
+}
+
+TEST(InferenceServer, RejectsInvalidOptions) {
+  const FixedNetwork engine = make_engine(1, 8, 6, 3, AlphabetSet::man());
+  ServerOptions zero_batch;
+  zero_batch.max_batch = 0;
+  EXPECT_THROW(InferenceServer(engine, zero_batch), std::invalid_argument);
+  ServerOptions negative_wait;
+  negative_wait.max_wait = -1us;
+  EXPECT_THROW(InferenceServer(engine, negative_wait), std::invalid_argument);
+}
+
+TEST(InferenceServer, RejectsEmptyAndRaggedRequests) {
+  const FixedNetwork engine = make_engine(2, 8, 6, 3, AlphabetSet::man());
+  InferenceServer server(engine);
+  EXPECT_THROW((void)server.submit({}), std::invalid_argument);
+  std::vector<float> ragged(engine.input_size() + 1, 0.5f);
+  EXPECT_THROW((void)server.submit(ragged), std::invalid_argument);
+}
+
+// A deadline already in the past is a flush-now hint, not a drop: the
+// request is still served, promptly and correctly.
+TEST(InferenceServer, ExpiredDeadlineIsServedImmediately) {
+  const FixedNetwork engine = make_engine(3, 8, 6, 3, AlphabetSet::two());
+  ServerOptions options;
+  options.max_batch = 64;      // far from full
+  options.max_wait = 10s;      // default deadline would be far away
+  InferenceServer server(engine, options);
+
+  const auto pixels = random_samples(1, engine.input_size(), 30);
+  auto future = server.submit(
+      pixels, InferenceServer::Clock::now() - 1s);
+  ASSERT_EQ(future.wait_for(5s), std::future_status::ready);
+  const InferenceResult result = future.get();
+  EXPECT_EQ(result.samples, 1u);
+  EXPECT_EQ(result.raw, sequential_raw(engine, pixels));
+}
+
+// A request larger than max_batch is never split or rejected: it is
+// dispatched alone as one oversized batch.
+TEST(InferenceServer, OversizedRequestDispatchedWhole) {
+  const FixedNetwork engine = make_engine(4, 8, 6, 3, AlphabetSet::two());
+  ServerOptions options;
+  options.max_batch = 4;
+  options.max_wait = 1ms;
+  InferenceServer server(engine, options);
+
+  const std::size_t count = 11;  // ~3x max_batch
+  const auto pixels = random_samples(count, engine.input_size(), 31);
+  const InferenceResult result = server.submit(pixels).get();
+
+  EXPECT_EQ(result.samples, count);
+  EXPECT_EQ(result.raw, sequential_raw(engine, pixels));
+  const auto metrics = server.metrics();
+  EXPECT_EQ(metrics.batches, 1u);
+  EXPECT_EQ(metrics.largest_batch, count);
+}
+
+// Filling the queue to max_batch flushes without waiting for the
+// deadline: with a 1-hour deadline, completion at all proves the
+// size trigger.
+TEST(InferenceServer, FullBatchFlushesBeforeDeadline) {
+  const FixedNetwork engine = make_engine(5, 8, 6, 3, AlphabetSet::man());
+  ServerOptions options;
+  options.max_batch = 8;
+  options.max_wait = 1h;
+  InferenceServer server(engine, options);
+
+  std::vector<std::future<InferenceResult>> pending;
+  std::vector<std::vector<float>> inputs;
+  for (std::size_t i = 0; i < options.max_batch; ++i) {
+    inputs.push_back(random_samples(1, engine.input_size(), 100 + i));
+    pending.push_back(server.submit(inputs.back()));
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    ASSERT_EQ(pending[i].wait_for(30s), std::future_status::ready) << i;
+    EXPECT_EQ(pending[i].get().raw, sequential_raw(engine, inputs[i])) << i;
+  }
+  const auto metrics = server.metrics();
+  EXPECT_GE(metrics.size_flushes, 1u);
+  EXPECT_EQ(metrics.samples, options.max_batch);
+}
+
+// A lone request in a huge-batch server is released by its deadline.
+TEST(InferenceServer, DeadlineFlushesPartialBatch) {
+  const FixedNetwork engine = make_engine(6, 8, 6, 3, AlphabetSet::man());
+  ServerOptions options;
+  options.max_batch = 1u << 20;
+  options.max_wait = 2ms;
+  InferenceServer server(engine, options);
+
+  const auto pixels = random_samples(1, engine.input_size(), 40);
+  auto future = server.submit(pixels);
+  ASSERT_EQ(future.wait_for(30s), std::future_status::ready);
+  EXPECT_EQ(future.get().raw, sequential_raw(engine, pixels));
+  EXPECT_GE(server.metrics().deadline_flushes, 1u);
+}
+
+// Regression: explicit deadlines need not arrive in order. A
+// newcomer with a tight deadline must flush the queue even though the
+// front request could wait an hour.
+TEST(InferenceServer, EarlierDeadlineDeepInQueueTriggersFlush) {
+  const FixedNetwork engine = make_engine(9, 8, 6, 3, AlphabetSet::man());
+  ServerOptions options;
+  options.max_batch = 1u << 20;  // size never triggers
+  options.max_wait = 1h;
+  InferenceServer server(engine, options);
+
+  const auto patient_pixels = random_samples(1, engine.input_size(), 60);
+  const auto urgent_pixels = random_samples(1, engine.input_size(), 61);
+  auto patient = server.submit(patient_pixels,
+                               InferenceServer::Clock::now() + 1h);
+  auto urgent = server.submit(urgent_pixels,
+                              InferenceServer::Clock::now() + 2ms);
+
+  // The urgent deadline releases both: batches close oldest-first, so
+  // the patient request ships in the same flush.
+  ASSERT_EQ(urgent.wait_for(30s), std::future_status::ready);
+  ASSERT_EQ(patient.wait_for(30s), std::future_status::ready);
+  EXPECT_EQ(urgent.get().raw, sequential_raw(engine, urgent_pixels));
+  EXPECT_EQ(patient.get().raw, sequential_raw(engine, patient_pixels));
+  EXPECT_GE(server.metrics().deadline_flushes, 1u);
+}
+
+TEST(InferenceServer, ShutdownDrainsPendingAndRejectsNewWork) {
+  const FixedNetwork engine = make_engine(7, 8, 6, 3, AlphabetSet::man());
+  ServerOptions options;
+  options.max_batch = 1u << 20;  // only the drain can release these
+  options.max_wait = 1h;
+  InferenceServer server(engine, options);
+
+  std::vector<std::future<InferenceResult>> pending;
+  std::vector<std::vector<float>> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back(random_samples(1, engine.input_size(), 200 + i));
+    pending.push_back(server.submit(inputs[static_cast<std::size_t>(i)]));
+  }
+  server.shutdown();
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    ASSERT_EQ(pending[i].wait_for(0s), std::future_status::ready) << i;
+    EXPECT_EQ(pending[i].get().raw, sequential_raw(engine, inputs[i])) << i;
+  }
+  EXPECT_THROW((void)server.submit(random_samples(1, engine.input_size(), 9)),
+               std::runtime_error);
+  server.shutdown();  // idempotent
+}
+
+TEST(InferenceServer, PredictionsUseSharedArgmax) {
+  const FixedNetwork engine = make_engine(8, 8, 6, 3, AlphabetSet::two());
+  InferenceServer server(engine);
+  const auto pixels = random_samples(6, engine.input_size(), 50);
+  const InferenceResult result = server.submit(pixels).get();
+  ASSERT_EQ(result.predictions.size(), 6u);
+  for (std::size_t s = 0; s < result.samples; ++s) {
+    EXPECT_EQ(result.predictions[s],
+              man::engine::argmax_raw(
+                  std::span<const std::int64_t>(result.raw)
+                      .subspan(s * result.output_size, result.output_size)));
+  }
+  // Served activity is visible through the stats snapshot.
+  EXPECT_EQ(server.stats().inferences, 6u);
+}
+
+// Acceptance: two models ("digit" 16->4 and "face" 25->2) served from
+// one process on one shared pool, hammered by concurrent clients with
+// interleaved single-sample and batch requests — every response must
+// be bit-identical to the sequential engine path, for any worker
+// count.
+class MixedTrafficBitIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixedTrafficBitIdentity, ServerMatchesSequentialEngine) {
+  const int workers = GetParam();
+  const FixedNetwork digit = make_engine(10, 16, 8, 4, AlphabetSet::four());
+  const FixedNetwork face = make_engine(11, 25, 6, 2, AlphabetSet::man());
+
+  const auto pool = std::make_shared<ThreadPool>(workers);
+  ServerOptions options;
+  options.max_batch = 16;
+  options.max_wait = 200us;
+  options.batch.workers = workers;
+  options.batch.pool = pool;
+  options.batch.min_samples_per_worker = 1;
+  InferenceServer digit_server(digit, options);
+  InferenceServer face_server(face, options);
+
+  struct Exchange {
+    const FixedNetwork* engine;
+    std::vector<float> pixels;
+    InferenceResult result;
+  };
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 48;
+  std::vector<std::vector<Exchange>> exchanges(kClients);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      man::util::Rng rng(1000 + static_cast<std::uint64_t>(c));
+      auto& log = exchanges[static_cast<std::size_t>(c)];
+      log.reserve(kRequestsPerClient);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const bool to_digit = (r + c) % 2 == 0;
+        const FixedNetwork& engine = to_digit ? digit : face;
+        InferenceServer& server = to_digit ? digit_server : face_server;
+        const std::size_t count = 1 + rng.next_below(3);  // 1..3 samples
+        std::vector<float> pixels(count * engine.input_size());
+        for (float& p : pixels) p = static_cast<float>(rng.next_double());
+        auto future = server.submit(pixels);
+        log.push_back(Exchange{&engine, std::move(pixels), future.get()});
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Verify on the main thread against the sequential reference.
+  for (int c = 0; c < kClients; ++c) {
+    for (std::size_t r = 0; r < exchanges[static_cast<std::size_t>(c)].size();
+         ++r) {
+      const Exchange& x = exchanges[static_cast<std::size_t>(c)][r];
+      EXPECT_EQ(x.result.raw, sequential_raw(*x.engine, x.pixels))
+          << "client " << c << " request " << r << " workers " << workers;
+    }
+  }
+
+  // The whole run used only the shared pool's fixed threads.
+  EXPECT_EQ(pool->threads_started(), static_cast<std::uint64_t>(workers));
+  const auto digit_metrics = digit_server.metrics();
+  const auto face_metrics = face_server.metrics();
+  EXPECT_EQ(digit_metrics.requests + face_metrics.requests,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, MixedTrafficBitIdentity,
+                         ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace man::serve

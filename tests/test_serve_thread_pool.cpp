@@ -1,0 +1,154 @@
+// The persistent pool under stress: many concurrent submitters,
+// tasks that throw, shutdown with work still in flight, and reuse
+// across many generations of work — with the thread count provably
+// fixed at construction (no thread spawned per run).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "man/serve/thread_pool.h"
+
+namespace man::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ThreadPool, RejectsNonPositiveThreadCounts) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ThreadPool(-3), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsTasksOffTheCallingThread) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+
+  std::vector<std::future<void>> pending;
+  for (int i = 0; i < 64; ++i) {
+    pending.push_back(pool.submit([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : pending) f.get();
+
+  EXPECT_EQ(seen.count(caller), 0u);
+  EXPECT_LE(seen.size(), 4u);
+  EXPECT_GE(seen.size(), 1u);
+}
+
+// The property the serving runtime is built on: a pool used across
+// many generations of work never starts another thread.
+TEST(ThreadPool, ReuseAcrossGenerationsSpawnsNoNewThreads) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+
+  for (int generation = 0; generation < 50; ++generation) {
+    std::vector<std::future<void>> pending;
+    for (int i = 0; i < 8; ++i) {
+      pending.push_back(pool.submit([&] { executed.fetch_add(1); }));
+    }
+    for (auto& f : pending) f.get();
+  }
+
+  EXPECT_EQ(executed.load(), 50 * 8);
+  EXPECT_EQ(pool.threads_started(), 3u);
+  EXPECT_EQ(pool.tasks_completed(), 50u * 8u);
+}
+
+TEST(ThreadPool, ManyConcurrentSubmitters) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 200;
+  std::atomic<int> executed{0};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      std::vector<std::future<void>> pending;
+      pending.reserve(kTasksEach);
+      for (int i = 0; i < kTasksEach; ++i) {
+        pending.push_back(pool.submit([&] { executed.fetch_add(1); }));
+      }
+      for (auto& f : pending) f.get();
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
+  EXPECT_EQ(pool.threads_started(), 4u);
+}
+
+// A throwing task delivers its exception through the future and the
+// worker thread survives to run later tasks.
+TEST(ThreadPool, TaskExceptionsPropagateWithoutKillingWorkers) {
+  ThreadPool pool(2);
+
+  auto bad = pool.submit(
+      [] { throw std::runtime_error("deliberate task failure"); });
+  EXPECT_THROW(
+      {
+        try {
+          bad.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "deliberate task failure");
+          throw;
+        }
+      },
+      std::runtime_error);
+
+  // Both workers are still alive and accepting work.
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> pending;
+  for (int i = 0; i < 32; ++i) {
+    pending.push_back(pool.submit([&] { executed.fetch_add(1); }));
+  }
+  for (auto& f : pending) f.get();
+  EXPECT_EQ(executed.load(), 32);
+  EXPECT_EQ(pool.threads_started(), 2u);
+}
+
+// Graceful shutdown: destroying the pool with queued + in-flight work
+// completes everything already accepted.
+TEST(ThreadPool, ShutdownDrainsWorkInFlight) {
+  std::atomic<int> executed{0};
+  constexpr int kTasks = 40;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      // Discard the futures: completion is observed via the counter.
+      (void)pool.submit([&] {
+        std::this_thread::sleep_for(1ms);
+        executed.fetch_add(1);
+      });
+    }
+    // Destructor runs with most of the queue still pending.
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPool, SharedPoolIsSingletonAndAlive) {
+  const auto& a = ThreadPool::shared();
+  const auto& b = ThreadPool::shared();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GE(a->size(), 1);
+
+  std::atomic<int> executed{0};
+  a->submit([&] { executed.fetch_add(1); }).get();
+  EXPECT_EQ(executed.load(), 1);
+}
+
+}  // namespace
+}  // namespace man::serve
