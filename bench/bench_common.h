@@ -37,6 +37,15 @@ inline int bench_workers() {
   return 0;
 }
 
+/// Machine-readable results sink: when MAN_BENCH_JSON names a file,
+/// benches write their headline metrics there (the CI bench-regression
+/// job collects these into BENCH_<sha>.json and compares against
+/// bench/baseline.json). Empty when unset.
+inline std::string bench_json_path() {
+  if (const char* env = std::getenv("MAN_BENCH_JSON")) return env;
+  return {};
+}
+
 /// Batched accuracy over a split (the engine-evaluation loop every
 /// accuracy bench goes through).
 inline double evaluate_batched(man::engine::FixedNetwork& engine,

@@ -2,12 +2,18 @@
 // conventional implementation, grouped as in the paper: (a) 2-layer
 // MLPs, (b) 5-6 layer MLPs, (c) 6-layer CNN — then cross-checks the
 // static model's activity assumptions by replaying the digit MLP
-// through the fixed-point engine, sequentially and through the batched
-// multi-threaded runtime (which must agree bit for bit).
+// through the fixed-point engine: once per registered kernel backend
+// (scalar reference, blocked, SIMD — all must agree bit for bit; any
+// divergence exits 1, the CI gate) and once through the batched
+// multi-threaded runtime. Fixed-iteration mode for CI via
+// MAN_REPLAY_SAMPLES; per-backend timings land in MAN_BENCH_JSON when
+// set.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.h"
+#include "man/backend/kernel_backend.h"
 #include "man/engine/batch_runner.h"
 #include "man/hw/network_cost.h"
 #include "man/nn/constraint_projection.h"
@@ -80,15 +86,23 @@ int main() {
   std::cout << table.to_string();
 
   // Engine replay: the per-layer activity behind the Fig 9 numbers,
-  // recorded live — once sequentially, once through the batched
-  // runtime. Any divergence would invalidate the energy accounting,
-  // so a mismatch fails the bench.
+  // recorded live — once per registered kernel backend sequentially,
+  // once through the batched runtime. Any divergence would invalidate
+  // the energy accounting, so a mismatch fails the bench. This is the
+  // CI bit-exactness gate for the multi-backend dispatch.
   const int workers = [] {
     const int requested = man::bench::bench_workers();
     return requested > 0 ? requested : 8;
   }();
+  const std::size_t samples = [] {
+    if (const char* env = std::getenv("MAN_REPLAY_SAMPLES")) {
+      const int value = std::atoi(env);
+      if (value > 0) return static_cast<std::size_t>(value);
+    }
+    return static_cast<std::size_t>(512);
+  }();
   man::bench::print_banner(
-      "Engine activity replay: sequential vs BatchRunner(" +
+      "Engine activity replay: per-backend + BatchRunner(" +
       std::to_string(workers) + " workers), digit MLP, ASM 4 {1,3,5,7}");
 
   const auto& app = man::apps::get_app(AppId::kDigitMlp8);
@@ -102,27 +116,79 @@ int main() {
       man::engine::LayerAlphabetPlan::uniform_asm(net.num_weight_layers(),
                                                   set));
 
-  constexpr std::size_t kSamples = 512;
   man::util::Rng rng(2016);
-  std::vector<float> batch(kSamples * engine.input_size());
+  std::vector<float> batch(samples * engine.input_size());
   for (float& p : batch) p = static_cast<float>(rng.next_double());
-  std::vector<std::int64_t> raw_seq(kSamples * engine.output_size());
-  std::vector<std::int64_t> raw_par(kSamples * engine.output_size());
 
-  man::engine::BatchRunner sequential(
-      engine, man::engine::BatchOptions{.workers = 1});
-  man::util::Stopwatch seq_watch;
-  sequential.run(batch, raw_seq);
-  const double seq_s = seq_watch.seconds();
+  // Reference: the scalar backend, single worker. Every other backend
+  // and the parallel run are judged against this output.
+  std::vector<std::int64_t> raw_ref(samples * engine.output_size());
+  man::engine::BatchRunner reference(
+      engine, man::engine::BatchOptions{
+                  .workers = 1,
+                  .backend = man::backend::BackendKind::kScalar});
+  reference.run(batch, raw_ref);  // warm caches and page in the plan
+  reference.reset_stats();
+  man::util::Stopwatch ref_watch;
+  reference.run(batch, raw_ref);
+  const double scalar_s = ref_watch.seconds();
 
+  bool identical = true;
+  struct BackendResult {
+    std::string name;
+    std::string description;
+    double seconds = 0.0;
+    bool matches = false;
+  };
+  // The scalar reference run above doubles as the scalar backend's
+  // measurement (re-running it would only add jitter to a 1.00x row).
+  std::vector<BackendResult> results{BackendResult{
+      "scalar",
+      man::backend::backend_for(man::backend::BackendKind::kScalar)
+          .description(),
+      scalar_s, true}};
+  for (const auto* backend : man::backend::all_backends()) {
+    if (backend->kind() == man::backend::BackendKind::kScalar) continue;
+    std::vector<std::int64_t> raw(samples * engine.output_size());
+    man::engine::BatchRunner runner(
+        engine, man::engine::BatchOptions{.workers = 1,
+                                          .backend = backend->kind()});
+    runner.run(batch, raw);  // warmup
+    man::util::Stopwatch watch;
+    runner.run(batch, raw);
+    const double seconds = watch.seconds();
+    const bool matches = raw == raw_ref;
+    identical = identical && matches;
+    results.push_back(BackendResult{backend->name(), backend->description(),
+                                    seconds, matches});
+  }
+
+  man::util::Table backends_table({"Backend", "Description", "ms",
+                                   "Speedup vs scalar", "Bit-identical"});
+  for (const BackendResult& result : results) {
+    backends_table.add_row(
+        {result.name, result.description,
+         man::util::format_double(result.seconds * 1e3, 1),
+         man::util::format_double(
+             result.seconds > 0 ? scalar_s / result.seconds : 0.0, 2),
+         result.matches ? "yes" : "NO"});
+  }
+  std::cout << backends_table.to_string();
+  std::cout << "auto-dispatch resolves to: "
+            << man::backend::to_string(man::backend::detect_best_backend())
+            << "\n";
+
+  // Batched runtime on the auto backend: outputs and the per-layer
+  // activity reduction must both match the sequential reference.
+  std::vector<std::int64_t> raw_par(samples * engine.output_size());
   man::engine::BatchRunner parallel(
       engine, man::engine::BatchOptions{.workers = workers});
   man::util::Stopwatch par_watch;
   parallel.run(batch, raw_par);
   const double par_s = par_watch.seconds();
+  identical = identical && raw_par == raw_ref;
 
-  bool identical = raw_seq == raw_par;
-  const auto& seq_stats = sequential.stats();
+  const auto& seq_stats = reference.stats();
   const auto& par_stats = parallel.stats();
   man::util::Table replay({"Layer", "MACs", "Bank firings", "Total ops",
                            "Matches sequential"});
@@ -140,13 +206,35 @@ int main() {
                     layer_match ? "yes" : "NO"});
   }
   std::cout << replay.to_string();
-  std::cout << kSamples << " inferences: sequential "
-            << man::util::format_double(seq_s * 1e3, 1) << " ms, "
-            << workers << " workers "
+  std::cout << samples << " inferences: scalar "
+            << man::util::format_double(scalar_s * 1e3, 1) << " ms, "
+            << workers << " workers (" << par_stats.backend << ") "
             << man::util::format_double(par_s * 1e3, 1) << " ms (speedup "
-            << man::util::format_double(par_s > 0 ? seq_s / par_s : 0.0, 2)
+            << man::util::format_double(par_s > 0 ? scalar_s / par_s : 0.0, 2)
             << "x)\n";
-  std::cout << "per-layer EngineStats + raw outputs: "
+  std::cout << "per-backend raw outputs + per-layer EngineStats: "
             << (identical ? "bit-identical" : "MISMATCH") << "\n";
+
+  if (const std::string json = man::bench::bench_json_path(); !json.empty()) {
+    std::ofstream out(json);
+    out << "{\n  \"fig9_replay\": {\n    \"samples\": " << samples
+        << ",\n    \"bit_identical\": " << (identical ? "true" : "false")
+        << ",\n    \"auto_backend\": \""
+        << man::backend::to_string(man::backend::detect_best_backend())
+        << "\",\n    \"parallel_workers\": " << workers
+        << ",\n    \"parallel_speedup\": "
+        << man::util::format_double(par_s > 0 ? scalar_s / par_s : 0.0, 3)
+        << ",\n    \"backends\": {\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      out << "      \"" << results[i].name << "\": {\"ms\": "
+          << man::util::format_double(results[i].seconds * 1e3, 3)
+          << ", \"speedup\": "
+          << man::util::format_double(
+                 results[i].seconds > 0 ? scalar_s / results[i].seconds : 0.0,
+                 3)
+          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "    }\n  }\n}\n";
+  }
   return identical ? 0 : 1;
 }

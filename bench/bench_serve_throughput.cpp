@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -166,9 +167,24 @@ int main() {
                                          face_metrics.largest_batch))});
   table.add_row({"pool threads started",
                  std::to_string(pool->threads_started())});
+  table.add_row({"kernel backend", digit_server.stats().backend});
   std::cout << table.to_string();
 
   std::cout << "bit-identity spot checks: "
             << (mismatches == 0 ? "all matched" : "MISMATCH") << "\n";
+
+  if (const std::string json = man::bench::bench_json_path(); !json.empty()) {
+    std::ofstream out(json);
+    out << "{\n  \"serve_throughput\": {\n    \"requests\": " << all_ms.size()
+        << ",\n    \"qps\": "
+        << man::util::format_double(total_requests / wall_s, 2)
+        << ",\n    \"p50_ms\": "
+        << man::util::format_double(percentile(all_ms, 0.50), 4)
+        << ",\n    \"p99_ms\": "
+        << man::util::format_double(percentile(all_ms, 0.99), 4)
+        << ",\n    \"backend\": \"" << digit_server.stats().backend
+        << "\",\n    \"bit_identical\": "
+        << (mismatches == 0 ? "true" : "false") << "\n  }\n}\n";
+  }
   return mismatches == 0 ? 0 : 1;
 }

@@ -3,8 +3,8 @@
 // vs ASM 4/2/1 alphabets after constrained retraining.
 //
 // Paper reference values (synthetic-digits substitute here):
-//   8 bits (MLP): conv 97.45 | 4:97.41 (0.04) | 2:97.39 (0.06) | 1:97.11 (0.35)
-//   12 bits (CNN): conv 97.63 | 4:97.60 (0.03) | 2:97.44 (0.19) | 1:97.38 (0.25)
+//   8 bit (MLP): conv 97.45 | 4:97.41 (.04) | 2:97.39 (.06) | 1:97.11 (.35)
+//   12 bit (CNN): conv 97.63 | 4:97.60 (.03) | 2:97.44 (.19) | 1:97.38 (.25)
 #include <iostream>
 
 #include "bench_common.h"

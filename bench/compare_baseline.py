@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Merge bench JSON outputs and enforce the bench-regression gate.
+
+Reads the per-bench JSON files written via MAN_BENCH_JSON
+(bench_serve_throughput and the bench_fig9_energy replay), merges them
+into one BENCH_<sha>.json artifact, and compares against the checked-in
+bench/baseline.json:
+
+  * serve_throughput.qps dropping more than `max_drop` (default 15%)
+    below baseline fails the job (exit 1);
+  * fig9_replay backend speedups below the baseline's min_speedup
+    expectations only warn — they are informational, the hard
+    bit-exactness gate is the bench's own exit code;
+  * a bench reporting bit_identical: false fails the job.
+
+Usage:
+  compare_baseline.py --serve serve.json --fig9 fig9.json \
+      --baseline bench/baseline.json --out BENCH_abc123.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", required=True,
+                        help="bench_serve_throughput JSON output")
+    parser.add_argument("--fig9", required=True,
+                        help="bench_fig9_energy JSON output")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in bench/baseline.json")
+    parser.add_argument("--out", required=True,
+                        help="merged artifact to write (BENCH_<sha>.json)")
+    parser.add_argument("--sha", default="",
+                        help="commit sha recorded in the artifact")
+    args = parser.parse_args()
+
+    serve = load(args.serve)
+    fig9 = load(args.fig9)
+    baseline = load(args.baseline)
+
+    merged = {"sha": args.sha}
+    merged.update(serve)
+    merged.update(fig9)
+    with open(args.out, "w") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    warnings = []
+
+    throughput = serve["serve_throughput"]
+    baseline_qps = baseline["serve_throughput"]["qps"]
+    max_drop = baseline.get("max_drop", 0.15)
+    floor = baseline_qps * (1.0 - max_drop)
+    qps = throughput["qps"]
+    print(f"throughput: {qps:.1f} QPS (baseline {baseline_qps:.1f}, "
+          f"floor {floor:.1f} at -{max_drop:.0%})")
+    if qps < floor:
+        failures.append(
+            f"QPS {qps:.1f} is below the regression floor {floor:.1f} "
+            f"(baseline {baseline_qps:.1f} - {max_drop:.0%})")
+    if not throughput.get("bit_identical", False):
+        failures.append("serve bench reported bit_identical: false")
+
+    replay = fig9["fig9_replay"]
+    if not replay.get("bit_identical", False):
+        failures.append("fig9 replay reported bit_identical: false")
+    expectations = baseline.get("fig9_replay", {}).get("min_speedup", {})
+    for backend, result in replay.get("backends", {}).items():
+        speedup = result["speedup"]
+        expected = expectations.get(backend)
+        line = f"backend {backend}: {speedup:.2f}x vs scalar"
+        if expected is not None and speedup < expected:
+            warnings.append(f"{line} (expected >= {expected:.2f}x)")
+        else:
+            print(line)
+
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "man/backend/kernel_backend.h"
 #include "man/serve/engine_cache.h"
 #include "man/serve/inference_server.h"
 #include "man/serve/thread_pool.h"
@@ -72,6 +73,9 @@ int main(int argc, char** argv) {
   }
 
   constexpr int kClients = 4;
+  const auto& kernel = man::backend::resolve(options.batch.backend);
+  std::printf("kernel backend: %s — %s (override via MAN_BACKEND)\n",
+              kernel.name(), kernel.description());
   std::printf("driving mixed traffic with %d clients on a %d-thread pool\n",
               kClients, pool->size());
 

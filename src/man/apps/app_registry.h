@@ -1,11 +1,11 @@
 // Registry of the paper's five benchmark applications (Table IV):
 //
-//   Application                  Dataset     Model        Layers Neurons Synapses
-//   Digit Recognition (8 bit)    MNIST       MLP          2      110     103510
-//   Digit Recognition (12 bit)   MNIST       CNN (LeNet)  6      8010    51946
-//   Face Detection (12 bit)      YUV Faces   MLP          2      102     102702
-//   House Number Recognition     SVHN        MLP          6      1560    1054260
-//   Tilburg Character Set Recog. TICH        MLP          5      786     421186
+//   Application                  Dataset    Model       Lay. Neur. Synapses
+//   Digit Recognition (8 bit)    MNIST      MLP         2    110   103510
+//   Digit Recognition (12 bit)   MNIST      CNN (LeNet) 6    8010  51946
+//   Face Detection (12 bit)      YUV Faces  MLP         2    102   102702
+//   House Number Recognition     SVHN       MLP         6    1560  1054260
+//   Tilburg Character Set Recog. TICH       MLP         5    786   421186
 //
 // Architectures are reverse-engineered from the synapse counts
 // (e.g. 1024-100-10 gives exactly 103510 trainable parameters); where

@@ -1,0 +1,44 @@
+// Blocked-scalar kernel: branch-free walk over the contiguous quartet
+// planes with padded fixed trip counts — plain C++ the compiler can
+// unroll and auto-vectorize, no intrinsics.
+#include "man/backend/backend_impls.h"
+#include "man/backend/planes_kernel.h"
+
+namespace man::backend::detail {
+
+namespace {
+
+class BlockedBackend final : public KernelBackend {
+ public:
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kBlocked;
+  }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "blocked";
+  }
+  [[nodiscard]] const char* description() const noexcept override {
+    return "branch-free blocked-scalar over SoA quartet planes";
+  }
+  [[nodiscard]] bool accelerated() const noexcept override { return false; }
+
+  void accumulate_dense(const DenseLayerPlan& plan,
+                        const std::int64_t* multiples,
+                        std::int64_t* out) const override {
+    accumulate_planes(plan, multiples, out);
+  }
+
+  void exact_dense(const DenseLayerPlan& plan,
+                   const std::int64_t* activations,
+                   std::int64_t* out) const override {
+    exact_dense_blocked(plan, activations, out);
+  }
+};
+
+}  // namespace
+
+const KernelBackend& blocked_backend() {
+  static const BlockedBackend backend;
+  return backend;
+}
+
+}  // namespace man::backend::detail

@@ -1,0 +1,101 @@
+// Multi-backend quartet accumulation: the inner MAC loop of the
+// fixed-point engine abstracted behind a KernelBackend interface, so
+// the same compiled DenseLayerPlan can run on the extracted scalar
+// reference, an auto-vectorizable blocked-scalar kernel, or an
+// explicit AVX2 SIMD kernel — all under one bit-exactness contract
+// (every backend must produce accumulators identical to the scalar
+// reference; the Fig 9 replay gate enforces this in CI).
+//
+// Selection: resolve() picks, in precedence order, a programmatic
+// override (BatchOptions::backend), the MAN_BACKEND environment
+// variable (scalar|blocked|simd; auto/unset defers), then CPU feature
+// detection (AVX2-accelerated SIMD when available, blocked otherwise).
+#ifndef MAN_BACKEND_KERNEL_BACKEND_H
+#define MAN_BACKEND_KERNEL_BACKEND_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "man/backend/layer_plan.h"
+
+namespace man::backend {
+
+/// Registered quartet-accumulation kernels.
+enum class BackendKind {
+  kScalar,   ///< extracted reference loop over the AoS schedule
+  kBlocked,  ///< branch-free blocked-scalar loop over the SoA planes
+  kSimd,     ///< AVX2 intrinsics (portable plane loop when not compiled
+             ///< with AVX2 or the CPU lacks it)
+};
+
+/// One implementation of the inner accumulation loops. Stateless and
+/// thread-safe: instances are process-wide singletons obtained via
+/// backend_for()/resolve().
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+
+  [[nodiscard]] virtual BackendKind kind() const noexcept = 0;
+  /// Stable lowercase identifier ("scalar", "blocked", "simd") — the
+  /// MAN_BACKEND spelling and the EngineStats backend label.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  /// Human-readable variant description (e.g. which SIMD path is
+  /// live on this CPU/build).
+  [[nodiscard]] virtual const char* description() const noexcept = 0;
+  /// True when this backend runs its accelerated code path (the SIMD
+  /// backend reports false when it falls back to the portable loop).
+  /// Every registered backend is always *runnable*.
+  [[nodiscard]] virtual bool accelerated() const noexcept = 0;
+
+  /// ASM quartet accumulation for one dense stage:
+  /// out[r] = biases[r] + Σ_c sign · Σ_q multiples[idx] << shift.
+  /// `multiples` holds plan.padded_multiples() slots (cols × k bank
+  /// outputs plus the trailing zero slot, which must be 0).
+  virtual void accumulate_dense(const DenseLayerPlan& plan,
+                                const std::int64_t* multiples,
+                                std::int64_t* out) const = 0;
+
+  /// Conventional exact dense stage:
+  /// out[r] = biases[r] + Σ_c weights[r][c] · activations[c].
+  virtual void exact_dense(const DenseLayerPlan& plan,
+                           const std::int64_t* activations,
+                           std::int64_t* out) const = 0;
+};
+
+/// The process-wide instance of one backend kind.
+[[nodiscard]] const KernelBackend& backend_for(BackendKind kind);
+
+/// Every registered backend (all three kinds are always registered;
+/// the SIMD entry may be running its portable fallback).
+[[nodiscard]] std::span<const KernelBackend* const> all_backends();
+
+/// Best backend for this CPU/build: SIMD when its accelerated path is
+/// live, blocked otherwise.
+[[nodiscard]] BackendKind detect_best_backend();
+
+/// Parses a MAN_BACKEND spelling ("scalar", "blocked", "simd");
+/// throws std::invalid_argument on anything else.
+[[nodiscard]] BackendKind parse_backend(std::string_view name);
+
+/// The MAN_BACKEND environment override, if set. Unset, empty, or
+/// "auto" yield nullopt; an unknown value throws
+/// std::invalid_argument.
+[[nodiscard]] std::optional<BackendKind> env_backend_override();
+
+/// Selection with full precedence: `programmatic` beats MAN_BACKEND
+/// beats detect_best_backend().
+[[nodiscard]] BackendKind resolve_backend(
+    std::optional<BackendKind> programmatic = std::nullopt);
+
+/// resolve_backend() + backend_for() in one call.
+[[nodiscard]] const KernelBackend& resolve(
+    std::optional<BackendKind> programmatic = std::nullopt);
+
+/// Backend names for diagnostics ("scalar|blocked|simd").
+[[nodiscard]] std::string_view to_string(BackendKind kind) noexcept;
+
+}  // namespace man::backend
+
+#endif  // MAN_BACKEND_KERNEL_BACKEND_H

@@ -1,0 +1,76 @@
+#include "man/backend/layer_plan.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace man::backend {
+
+DenseLayerPlan DenseLayerPlan::build_exact(int rows, int cols,
+                                           std::vector<std::int32_t> weights,
+                                           std::vector<std::int64_t> biases) {
+  if (weights.size() != static_cast<std::size_t>(rows) * cols) {
+    throw std::invalid_argument(
+        "DenseLayerPlan: " + std::to_string(weights.size()) +
+        " weights for " + std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  DenseLayerPlan plan;
+  plan.rows = rows;
+  plan.cols = cols;
+  plan.cols_padded = cols;
+  plan.exact = true;
+  plan.weights = std::move(weights);
+  plan.biases = std::move(biases);
+  return plan;
+}
+
+DenseLayerPlan DenseLayerPlan::build_asm(int rows, int cols, int k,
+                                         std::vector<AsmWeight> asm_weights,
+                                         std::vector<AsmStep> steps,
+                                         std::vector<std::int64_t> biases) {
+  if (asm_weights.size() != static_cast<std::size_t>(rows) * cols) {
+    throw std::invalid_argument(
+        "DenseLayerPlan: " + std::to_string(asm_weights.size()) +
+        " schedules for " + std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  DenseLayerPlan plan;
+  plan.rows = rows;
+  plan.cols = cols;
+  plan.cols_padded = (cols + kLaneWidth - 1) / kLaneWidth * kLaneWidth;
+  plan.k = k;
+  plan.zero_slot = static_cast<std::uint32_t>(cols) * k;
+  plan.biases = std::move(biases);
+
+  for (const AsmWeight& w : asm_weights) {
+    plan.planes = std::max(plan.planes, static_cast<int>(w.step_count));
+  }
+
+  // Quartet planes: every (plane, weight) cell resolves to a padded
+  // multiples offset + shift; cells past a weight's step count and the
+  // column-padding cells read the zero slot, so kernels never branch.
+  const std::size_t stride = plan.plane_stride();
+  plan.idx.assign(static_cast<std::size_t>(plan.planes) * stride,
+                  plan.zero_slot);
+  plan.shifts.assign(static_cast<std::size_t>(plan.planes) * stride, 0);
+  plan.sign_masks.assign(stride, 0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const AsmWeight& w =
+          asm_weights[static_cast<std::size_t>(r) * cols + c];
+      const std::size_t cell =
+          static_cast<std::size_t>(r) * plan.cols_padded + c;
+      plan.sign_masks[cell] = w.negative ? -1 : 0;
+      for (std::uint8_t s = 0; s < w.step_count; ++s) {
+        const AsmStep& step = steps[w.step_begin + s];
+        plan.idx[s * stride + cell] =
+            static_cast<std::uint32_t>(c) * k + step.lane;
+        plan.shifts[s * stride + cell] = step.shift;
+      }
+    }
+  }
+
+  plan.asm_weights = std::move(asm_weights);
+  plan.steps = std::move(steps);
+  return plan;
+}
+
+}  // namespace man::backend

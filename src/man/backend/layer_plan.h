@@ -1,0 +1,98 @@
+// Structure-of-arrays execution plan for one dense synapse stage: the
+// compiled select/shift schedule (AoS, as FixedNetwork builds it) plus
+// contiguous quartet planes derived from it, laid out so the inner
+// accumulation loop is branch-free and SIMD-friendly.
+//
+// Per quartet plane q and weight w the plan stores
+//   idx[q][w]   : offset into the padded pre-computer multiples array
+//                 (absent quartets point at a trailing always-zero slot)
+//   shift[q][w] : total left shift of that quartet's alphabet multiple
+// and per weight a sign mask m (0 or -1) so the signed contribution is
+// (product ^ m) - m — exact two's-complement negation, no branch.
+// Weight columns are padded to a multiple of kLaneWidth so vector
+// kernels never need a scalar tail; padding entries read the zero slot
+// and carry sign mask 0, contributing nothing.
+#ifndef MAN_BACKEND_LAYER_PLAN_H
+#define MAN_BACKEND_LAYER_PLAN_H
+
+#include <cstdint>
+#include <vector>
+
+namespace man::backend {
+
+/// One select/shift step of a compiled ASM weight (paper Fig 4: one
+/// quartet = one pre-computer lane selected, shifted into place).
+struct AsmStep {
+  std::uint8_t lane;   ///< index into the bank's alphabet outputs
+  std::uint8_t shift;  ///< total left shift
+};
+
+/// Flattened schedule of one weight: steps[step_begin..+step_count).
+struct AsmWeight {
+  std::uint32_t step_begin = 0;
+  std::uint8_t step_count = 0;
+  bool negative = false;
+};
+
+/// SIMD lane width the planes are padded for (int64 lanes of one
+/// 256-bit vector).
+inline constexpr int kLaneWidth = 4;
+
+/// Self-contained per-layer plan consumed by KernelBackend
+/// implementations. Built once per dense stage by
+/// FixedNetwork::compile_plan(); owns copies of everything it needs so
+/// it cannot dangle into engine internals.
+struct DenseLayerPlan {
+  int rows = 0;         ///< output neurons
+  int cols = 0;         ///< input features
+  int cols_padded = 0;  ///< cols rounded up to kLaneWidth
+  int k = 0;            ///< alphabet count (bank outputs per input)
+  int planes = 0;       ///< max step count over all weights
+  bool exact = false;   ///< conventional layer: use `weights`, no planes
+
+  /// Exact path: quantized weights, row-major rows × cols.
+  std::vector<std::int32_t> weights;
+  /// Biases at product scale, one per row (both paths).
+  std::vector<std::int64_t> biases;
+
+  /// ASM path, AoS schedule (the scalar reference walks this).
+  std::vector<AsmWeight> asm_weights;  ///< rows × cols
+  std::vector<AsmStep> steps;
+
+  /// ASM path, SoA planes (blocked/SIMD kernels walk these).
+  /// Plane-major: entry for plane q, row r, column c lives at
+  /// q * rows * cols_padded + r * cols_padded + c.
+  std::vector<std::uint32_t> idx;
+  std::vector<std::int64_t> shifts;
+  /// Per-weight sign masks, rows × cols_padded (0 or -1).
+  std::vector<std::int64_t> sign_masks;
+  /// Index of the always-zero multiples slot (== cols * k).
+  std::uint32_t zero_slot = 0;
+
+  /// Slots the multiples buffer must provide: cols × k bank outputs
+  /// plus the trailing zero slot.
+  [[nodiscard]] std::size_t padded_multiples() const noexcept {
+    return static_cast<std::size_t>(cols) * k + 1;
+  }
+
+  /// Entries per quartet plane.
+  [[nodiscard]] std::size_t plane_stride() const noexcept {
+    return static_cast<std::size_t>(rows) * cols_padded;
+  }
+
+  /// Builds the plan for one exact (conventional-multiplier) layer.
+  [[nodiscard]] static DenseLayerPlan build_exact(
+      int rows, int cols, std::vector<std::int32_t> weights,
+      std::vector<std::int64_t> biases);
+
+  /// Builds the plan for one ASM layer from the compiled schedule.
+  /// `asm_weights` has rows × cols entries whose steps index `steps`;
+  /// `k` is the bank's alphabet count.
+  [[nodiscard]] static DenseLayerPlan build_asm(
+      int rows, int cols, int k, std::vector<AsmWeight> asm_weights,
+      std::vector<AsmStep> steps, std::vector<std::int64_t> biases);
+};
+
+}  // namespace man::backend
+
+#endif  // MAN_BACKEND_LAYER_PLAN_H

@@ -1,0 +1,72 @@
+// Portable branch-free kernels over the SoA quartet planes — the
+// blocked backend's implementation, shared with the SIMD backend's
+// compile-time/runtime fallback so "simd without AVX2" and "blocked"
+// are the same (bit-identical) code path. Internal to man::backend.
+#ifndef MAN_BACKEND_PLANES_KERNEL_H
+#define MAN_BACKEND_PLANES_KERNEL_H
+
+#include <cstdint>
+
+#include "man/backend/layer_plan.h"
+
+namespace man::backend::detail {
+
+/// Branch-free plane walk: for each output row, every padded column
+/// contributes (Σ_q multiples[idx] << shift) ^ sign - sign; absent
+/// quartets and padding columns hit the zero slot and sign mask 0.
+/// Fixed trip counts and contiguous streams — the loop the
+/// auto-vectorizer (and the hand-written AVX2 kernel) feed on.
+inline void accumulate_planes(const DenseLayerPlan& plan,
+                              const std::int64_t* multiples,
+                              std::int64_t* out) {
+  const std::size_t stride = plan.plane_stride();
+  const std::uint32_t* idx = plan.idx.data();
+  const std::int64_t* shifts = plan.shifts.data();
+  const std::int64_t* signs = plan.sign_masks.data();
+  for (int r = 0; r < plan.rows; ++r) {
+    const std::size_t base = static_cast<std::size_t>(r) * plan.cols_padded;
+    std::int64_t acc = plan.biases[static_cast<std::size_t>(r)];
+    for (int c = 0; c < plan.cols_padded; ++c) {
+      const std::size_t cell = base + static_cast<std::size_t>(c);
+      std::int64_t product = 0;
+      for (int q = 0; q < plan.planes; ++q) {
+        const std::size_t pc = q * stride + cell;
+        product += multiples[idx[pc]] << shifts[pc];
+      }
+      const std::int64_t sign = signs[cell];
+      acc += (product ^ sign) - sign;
+    }
+    out[r] = acc;
+  }
+}
+
+/// Exact dense with kLaneWidth independent accumulators per row (the
+/// blocked shape; integer addition commutes, so the result is
+/// bit-identical to the sequential reference).
+inline void exact_dense_blocked(const DenseLayerPlan& plan,
+                                const std::int64_t* activations,
+                                std::int64_t* out) {
+  for (int r = 0; r < plan.rows; ++r) {
+    const std::int32_t* wrow =
+        &plan.weights[static_cast<std::size_t>(r) * plan.cols];
+    std::int64_t lanes[kLaneWidth] = {};
+    const int main = plan.cols / kLaneWidth * kLaneWidth;
+    for (int c = 0; c < main; c += kLaneWidth) {
+      for (int l = 0; l < kLaneWidth; ++l) {
+        lanes[l] += static_cast<std::int64_t>(wrow[c + l]) *
+                    activations[static_cast<std::size_t>(c + l)];
+      }
+    }
+    std::int64_t acc = plan.biases[static_cast<std::size_t>(r)];
+    for (int l = 0; l < kLaneWidth; ++l) acc += lanes[l];
+    for (int c = main; c < plan.cols; ++c) {
+      acc += static_cast<std::int64_t>(wrow[c]) *
+             activations[static_cast<std::size_t>(c)];
+    }
+    out[r] = acc;
+  }
+}
+
+}  // namespace man::backend::detail
+
+#endif  // MAN_BACKEND_PLANES_KERNEL_H

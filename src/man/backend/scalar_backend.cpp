@@ -1,0 +1,68 @@
+// The sequential reference: FixedNetwork's original dense inner loops,
+// extracted verbatim onto the DenseLayerPlan's AoS schedule. Every
+// other backend is defined as "bit-identical to this".
+#include "man/backend/backend_impls.h"
+
+namespace man::backend::detail {
+
+namespace {
+
+class ScalarBackend final : public KernelBackend {
+ public:
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kScalar;
+  }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "scalar";
+  }
+  [[nodiscard]] const char* description() const noexcept override {
+    return "sequential reference (AoS select/shift schedule)";
+  }
+  [[nodiscard]] bool accelerated() const noexcept override { return false; }
+
+  void accumulate_dense(const DenseLayerPlan& plan,
+                        const std::int64_t* multiples,
+                        std::int64_t* out) const override {
+    for (int o = 0; o < plan.rows; ++o) {
+      std::int64_t acc = plan.biases[static_cast<std::size_t>(o)];
+      const std::size_t row = static_cast<std::size_t>(o) * plan.cols;
+      for (int i = 0; i < plan.cols; ++i) {
+        const AsmWeight& w = plan.asm_weights[row + i];
+        if (w.step_count == 0) continue;
+        const std::int64_t* m =
+            &multiples[static_cast<std::size_t>(i) * plan.k];
+        std::int64_t product = 0;
+        for (std::uint8_t s = 0; s < w.step_count; ++s) {
+          const AsmStep& step = plan.steps[w.step_begin + s];
+          product += m[step.lane] << step.shift;
+        }
+        acc += w.negative ? -product : product;
+      }
+      out[o] = acc;
+    }
+  }
+
+  void exact_dense(const DenseLayerPlan& plan,
+                   const std::int64_t* activations,
+                   std::int64_t* out) const override {
+    for (int o = 0; o < plan.rows; ++o) {
+      const std::int32_t* wrow =
+          &plan.weights[static_cast<std::size_t>(o) * plan.cols];
+      std::int64_t acc = plan.biases[static_cast<std::size_t>(o)];
+      for (int i = 0; i < plan.cols; ++i) {
+        acc += static_cast<std::int64_t>(wrow[i]) *
+               activations[static_cast<std::size_t>(i)];
+      }
+      out[o] = acc;
+    }
+  }
+};
+
+}  // namespace
+
+const KernelBackend& scalar_backend() {
+  static const ScalarBackend backend;
+  return backend;
+}
+
+}  // namespace man::backend::detail

@@ -17,7 +17,10 @@ struct Image {
   int height = 0;
   std::vector<float> pixels;  // row-major, [0,1]
 
-  Image(int w, int h) : width(w), height(h), pixels(static_cast<std::size_t>(w) * h, 0.0f) {}
+  Image(int w, int h)
+      : width(w),
+        height(h),
+        pixels(static_cast<std::size_t>(w) * h, 0.0f) {}
 
   [[nodiscard]] float at(int x, int y) const noexcept {
     if (x < 0 || x >= width || y < 0 || y >= height) return 0.0f;

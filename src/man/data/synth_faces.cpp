@@ -17,10 +17,10 @@ Example render_face(int size, double noise_sigma, man::util::Rng& rng) {
 
   const float cx = size / 2.0f + static_cast<float>(rng.next_gaussian() * 1.5);
   const float cy = size / 2.0f + static_cast<float>(rng.next_gaussian() * 1.5);
-  const float head_rx =
-      static_cast<float>(size) * static_cast<float>(rng.next_double_in(0.26, 0.36));
-  const float head_ry =
-      static_cast<float>(size) * static_cast<float>(rng.next_double_in(0.32, 0.42));
+  const float head_rx = static_cast<float>(size) *
+                        static_cast<float>(rng.next_double_in(0.26, 0.36));
+  const float head_ry = static_cast<float>(size) *
+                        static_cast<float>(rng.next_double_in(0.32, 0.42));
   const float skin = static_cast<float>(rng.next_double_in(0.55, 0.8));
 
   // Head.
@@ -29,9 +29,12 @@ Example render_face(int size, double noise_sigma, man::util::Rng& rng) {
   // Eyes: dark ellipses placed symmetrically with a little pose jitter.
   const float eye_dy =
       -head_ry * static_cast<float>(rng.next_double_in(0.25, 0.4));
-  const float eye_dx = head_rx * static_cast<float>(rng.next_double_in(0.38, 0.52));
-  const float eye_r = head_rx * static_cast<float>(rng.next_double_in(0.12, 0.2));
-  const float eye_level = skin * static_cast<float>(rng.next_double_in(0.2, 0.75));
+  const float eye_dx =
+      head_rx * static_cast<float>(rng.next_double_in(0.38, 0.52));
+  const float eye_r =
+      head_rx * static_cast<float>(rng.next_double_in(0.12, 0.2));
+  const float eye_level =
+      skin * static_cast<float>(rng.next_double_in(0.2, 0.75));
   const float pose = static_cast<float>(rng.next_gaussian() * 0.8f);
   // A dark ellipse is "drawn" by overwriting head pixels: use a second
   // pass rendering into a scratch image then min-compose.
@@ -41,7 +44,8 @@ Example render_face(int size, double noise_sigma, man::util::Rng& rng) {
   fill_ellipse(features, cx + eye_dx + pose, cy + eye_dy, eye_r,
                eye_r * 0.7f, 1.0f);
   // Mouth: wide flat ellipse below centre.
-  const float mouth_dy = head_ry * static_cast<float>(rng.next_double_in(0.4, 0.55));
+  const float mouth_dy =
+      head_ry * static_cast<float>(rng.next_double_in(0.4, 0.55));
   fill_ellipse(features, cx + pose * 0.5f, cy + mouth_dy,
                head_rx * static_cast<float>(rng.next_double_in(0.4, 0.6)),
                eye_r * 0.6f, 1.0f);

@@ -20,6 +20,7 @@ int resolve_workers(int requested) {
 
 BatchRunner::BatchRunner(const FixedNetwork& network, BatchOptions options)
     : network_(&network),
+      kernel_(&man::backend::resolve(options.backend)),
       workers_(resolve_workers(options.workers)),
       min_samples_per_worker_(std::max<std::size_t>(
           1, options.min_samples_per_worker)),
@@ -31,6 +32,7 @@ BatchRunner::BatchRunner(const FixedNetwork& network, BatchOptions options)
         std::to_string(options.workers));
   }
   if (pool_ != nullptr) workers_ = std::min(workers_, pool_->size());
+  stats_.backend = kernel_->name();
 }
 
 void BatchRunner::run_sharded(
@@ -106,7 +108,7 @@ void BatchRunner::run(std::span<const float> inputs,
                          FixedNetwork::InferScratch& scratch) {
     network_->infer_into(inputs.subspan(i * in_size, in_size),
                          outputs.subspan(i * out_size, out_size), stats,
-                         scratch);
+                         scratch, *kernel_);
   });
 }
 
@@ -136,7 +138,8 @@ std::vector<int> BatchRunner::predict(
   run_sharded(examples.size(), [&](std::size_t i, EngineStats& stats,
                                    FixedNetwork::InferScratch& scratch) {
     scratch.raw_out.resize(out_size);  // per-shard, reused across samples
-    network_->infer_into(examples[i].pixels, scratch.raw_out, stats, scratch);
+    network_->infer_into(examples[i].pixels, scratch.raw_out, stats, scratch,
+                         *kernel_);
     predictions[i] = argmax_raw(scratch.raw_out);
   });
   return predictions;

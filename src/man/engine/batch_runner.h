@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "man/backend/kernel_backend.h"
 #include "man/data/dataset.h"
 #include "man/engine/engine_stats.h"
 #include "man/engine/fixed_network.h"
@@ -45,6 +47,11 @@ struct BatchOptions {
   /// of `workers` threads on its first parallel run. When set, the
   /// effective parallelism is capped at the pool's size.
   std::shared_ptr<man::serve::ThreadPool> pool;
+  /// Kernel backend for the dense accumulation loops. nullopt defers
+  /// to the MAN_BACKEND environment variable, then CPU detection
+  /// (resolved once at runner construction; an unknown MAN_BACKEND
+  /// value throws std::invalid_argument there).
+  std::optional<man::backend::BackendKind> backend;
 };
 
 /// Per-sample predictions plus batch accuracy (evaluate() result).
@@ -65,6 +72,13 @@ class BatchRunner {
 
   /// Resolved shard-count cap (small batches may use fewer shards).
   [[nodiscard]] int workers() const noexcept { return workers_; }
+
+  /// The kernel backend every shard of this runner executes on
+  /// (BatchOptions::backend > MAN_BACKEND > auto-detect). Also
+  /// recorded in stats().backend.
+  [[nodiscard]] const man::backend::KernelBackend& kernel() const noexcept {
+    return *kernel_;
+  }
 
   /// The persistent pool work executes on. Null until the first run
   /// that actually goes parallel when no pool was passed in.
@@ -105,6 +119,7 @@ class BatchRunner {
                                FixedNetwork::InferScratch&)>& fn);
 
   const FixedNetwork* network_;
+  const man::backend::KernelBackend* kernel_;
   int workers_;
   std::size_t min_samples_per_worker_;
   std::shared_ptr<man::serve::ThreadPool> pool_;

@@ -32,6 +32,10 @@ struct LayerStats {
 struct EngineStats {
   std::vector<LayerStats> layers;
   std::uint64_t inferences = 0;
+  /// Kernel backend the recording runner executed on ("scalar",
+  /// "blocked", "simd"; "mixed" after merging runs from different
+  /// backends; empty when unset — e.g. raw make_stats() shapes).
+  std::string backend;
 
   [[nodiscard]] std::uint64_t total_macs() const noexcept {
     std::uint64_t total = 0;
@@ -70,6 +74,11 @@ struct EngineStats {
       layers[i] += other.layers[i];
     }
     inferences += other.inferences;
+    if (backend.empty()) {
+      backend = other.backend;
+    } else if (!other.backend.empty() && other.backend != backend) {
+      backend = "mixed";
+    }
   }
 };
 

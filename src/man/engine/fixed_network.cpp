@@ -126,6 +126,33 @@ FixedNetwork::FixedNetwork(man::nn::Network& network,
     }
   }
   output_size_ = current;
+
+  compile_plan();
+  default_kernel_ = &man::backend::resolve();
+}
+
+void FixedNetwork::compile_plan() {
+  for (Stage& stage : stages_) {
+    auto* dense = std::get_if<DenseStage>(&stage);
+    if (dense == nullptr) continue;
+    SynapseData& syn = dense->synapse;
+    dense->plan_index = static_cast<int>(plans_.size());
+    // The dense runtime path reads only the plan from here on, so the
+    // schedules move instead of copy — no weight is resident twice.
+    if (syn.scheme.multiplier == MultiplierKind::kExact) {
+      plans_.push_back(man::backend::DenseLayerPlan::build_exact(
+          dense->out, dense->in, std::move(syn.weights_raw),
+          std::move(syn.biases_raw)));
+    } else {
+      syn.weights_raw.clear();
+      syn.weights_raw.shrink_to_fit();
+      plans_.push_back(man::backend::DenseLayerPlan::build_asm(
+          dense->out, dense->in,
+          static_cast<int>(syn.bank.alphabet_set().size()),
+          std::move(syn.asm_weights), std::move(syn.steps),
+          std::move(syn.biases_raw)));
+    }
+  }
 }
 
 const FixedNetwork::SynapseData& FixedNetwork::synapse_at(
@@ -253,6 +280,13 @@ void FixedNetwork::infer_into(std::span<const float> pixels,
                               std::span<std::int64_t> out,
                               EngineStats& stats,
                               InferScratch& scratch) const {
+  infer_into(pixels, out, stats, scratch, *default_kernel_);
+}
+
+void FixedNetwork::infer_into(std::span<const float> pixels,
+                              std::span<std::int64_t> out,
+                              EngineStats& stats, InferScratch& scratch,
+                              const man::backend::KernelBackend& kernel) const {
   if (pixels.size() != input_size_) {
     throw std::invalid_argument(
         "FixedNetwork: input has " + std::to_string(pixels.size()) +
@@ -295,48 +329,27 @@ void FixedNetwork::infer_into(std::span<const float> pixels,
       const SynapseData& syn = dense->synapse;
       std::vector<std::int64_t>& next = scratch.next;
       next.assign(static_cast<std::size_t>(dense->out), 0);
+      const man::backend::DenseLayerPlan& plan =
+          plans_[static_cast<std::size_t>(dense->plan_index)];
 
-      if (syn.scheme.multiplier == MultiplierKind::kExact) {
-        for (int o = 0; o < dense->out; ++o) {
-          const std::int32_t* wrow =
-              &syn.weights_raw[static_cast<std::size_t>(o) * dense->in];
-          std::int64_t acc = syn.biases_raw[static_cast<std::size_t>(o)];
-          for (int i = 0; i < dense->in; ++i) {
-            acc += static_cast<std::int64_t>(wrow[i]) *
-                   buffer[static_cast<std::size_t>(i)];
-          }
-          next[static_cast<std::size_t>(o)] = acc;
-        }
+      if (plan.exact) {
+        kernel.exact_dense(plan, buffer.data(), next.data());
       } else {
         // Pre-computer bank outputs for every input value (computed
         // once per distinct value per shard, shared across lanes —
-        // CSHM).
+        // CSHM), staged k-strided plus the trailing zero slot the
+        // quartet planes point absent entries at.
         const std::size_t k = syn.bank.alphabet_set().size();
         std::vector<std::int64_t>& multiples = scratch.multiples;
-        multiples.resize(buffer.size() * k);
+        multiples.resize(plan.padded_multiples());
         man::core::PrecomputerCache& cache = scratch.caches[synapse_counter];
         OpCounts discard;
         for (std::size_t i = 0; i < buffer.size(); ++i) {
           const std::int64_t* m = cache.lookup(buffer[i], discard);
           std::copy(m, m + k, multiples.begin() + i * k);
         }
-        for (int o = 0; o < dense->out; ++o) {
-          std::int64_t acc = syn.biases_raw[static_cast<std::size_t>(o)];
-          const std::size_t row = static_cast<std::size_t>(o) * dense->in;
-          for (int i = 0; i < dense->in; ++i) {
-            const AsmWeight& w = syn.asm_weights[row + i];
-            if (w.step_count == 0) continue;
-            const std::int64_t* m =
-                &multiples[static_cast<std::size_t>(i) * k];
-            std::int64_t product = 0;
-            for (std::uint8_t s = 0; s < w.step_count; ++s) {
-              const Step& step = syn.steps[w.step_begin + s];
-              product += m[step.lane] << step.shift;
-            }
-            acc += w.negative ? -product : product;
-          }
-          next[static_cast<std::size_t>(o)] = acc;
-        }
+        multiples[plan.zero_slot] = 0;
+        kernel.accumulate_dense(plan, multiples.data(), next.data());
       }
 
       LayerStats& ls = stats.layers[synapse_counter++];

@@ -20,6 +20,7 @@
 #include <variant>
 #include <vector>
 
+#include "man/backend/kernel_backend.h"
 #include "man/core/activation.h"
 #include "man/core/precomputer_bank.h"
 #include "man/data/dataset.h"
@@ -100,8 +101,18 @@ class FixedNetwork {
   /// accumulated into `stats`; `scratch` carries the buffers and the
   /// CSHM caches between calls. Safe to call concurrently from many
   /// threads as long as each thread owns its `stats` and `scratch`.
+  /// Dense stages run on this engine's default kernel backend
+  /// (resolved from MAN_BACKEND / CPU detection at construction).
   void infer_into(std::span<const float> pixels, std::span<std::int64_t> out,
                   EngineStats& stats, InferScratch& scratch) const;
+
+  /// Same forward pass on an explicit kernel backend (BatchRunner
+  /// threads its resolved choice through here). Every backend is
+  /// bit-identical by contract, so the outputs cannot depend on
+  /// `kernel` — only the wall-clock does.
+  void infer_into(std::span<const float> pixels, std::span<std::int64_t> out,
+                  EngineStats& stats, InferScratch& scratch,
+                  const man::backend::KernelBackend& kernel) const;
 
   /// Convenience overload with throwaway scratch (no cross-sample
   /// bank reuse).
@@ -129,17 +140,25 @@ class FixedNetwork {
   /// MACs per single inference, per synapse layer (static property).
   [[nodiscard]] std::vector<std::uint64_t> macs_per_inference() const;
 
+  /// The compiled per-dense-stage plans, in stage order.
+  [[nodiscard]] const std::vector<man::backend::DenseLayerPlan>& plans()
+      const noexcept {
+    return plans_;
+  }
+
+  /// The kernel backend infer_into() uses when none is passed
+  /// explicitly (resolved once at construction).
+  [[nodiscard]] const man::backend::KernelBackend& default_kernel()
+      const noexcept {
+    return *default_kernel_;
+  }
+
  private:
-  struct AsmWeight {
-    // Flattened select/shift schedule: steps_[begin..end) per weight.
-    std::uint32_t step_begin = 0;
-    std::uint8_t step_count = 0;
-    bool negative = false;
-  };
-  struct Step {
-    std::uint8_t lane;   ///< index into the bank's alphabet outputs
-    std::uint8_t shift;  ///< total left shift
-  };
+  // Flattened select/shift schedule: steps_[begin..end) per weight.
+  // Shared with the backend layer (the scalar kernel walks exactly
+  // this representation).
+  using AsmWeight = man::backend::AsmWeight;
+  using Step = man::backend::AsmStep;
 
   /// Shared machinery for dense and conv synapse stages.
   struct SynapseData {
@@ -158,6 +177,7 @@ class FixedNetwork {
 
   struct DenseStage {
     int in = 0, out = 0;
+    int plan_index = -1;  ///< into plans_ once compile_plan() has run
     SynapseData synapse;
   };
   struct ConvStage {
@@ -175,6 +195,13 @@ class FixedNetwork {
   void compile_synapse(SynapseData& synapse, std::span<const float> weights,
                        std::span<const float> biases, std::uint64_t macs,
                        int out_neurons);
+
+  /// One-time lowering of every dense stage to a structure-of-arrays
+  /// backend::DenseLayerPlan (contiguous quartet planes + sign masks).
+  /// Run once at the end of construction; the dense schedules are
+  /// moved out of SynapseData into the plans (conv stages keep
+  /// theirs — they still run the reference loop).
+  void compile_plan();
   [[nodiscard]] const SynapseData& synapse_at(std::size_t stage_index) const;
 
   man::nn::QuantSpec spec_;
@@ -182,6 +209,8 @@ class FixedNetwork {
   int lanes_;
   std::vector<Stage> stages_;
   std::vector<std::size_t> synapse_stage_indices_;
+  std::vector<man::backend::DenseLayerPlan> plans_;
+  const man::backend::KernelBackend* default_kernel_ = nullptr;
   std::size_t input_size_ = 0;
   std::size_t output_size_ = 0;
   EngineStats stats_;

@@ -23,8 +23,9 @@ Tensor ActivationLayer::backward(const Tensor& grad_output) {
   }
   Tensor grad_input = grad_output;
   for (std::size_t i = 0; i < grad_input.size(); ++i) {
-    grad_input[i] *= static_cast<float>(man::core::activate_derivative_from_output(
-        kind_, static_cast<double>(last_output_[i])));
+    grad_input[i] *=
+        static_cast<float>(man::core::activate_derivative_from_output(
+            kind_, static_cast<double>(last_output_[i])));
   }
   return grad_input;
 }

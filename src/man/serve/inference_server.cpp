@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "man/serve/thread_name.h"
+
 namespace man::serve {
 
 InferenceServer::InferenceServer(const man::engine::FixedNetwork& engine,
@@ -19,7 +21,10 @@ InferenceServer::InferenceServer(const man::engine::FixedNetwork& engine,
     throw std::invalid_argument("InferenceServer: max_wait must be >= 0");
   }
   stats_snapshot_ = runner_.stats();
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  dispatcher_ = std::thread([this] {
+    name_this_thread("man-dispatch");
+    dispatch_loop();
+  });
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }

@@ -1,0 +1,28 @@
+// Kernel-visible thread names for the serving runtime's threads, so
+// TSan reports, perf profiles, and CI sanitizer logs are attributable
+// to the subsystem that owns the thread (man-pool-N workers,
+// man-dispatch dispatcher). No-op off Linux.
+#ifndef MAN_SERVE_THREAD_NAME_H
+#define MAN_SERVE_THREAD_NAME_H
+
+#if defined(__linux__)
+#include <pthread.h>
+
+#include <cstdio>
+#endif
+
+namespace man::serve {
+
+inline void name_this_thread([[maybe_unused]] const char* name) {
+#if defined(__linux__)
+  // pthread names are capped at 15 chars + NUL; longer names would
+  // make the call fail (and be dropped) silently, so truncate.
+  char truncated[16];
+  std::snprintf(truncated, sizeof(truncated), "%s", name);
+  pthread_setname_np(pthread_self(), truncated);
+#endif
+}
+
+}  // namespace man::serve
+
+#endif  // MAN_SERVE_THREAD_NAME_H

@@ -1,8 +1,11 @@
 #include "man/serve/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
+
+#include "man/serve/thread_name.h"
 
 namespace man::serve {
 
@@ -13,7 +16,12 @@ ThreadPool::ThreadPool(int threads) {
   }
   threads_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] {
+      char name[16];
+      std::snprintf(name, sizeof(name), "man-pool-%d", i);
+      name_this_thread(name);
+      worker_loop();
+    });
     threads_started_.fetch_add(1, std::memory_order_relaxed);
   }
 }

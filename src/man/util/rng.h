@@ -55,7 +55,8 @@ class Rng {
   }
 
   /// Uniform integer in the inclusive range [lo, hi].
-  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo,
+                                     std::int64_t hi) noexcept {
     const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(next_below(span));
   }

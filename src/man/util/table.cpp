@@ -28,7 +28,9 @@ std::string pad(const std::string& s, std::size_t width) {
 
 std::string Table::to_string() const {
   std::vector<std::size_t> widths(header_.size());
-  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
   for (const auto& row : rows_) {
     if (row.separator) continue;
     for (std::size_t i = 0; i < row.cells.size(); ++i)

@@ -1,0 +1,248 @@
+// Kernel-backend selection and bit-exactness: override precedence
+// (programmatic beats MAN_BACKEND beats auto-detect), unknown
+// MAN_BACKEND values throw, and one shared test vector produces
+// bit-identical accumulators through every registered backend at
+// 8- and 12-bit weights — the contract the Fig 9 replay gate enforces
+// at scale in CI.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "man/backend/kernel_backend.h"
+#include "man/engine/batch_runner.h"
+#include "man/engine/fixed_network.h"
+#include "man/nn/activation_layer.h"
+#include "man/nn/constraint_projection.h"
+#include "man/nn/dense.h"
+#include "man/util/rng.h"
+
+namespace man::backend {
+namespace {
+
+using man::core::AlphabetSet;
+using man::engine::BatchOptions;
+using man::engine::BatchRunner;
+using man::engine::FixedNetwork;
+using man::engine::LayerAlphabetPlan;
+using man::nn::ActivationLayer;
+using man::nn::Dense;
+using man::nn::Network;
+using man::nn::ProjectionPlan;
+using man::nn::QuantSpec;
+
+/// Restores the previous MAN_BACKEND value when the test ends, so
+/// env-twiddling tests cannot leak into each other (or into an outer
+/// MAN_BACKEND=... ctest invocation, which the CI matrix uses).
+class EnvGuard {
+ public:
+  EnvGuard() {
+    if (const char* old = std::getenv("MAN_BACKEND")) old_ = old;
+  }
+  ~EnvGuard() {
+    if (old_.has_value()) {
+      setenv("MAN_BACKEND", old_->c_str(), 1);
+    } else {
+      unsetenv("MAN_BACKEND");
+    }
+  }
+  void set(const char* value) { setenv("MAN_BACKEND", value, 1); }
+  void unset() { unsetenv("MAN_BACKEND"); }
+
+ private:
+  std::optional<std::string> old_;
+};
+
+TEST(BackendRegistry, AllThreeKindsAreRegisteredAndDistinct) {
+  const auto backends = all_backends();
+  ASSERT_EQ(backends.size(), 3u);
+  EXPECT_EQ(backends[0]->kind(), BackendKind::kScalar);
+  EXPECT_EQ(backends[1]->kind(), BackendKind::kBlocked);
+  EXPECT_EQ(backends[2]->kind(), BackendKind::kSimd);
+  for (const auto* backend : backends) {
+    EXPECT_EQ(&backend_for(backend->kind()), backend);
+    EXPECT_EQ(std::string_view(backend->name()), to_string(backend->kind()));
+    EXPECT_NE(backend->description(), nullptr);
+  }
+  // Only the SIMD backend may ever report an accelerated code path.
+  EXPECT_FALSE(backends[0]->accelerated());
+  EXPECT_FALSE(backends[1]->accelerated());
+}
+
+TEST(BackendRegistry, ParseAcceptsKnownSpellingsOnly) {
+  EXPECT_EQ(parse_backend("scalar"), BackendKind::kScalar);
+  EXPECT_EQ(parse_backend("blocked"), BackendKind::kBlocked);
+  EXPECT_EQ(parse_backend("simd"), BackendKind::kSimd);
+  EXPECT_THROW((void)parse_backend("auto"), std::invalid_argument);
+  EXPECT_THROW((void)parse_backend("SCALAR"), std::invalid_argument);
+  EXPECT_THROW((void)parse_backend("warp"), std::invalid_argument);
+  EXPECT_THROW((void)parse_backend(""), std::invalid_argument);
+}
+
+TEST(BackendRegistry, EnvOverridePrecedence) {
+  EnvGuard guard;
+
+  // No env: auto-detect decides (and must name a plane-based kernel).
+  guard.unset();
+  EXPECT_EQ(resolve_backend(), detect_best_backend());
+  EXPECT_NE(detect_best_backend(), BackendKind::kScalar);
+
+  // Env set: it beats auto-detect.
+  guard.set("scalar");
+  EXPECT_EQ(resolve_backend(), BackendKind::kScalar);
+
+  // Programmatic override beats the env var.
+  EXPECT_EQ(resolve_backend(BackendKind::kBlocked), BackendKind::kBlocked);
+
+  // "auto" and "" defer to detection, exactly like unset.
+  guard.set("auto");
+  EXPECT_EQ(resolve_backend(), detect_best_backend());
+  guard.set("");
+  EXPECT_EQ(resolve_backend(), detect_best_backend());
+}
+
+TEST(BackendRegistry, UnknownEnvValueThrows) {
+  EnvGuard guard;
+  guard.set("vliw");
+  EXPECT_THROW((void)env_backend_override(), std::invalid_argument);
+  EXPECT_THROW((void)resolve_backend(), std::invalid_argument);
+  // A programmatic choice sidesteps the broken env var.
+  EXPECT_EQ(resolve_backend(BackendKind::kScalar), BackendKind::kScalar);
+}
+
+TEST(BackendRegistry, BatchRunnerSurfacesBadEnvAtConstruction) {
+  EnvGuard guard;
+  guard.unset();
+  man::util::Rng rng(3);
+  Network net;
+  net.add<Dense>(8, 4).init_xavier(rng);
+  FixedNetwork engine(net, QuantSpec::bits8(),
+                      LayerAlphabetPlan::conventional(1));
+  guard.set("bogus");
+  EXPECT_THROW(BatchRunner(engine, BatchOptions{}), std::invalid_argument);
+  EXPECT_NO_THROW(
+      BatchRunner(engine, BatchOptions{.backend = BackendKind::kScalar}));
+}
+
+Network make_mlp(std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  Network net;
+  net.add<Dense>(16, 8).init_xavier(rng);
+  net.add<ActivationLayer>(man::core::ActivationKind::kSigmoid);
+  net.add<Dense>(8, 4).init_xavier(rng);
+  return net;
+}
+
+// One shared test vector through every registered backend, ASM and
+// conventional engines, at both paper weight widths — all outputs must
+// equal the scalar reference bit for bit.
+class BackendBitIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendBitIdentity, EveryBackendMatchesScalarReference) {
+  const int bits = GetParam();
+  const QuantSpec spec = QuantSpec::for_bits(bits);
+  const AlphabetSet set = AlphabetSet::four();
+
+  Network net = make_mlp(200 + static_cast<std::uint64_t>(bits));
+  const ProjectionPlan projection(spec, set, net.num_weight_layers());
+  projection.project_network(net);
+
+  FixedNetwork asm_engine(
+      net, spec, LayerAlphabetPlan::uniform_asm(net.num_weight_layers(), set));
+  FixedNetwork exact_engine(
+      net, spec, LayerAlphabetPlan::conventional(net.num_weight_layers()));
+
+  // Two shared vectors: plain [0,1) pixels, and a signed variant so
+  // negative activations (negative pre-computer multiples) go through
+  // every backend's shift/sign path too.
+  man::util::Rng rng(17);
+  std::vector<float> pixels(16);
+  for (float& p : pixels) p = static_cast<float>(rng.next_double());
+  std::vector<float> signed_pixels(16);
+  for (float& p : signed_pixels) {
+    p = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+  }
+
+  for (FixedNetwork* engine : {&asm_engine, &exact_engine}) {
+    for (const auto& vector : {pixels, signed_pixels}) {
+      auto scratch = engine->make_scratch();
+      auto stats = engine->make_stats();
+      std::vector<std::int64_t> reference(engine->output_size());
+      engine->infer_into(vector, reference, stats, scratch,
+                         backend_for(BackendKind::kScalar));
+      for (const auto* backend : all_backends()) {
+        std::vector<std::int64_t> raw(engine->output_size());
+        engine->infer_into(vector, raw, stats, scratch, *backend);
+        EXPECT_EQ(raw, reference)
+            << "bits=" << bits << " backend=" << backend->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWidths, BackendBitIdentity,
+                         ::testing::Values(8, 12));
+
+TEST(BackendBatchRunner, BackendsAgreeAndStatsRecordTheChoice) {
+  EnvGuard guard;
+  guard.unset();
+
+  const QuantSpec spec = QuantSpec::bits8();
+  const AlphabetSet set = AlphabetSet::two();
+  Network net = make_mlp(77);
+  const ProjectionPlan projection(spec, set, net.num_weight_layers());
+  projection.project_network(net);
+  FixedNetwork engine(
+      net, spec, LayerAlphabetPlan::uniform_asm(net.num_weight_layers(), set));
+
+  constexpr std::size_t kSamples = 24;
+  man::util::Rng rng(18);
+  std::vector<float> batch(kSamples * engine.input_size());
+  for (float& p : batch) p = static_cast<float>(rng.next_double());
+
+  std::vector<std::int64_t> reference(kSamples * engine.output_size());
+  BatchRunner scalar_runner(
+      engine,
+      BatchOptions{.workers = 1, .backend = BackendKind::kScalar});
+  scalar_runner.run(batch, reference);
+  EXPECT_EQ(scalar_runner.stats().backend, "scalar");
+
+  for (const auto* backend : all_backends()) {
+    std::vector<std::int64_t> raw(kSamples * engine.output_size());
+    BatchRunner runner(
+        engine, BatchOptions{.workers = 2, .backend = backend->kind()});
+    runner.run(batch, raw);
+    EXPECT_EQ(raw, reference) << "backend=" << backend->name();
+    EXPECT_EQ(runner.stats().backend, backend->name());
+    EXPECT_EQ(&runner.kernel(), backend);
+  }
+}
+
+TEST(BackendPlans, CompiledPlansCoverEveryDenseStage) {
+  Network net = make_mlp(91);
+  const QuantSpec spec = QuantSpec::bits8();
+  const ProjectionPlan projection(spec, AlphabetSet::four(),
+                                  net.num_weight_layers());
+  projection.project_network(net);
+  FixedNetwork engine(
+      net, spec,
+      LayerAlphabetPlan::uniform_asm(net.num_weight_layers(),
+                                     AlphabetSet::four()));
+  const auto& plans = engine.plans();
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].rows, 8);
+  EXPECT_EQ(plans[0].cols, 16);
+  EXPECT_FALSE(plans[0].exact);
+  EXPECT_EQ(plans[0].k, 4);
+  EXPECT_EQ(plans[0].cols_padded % kLaneWidth, 0);
+  EXPECT_GT(plans[0].planes, 0);
+  EXPECT_EQ(plans[0].idx.size(),
+            static_cast<std::size_t>(plans[0].planes) *
+                plans[0].plane_stride());
+  // 8-bit weights decompose into at most two quartets (paper Fig 4).
+  EXPECT_LE(plans[0].planes, 2);
+}
+
+}  // namespace
+}  // namespace man::backend

@@ -121,7 +121,8 @@ TEST(Svhn, ShapeAndNoiseHarderThanDigits) {
   // clearly worse than on the clean digit corpus (paper Fig 7 rests
   // on this hardness ordering) while staying above chance.
   const double svhn_acc = centroid_probe(svhn);
-  const double digit_acc = centroid_probe(make_synthetic_digits(small_digits()));
+  const double digit_acc =
+      centroid_probe(make_synthetic_digits(small_digits()));
   EXPECT_GT(svhn_acc, 0.2);
   EXPECT_LT(svhn_acc, digit_acc);
 }

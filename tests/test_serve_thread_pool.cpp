@@ -10,10 +10,15 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "man/serve/thread_pool.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 namespace man::serve {
 namespace {
@@ -24,6 +29,39 @@ TEST(ThreadPool, RejectsNonPositiveThreadCounts) {
   EXPECT_THROW(ThreadPool(0), std::invalid_argument);
   EXPECT_THROW(ThreadPool(-3), std::invalid_argument);
 }
+
+#if defined(__linux__)
+TEST(ThreadPool, WorkersCarryAttributableNames) {
+  // man-pool-N names make TSan/perf output attributable; prove every
+  // worker observes its own kernel-visible name.
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<std::string> names;
+  std::vector<std::future<void>> pending;
+  std::atomic<int> started{0};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  for (int i = 0; i < 3; ++i) {
+    pending.push_back(pool.submit([&, gate] {
+      char name[16] = {};
+      pthread_getname_np(pthread_self(), name, sizeof(name));
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        names.insert(name);
+      }
+      started.fetch_add(1);
+      gate.wait();  // hold the worker so all three names are distinct
+    }));
+  }
+  // Release only once every worker holds a task — otherwise one
+  // worker could drain several tasks and the names would collapse.
+  while (started.load() < 3) std::this_thread::yield();
+  release.set_value();
+  for (auto& f : pending) f.get();
+  EXPECT_EQ(names, (std::set<std::string>{"man-pool-0", "man-pool-1",
+                                          "man-pool-2"}));
+}
+#endif
 
 TEST(ThreadPool, RunsTasksOffTheCallingThread) {
   ThreadPool pool(4);
