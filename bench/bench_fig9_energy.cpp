@@ -1,13 +1,14 @@
 // Reproduces Fig 9 — network energy per inference normalized to the
 // conventional implementation, grouped as in the paper: (a) 2-layer
 // MLPs, (b) 5-6 layer MLPs, (c) 6-layer CNN — then cross-checks the
-// static model's activity assumptions by replaying the digit MLP
-// through the fixed-point engine: once per registered kernel backend
-// (scalar reference, blocked, SIMD — all must agree bit for bit; any
-// divergence exits 1, the CI gate) and once through the batched
-// multi-threaded runtime. Fixed-iteration mode for CI via
-// MAN_REPLAY_SAMPLES; per-backend timings land in MAN_BENCH_JSON when
-// set.
+// static model's activity assumptions by replaying the digit MLP *and*
+// the LeNet CNN through the fixed-point engine: once per registered
+// kernel backend (scalar reference, blocked, SIMD — all must agree bit
+// for bit, dense and conv plans alike; any divergence exits 1, the CI
+// gate) and once through the batched multi-threaded runtime.
+// Fixed-iteration mode for CI via MAN_REPLAY_SAMPLES /
+// MAN_REPLAY_CNN_SAMPLES; per-backend timings land in MAN_BENCH_JSON
+// when set.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -26,6 +27,176 @@ using man::core::AlphabetSet;
 using man::core::MultiplierKind;
 using man::hw::compute_network_energy;
 using man::hw::with_uniform_scheme;
+
+std::size_t samples_from_env(const char* env_name,
+                             std::size_t fallback) {
+  if (const char* env = std::getenv(env_name)) {
+    const int value = std::atoi(env);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  return fallback;
+}
+
+/// ASM-4 engine for one registered app (weights projected to the
+/// alphabet set first, so the datapath is exercised, not the
+/// projection error).
+man::engine::FixedNetwork build_replay_engine(AppId id) {
+  const auto& app = man::apps::get_app(id);
+  man::nn::Network net = app.build_network(/*seed=*/21);
+  const AlphabetSet set = AlphabetSet::four();
+  const man::nn::ProjectionPlan projection(app.quant(), set,
+                                           net.num_weight_layers());
+  projection.project_network(net);
+  return man::engine::FixedNetwork(
+      net, app.quant(),
+      man::engine::LayerAlphabetPlan::uniform_asm(net.num_weight_layers(),
+                                                  set));
+}
+
+struct BackendResult {
+  std::string name;
+  std::string description;
+  double seconds = 0.0;
+  bool matches = false;
+};
+
+struct ReplayResult {
+  std::size_t samples = 0;
+  int workers = 0;
+  std::vector<BackendResult> backends;
+  double scalar_s = 0.0;
+  double par_s = 0.0;
+  std::string par_backend;
+  bool identical = true;
+};
+
+/// Replays `samples` random inferences through every registered
+/// kernel backend (single worker) and through the multi-worker
+/// BatchRunner, judging outputs and per-layer EngineStats against the
+/// scalar reference. Prints the per-backend table; any divergence
+/// clears `identical`.
+ReplayResult run_replay(const man::engine::FixedNetwork& engine,
+                        std::size_t samples, int workers) {
+  ReplayResult result;
+  result.samples = samples;
+  result.workers = workers;
+
+  man::util::Rng rng(2016);
+  std::vector<float> batch(samples * engine.input_size());
+  for (float& p : batch) p = static_cast<float>(rng.next_double());
+
+  // Reference: the scalar backend, single worker. Every other backend
+  // and the parallel run are judged against this output.
+  std::vector<std::int64_t> raw_ref(samples * engine.output_size());
+  man::engine::BatchRunner reference(
+      engine, man::engine::BatchOptions{
+                  .workers = 1,
+                  .backend = man::backend::BackendKind::kScalar});
+  reference.run(batch, raw_ref);  // warm caches and page in the plan
+  reference.reset_stats();
+  man::util::Stopwatch ref_watch;
+  reference.run(batch, raw_ref);
+  result.scalar_s = ref_watch.seconds();
+
+  // The scalar reference run above doubles as the scalar backend's
+  // measurement (re-running it would only add jitter to a 1.00x row).
+  result.backends.push_back(BackendResult{
+      "scalar",
+      man::backend::backend_for(man::backend::BackendKind::kScalar)
+          .description(),
+      result.scalar_s, true});
+  for (const auto* backend : man::backend::all_backends()) {
+    if (backend->kind() == man::backend::BackendKind::kScalar) continue;
+    std::vector<std::int64_t> raw(samples * engine.output_size());
+    man::engine::BatchRunner runner(
+        engine, man::engine::BatchOptions{.workers = 1,
+                                          .backend = backend->kind()});
+    runner.run(batch, raw);  // warmup
+    man::util::Stopwatch watch;
+    runner.run(batch, raw);
+    const double seconds = watch.seconds();
+    const bool matches = raw == raw_ref;
+    result.identical = result.identical && matches;
+    result.backends.push_back(BackendResult{
+        backend->name(), backend->description(), seconds, matches});
+  }
+
+  man::util::Table backends_table({"Backend", "Description", "ms",
+                                   "Speedup vs scalar", "Bit-identical"});
+  for (const BackendResult& row : result.backends) {
+    backends_table.add_row(
+        {row.name, row.description,
+         man::util::format_double(row.seconds * 1e3, 1),
+         man::util::format_double(
+             row.seconds > 0 ? result.scalar_s / row.seconds : 0.0, 2),
+         row.matches ? "yes" : "NO"});
+  }
+  std::cout << backends_table.to_string();
+
+  // Batched runtime on the auto backend: outputs and the per-layer
+  // activity reduction must both match the sequential reference.
+  std::vector<std::int64_t> raw_par(samples * engine.output_size());
+  man::engine::BatchRunner parallel(
+      engine, man::engine::BatchOptions{.workers = workers});
+  man::util::Stopwatch par_watch;
+  parallel.run(batch, raw_par);
+  result.par_s = par_watch.seconds();
+  result.identical = result.identical && raw_par == raw_ref;
+
+  const auto& seq_stats = reference.stats();
+  const auto& par_stats = parallel.stats();
+  result.par_backend = par_stats.backend;
+  man::util::Table replay({"Layer", "MACs", "Bank firings", "Total ops",
+                           "Matches sequential"});
+  for (std::size_t i = 0; i < seq_stats.layers.size(); ++i) {
+    const auto& seq_layer = seq_stats.layers[i];
+    const auto& par_layer = par_stats.layers[i];
+    const bool layer_match = seq_layer.macs == par_layer.macs &&
+                             seq_layer.bank_activations ==
+                                 par_layer.bank_activations &&
+                             seq_layer.ops == par_layer.ops;
+    result.identical = result.identical && layer_match;
+    replay.add_row({par_layer.name, std::to_string(par_layer.macs),
+                    std::to_string(par_layer.bank_activations),
+                    std::to_string(par_layer.ops.total()),
+                    layer_match ? "yes" : "NO"});
+  }
+  std::cout << replay.to_string();
+  std::cout << samples << " inferences: scalar "
+            << man::util::format_double(result.scalar_s * 1e3, 1) << " ms, "
+            << workers << " workers (" << result.par_backend << ") "
+            << man::util::format_double(result.par_s * 1e3, 1)
+            << " ms (speedup "
+            << man::util::format_double(
+                   result.par_s > 0 ? result.scalar_s / result.par_s : 0.0, 2)
+            << "x)\n";
+  return result;
+}
+
+void emit_json_section(std::ofstream& out, const char* name,
+                       const ReplayResult& result, bool last) {
+  out << "  \"" << name << "\": {\n    \"samples\": " << result.samples
+      << ",\n    \"bit_identical\": "
+      << (result.identical ? "true" : "false") << ",\n    \"auto_backend\": \""
+      << man::backend::to_string(man::backend::detect_best_backend())
+      << "\",\n    \"parallel_workers\": " << result.workers
+      << ",\n    \"parallel_speedup\": "
+      << man::util::format_double(
+             result.par_s > 0 ? result.scalar_s / result.par_s : 0.0, 3)
+      << ",\n    \"backends\": {\n";
+  for (std::size_t i = 0; i < result.backends.size(); ++i) {
+    out << "      \"" << result.backends[i].name << "\": {\"ms\": "
+        << man::util::format_double(result.backends[i].seconds * 1e3, 3)
+        << ", \"speedup\": "
+        << man::util::format_double(result.backends[i].seconds > 0
+                                        ? result.scalar_s /
+                                              result.backends[i].seconds
+                                        : 0.0,
+                                    3)
+        << "}" << (i + 1 < result.backends.size() ? "," : "") << "\n";
+  }
+  out << "    }\n  }" << (last ? "\n" : ",\n");
+}
 
 void print_group(const char* title, const std::vector<AppId>& ids) {
   std::cout << "\n" << title << "\n";
@@ -85,156 +256,49 @@ int main() {
   }
   std::cout << table.to_string();
 
-  // Engine replay: the per-layer activity behind the Fig 9 numbers,
+  // Engine replays: the per-layer activity behind the Fig 9 numbers,
   // recorded live — once per registered kernel backend sequentially,
-  // once through the batched runtime. Any divergence would invalidate
+  // once through the batched runtime, for the digit MLP (dense plans)
+  // and the LeNet CNN (conv plans). Any divergence would invalidate
   // the energy accounting, so a mismatch fails the bench. This is the
   // CI bit-exactness gate for the multi-backend dispatch.
   const int workers = [] {
     const int requested = man::bench::bench_workers();
     return requested > 0 ? requested : 8;
   }();
-  const std::size_t samples = [] {
-    if (const char* env = std::getenv("MAN_REPLAY_SAMPLES")) {
-      const int value = std::atoi(env);
-      if (value > 0) return static_cast<std::size_t>(value);
-    }
-    return static_cast<std::size_t>(512);
-  }();
+  const std::size_t mlp_samples = samples_from_env("MAN_REPLAY_SAMPLES", 512);
+  const std::size_t cnn_samples =
+      samples_from_env("MAN_REPLAY_CNN_SAMPLES", 128);
+
   man::bench::print_banner(
       "Engine activity replay: per-backend + BatchRunner(" +
       std::to_string(workers) + " workers), digit MLP, ASM 4 {1,3,5,7}");
-
-  const auto& app = man::apps::get_app(AppId::kDigitMlp8);
-  man::nn::Network net = app.build_network(/*seed=*/21);
-  const AlphabetSet set = AlphabetSet::four();
-  const man::nn::ProjectionPlan projection(app.quant(), set,
-                                           net.num_weight_layers());
-  projection.project_network(net);
-  man::engine::FixedNetwork engine(
-      net, app.quant(),
-      man::engine::LayerAlphabetPlan::uniform_asm(net.num_weight_layers(),
-                                                  set));
-
-  man::util::Rng rng(2016);
-  std::vector<float> batch(samples * engine.input_size());
-  for (float& p : batch) p = static_cast<float>(rng.next_double());
-
-  // Reference: the scalar backend, single worker. Every other backend
-  // and the parallel run are judged against this output.
-  std::vector<std::int64_t> raw_ref(samples * engine.output_size());
-  man::engine::BatchRunner reference(
-      engine, man::engine::BatchOptions{
-                  .workers = 1,
-                  .backend = man::backend::BackendKind::kScalar});
-  reference.run(batch, raw_ref);  // warm caches and page in the plan
-  reference.reset_stats();
-  man::util::Stopwatch ref_watch;
-  reference.run(batch, raw_ref);
-  const double scalar_s = ref_watch.seconds();
-
-  bool identical = true;
-  struct BackendResult {
-    std::string name;
-    std::string description;
-    double seconds = 0.0;
-    bool matches = false;
-  };
-  // The scalar reference run above doubles as the scalar backend's
-  // measurement (re-running it would only add jitter to a 1.00x row).
-  std::vector<BackendResult> results{BackendResult{
-      "scalar",
-      man::backend::backend_for(man::backend::BackendKind::kScalar)
-          .description(),
-      scalar_s, true}};
-  for (const auto* backend : man::backend::all_backends()) {
-    if (backend->kind() == man::backend::BackendKind::kScalar) continue;
-    std::vector<std::int64_t> raw(samples * engine.output_size());
-    man::engine::BatchRunner runner(
-        engine, man::engine::BatchOptions{.workers = 1,
-                                          .backend = backend->kind()});
-    runner.run(batch, raw);  // warmup
-    man::util::Stopwatch watch;
-    runner.run(batch, raw);
-    const double seconds = watch.seconds();
-    const bool matches = raw == raw_ref;
-    identical = identical && matches;
-    results.push_back(BackendResult{backend->name(), backend->description(),
-                                    seconds, matches});
-  }
-
-  man::util::Table backends_table({"Backend", "Description", "ms",
-                                   "Speedup vs scalar", "Bit-identical"});
-  for (const BackendResult& result : results) {
-    backends_table.add_row(
-        {result.name, result.description,
-         man::util::format_double(result.seconds * 1e3, 1),
-         man::util::format_double(
-             result.seconds > 0 ? scalar_s / result.seconds : 0.0, 2),
-         result.matches ? "yes" : "NO"});
-  }
-  std::cout << backends_table.to_string();
+  const man::engine::FixedNetwork mlp_engine =
+      build_replay_engine(AppId::kDigitMlp8);
+  const ReplayResult mlp = run_replay(mlp_engine, mlp_samples, workers);
   std::cout << "auto-dispatch resolves to: "
             << man::backend::to_string(man::backend::detect_best_backend())
             << "\n";
 
-  // Batched runtime on the auto backend: outputs and the per-layer
-  // activity reduction must both match the sequential reference.
-  std::vector<std::int64_t> raw_par(samples * engine.output_size());
-  man::engine::BatchRunner parallel(
-      engine, man::engine::BatchOptions{.workers = workers});
-  man::util::Stopwatch par_watch;
-  parallel.run(batch, raw_par);
-  const double par_s = par_watch.seconds();
-  identical = identical && raw_par == raw_ref;
+  man::bench::print_banner(
+      "CNN engine replay: per-backend + BatchRunner(" +
+      std::to_string(workers) + " workers), LeNet digit CNN (12-bit), "
+      "ASM 4 {1,3,5,7}");
+  const man::engine::FixedNetwork cnn_engine =
+      build_replay_engine(AppId::kDigitCnn12);
+  const ReplayResult cnn = run_replay(cnn_engine, cnn_samples, workers);
 
-  const auto& seq_stats = reference.stats();
-  const auto& par_stats = parallel.stats();
-  man::util::Table replay({"Layer", "MACs", "Bank firings", "Total ops",
-                           "Matches sequential"});
-  for (std::size_t i = 0; i < seq_stats.layers.size(); ++i) {
-    const auto& seq_layer = seq_stats.layers[i];
-    const auto& par_layer = par_stats.layers[i];
-    const bool layer_match = seq_layer.macs == par_layer.macs &&
-                             seq_layer.bank_activations ==
-                                 par_layer.bank_activations &&
-                             seq_layer.ops == par_layer.ops;
-    identical = identical && layer_match;
-    replay.add_row({par_layer.name, std::to_string(par_layer.macs),
-                    std::to_string(par_layer.bank_activations),
-                    std::to_string(par_layer.ops.total()),
-                    layer_match ? "yes" : "NO"});
-  }
-  std::cout << replay.to_string();
-  std::cout << samples << " inferences: scalar "
-            << man::util::format_double(scalar_s * 1e3, 1) << " ms, "
-            << workers << " workers (" << par_stats.backend << ") "
-            << man::util::format_double(par_s * 1e3, 1) << " ms (speedup "
-            << man::util::format_double(par_s > 0 ? scalar_s / par_s : 0.0, 2)
-            << "x)\n";
-  std::cout << "per-backend raw outputs + per-layer EngineStats: "
-            << (identical ? "bit-identical" : "MISMATCH") << "\n";
+  const bool identical = mlp.identical && cnn.identical;
+  std::cout << "per-backend raw outputs + per-layer EngineStats "
+            << "(MLP + CNN): " << (identical ? "bit-identical" : "MISMATCH")
+            << "\n";
 
   if (const std::string json = man::bench::bench_json_path(); !json.empty()) {
     std::ofstream out(json);
-    out << "{\n  \"fig9_replay\": {\n    \"samples\": " << samples
-        << ",\n    \"bit_identical\": " << (identical ? "true" : "false")
-        << ",\n    \"auto_backend\": \""
-        << man::backend::to_string(man::backend::detect_best_backend())
-        << "\",\n    \"parallel_workers\": " << workers
-        << ",\n    \"parallel_speedup\": "
-        << man::util::format_double(par_s > 0 ? scalar_s / par_s : 0.0, 3)
-        << ",\n    \"backends\": {\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      out << "      \"" << results[i].name << "\": {\"ms\": "
-          << man::util::format_double(results[i].seconds * 1e3, 3)
-          << ", \"speedup\": "
-          << man::util::format_double(
-                 results[i].seconds > 0 ? scalar_s / results[i].seconds : 0.0,
-                 3)
-          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    out << "    }\n  }\n}\n";
+    out << "{\n";
+    emit_json_section(out, "fig9_replay", mlp, /*last=*/false);
+    emit_json_section(out, "fig9_cnn_replay", cnn, /*last=*/true);
+    out << "}\n";
   }
   return identical ? 0 : 1;
 }

@@ -2,16 +2,24 @@
 """Merge bench JSON outputs and enforce the bench-regression gate.
 
 Reads the per-bench JSON files written via MAN_BENCH_JSON
-(bench_serve_throughput and the bench_fig9_energy replay), merges them
+(bench_serve_throughput and the bench_fig9_energy replays), merges them
 into one BENCH_<sha>.json artifact, and compares against the checked-in
 bench/baseline.json:
 
   * serve_throughput.qps dropping more than `max_drop` (default 15%)
     below baseline fails the job (exit 1);
-  * fig9_replay backend speedups below the baseline's min_speedup
-    expectations only warn — they are informational, the hard
-    bit-exactness gate is the bench's own exit code;
-  * a bench reporting bit_identical: false fails the job.
+  * fig9_replay / fig9_cnn_replay backend speedups below the
+    baseline's min_speedup expectations only warn — they are
+    informational, the hard bit-exactness gate is the bench's own
+    exit code;
+  * a bench reporting bit_identical: false fails the job;
+  * a measured section or value that is missing or unusable (absent
+    key, zero/garbage QPS) fails the job — a gate that silently skips
+    is a gate that masks regressions;
+  * a *baseline* entry that is absent produces a clear skip warning
+    (new benches land before their baseline entry); a baseline entry
+    that is present but unusable (zero/garbage QPS) fails, because it
+    would turn the floor into a no-op.
 
 Usage:
   compare_baseline.py --serve serve.json --fig9 fig9.json \
@@ -26,6 +34,99 @@ import sys
 def load(path):
     with open(path) as fh:
         return json.load(fh)
+
+
+def usable_number(value):
+    """A finite, positive, real number — not bool, not a string."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return value > 0 and value == value and value not in (float("inf"),)
+
+
+def check_throughput(serve, baseline, failures, warnings):
+    throughput = serve.get("serve_throughput")
+    if not isinstance(throughput, dict):
+        failures.append(
+            "serve JSON has no serve_throughput section - did "
+            "bench_serve_throughput run with MAN_BENCH_JSON set?")
+        return
+    if not throughput.get("bit_identical", False):
+        failures.append("serve bench reported bit_identical: false")
+    qps = throughput.get("qps")
+    if not usable_number(qps):
+        failures.append(f"serve bench reported unusable qps: {qps!r}")
+        return
+
+    base = baseline.get("serve_throughput")
+    if not isinstance(base, dict):
+        warnings.append(
+            "skip: bench/baseline.json has no serve_throughput entry; "
+            "QPS floor not enforced - add one via the refresh workflow "
+            "(README 'Bench regression workflow')")
+        return
+    baseline_qps = base.get("qps")
+    if not usable_number(baseline_qps):
+        failures.append(
+            f"baseline serve_throughput.qps is unusable "
+            f"({baseline_qps!r}); the floor would be a no-op - fix "
+            f"bench/baseline.json via the refresh workflow")
+        return
+    max_drop = baseline.get("max_drop")
+    # 0 is a legitimate (zero-tolerance) setting here, unlike the
+    # measured values usable_number() vets.
+    if (isinstance(max_drop, bool) or
+            not isinstance(max_drop, (int, float)) or
+            not 0 <= max_drop < 1.0):
+        warnings.append(
+            f"baseline max_drop is unusable ({max_drop!r}); using 0.15")
+        max_drop = 0.15
+    floor = baseline_qps * (1.0 - max_drop)
+    print(f"throughput: {qps:.1f} QPS (baseline {baseline_qps:.1f}, "
+          f"floor {floor:.1f} at -{max_drop:.0%})")
+    if qps < floor:
+        failures.append(
+            f"QPS {qps:.1f} is below the regression floor {floor:.1f} "
+            f"(baseline {baseline_qps:.1f} - {max_drop:.0%})")
+
+
+def check_replay(name, fig9, baseline, failures, warnings):
+    replay = fig9.get(name)
+    if not isinstance(replay, dict):
+        failures.append(
+            f"fig9 JSON has no {name} section - did bench_fig9_energy "
+            f"run with MAN_BENCH_JSON set?")
+        return
+    if not replay.get("bit_identical", False):
+        failures.append(f"{name} reported bit_identical: false")
+
+    base = baseline.get(name)
+    if not isinstance(base, dict):
+        warnings.append(
+            f"skip: bench/baseline.json has no {name} entry; speedup "
+            f"expectations not checked")
+        expectations = {}
+    else:
+        expectations = base.get("min_speedup", {})
+        if not isinstance(expectations, dict):
+            warnings.append(
+                f"baseline {name}.min_speedup is not an object; ignored")
+            expectations = {}
+    backends = replay.get("backends")
+    if not isinstance(backends, dict) or not backends:
+        failures.append(f"{name} recorded no per-backend results")
+        return
+    for backend, result in backends.items():
+        speedup = result.get("speedup") if isinstance(result, dict) else None
+        if not usable_number(speedup):
+            warnings.append(
+                f"{name} backend {backend}: unusable speedup {speedup!r}")
+            continue
+        expected = expectations.get(backend)
+        line = f"{name} backend {backend}: {speedup:.2f}x vs scalar"
+        if usable_number(expected) and speedup < expected:
+            warnings.append(f"{line} (expected >= {expected:.2f}x)")
+        else:
+            print(line)
 
 
 def main():
@@ -57,32 +158,9 @@ def main():
     failures = []
     warnings = []
 
-    throughput = serve["serve_throughput"]
-    baseline_qps = baseline["serve_throughput"]["qps"]
-    max_drop = baseline.get("max_drop", 0.15)
-    floor = baseline_qps * (1.0 - max_drop)
-    qps = throughput["qps"]
-    print(f"throughput: {qps:.1f} QPS (baseline {baseline_qps:.1f}, "
-          f"floor {floor:.1f} at -{max_drop:.0%})")
-    if qps < floor:
-        failures.append(
-            f"QPS {qps:.1f} is below the regression floor {floor:.1f} "
-            f"(baseline {baseline_qps:.1f} - {max_drop:.0%})")
-    if not throughput.get("bit_identical", False):
-        failures.append("serve bench reported bit_identical: false")
-
-    replay = fig9["fig9_replay"]
-    if not replay.get("bit_identical", False):
-        failures.append("fig9 replay reported bit_identical: false")
-    expectations = baseline.get("fig9_replay", {}).get("min_speedup", {})
-    for backend, result in replay.get("backends", {}).items():
-        speedup = result["speedup"]
-        expected = expectations.get(backend)
-        line = f"backend {backend}: {speedup:.2f}x vs scalar"
-        if expected is not None and speedup < expected:
-            warnings.append(f"{line} (expected >= {expected:.2f}x)")
-        else:
-            print(line)
+    check_throughput(serve, baseline, failures, warnings)
+    check_replay("fig9_replay", fig9, baseline, failures, warnings)
+    check_replay("fig9_cnn_replay", fig9, baseline, failures, warnings)
 
     for warning in warnings:
         print(f"WARNING: {warning}")

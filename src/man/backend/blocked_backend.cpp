@@ -32,6 +32,18 @@ class BlockedBackend final : public KernelBackend {
                    std::int64_t* out) const override {
     exact_dense_blocked(plan, activations, out);
   }
+
+  void accumulate_conv(const ConvLayerPlan& plan,
+                       const std::int64_t* multiples,
+                       std::int64_t* out) const override {
+    accumulate_conv_planes(plan, multiples, out);
+  }
+
+  void exact_conv(const ConvLayerPlan& plan,
+                  const std::int64_t* activations,
+                  std::int64_t* out) const override {
+    exact_conv_blocked(plan, activations, out);
+  }
 };
 
 }  // namespace

@@ -62,6 +62,25 @@ class KernelBackend {
   virtual void exact_dense(const DenseLayerPlan& plan,
                            const std::int64_t* activations,
                            std::int64_t* out) const = 0;
+
+  /// ASM quartet accumulation for one conv stage: for every filter r
+  /// and output position p = (oy, ox),
+  ///   out[r·P + p] = biases[r] + Σ_c sign · Σ_q
+  ///       multiples[idx + oy·iw + ox] << shift
+  /// (the position base is in element units — the lane-major layout
+  /// strides by elements, not by k). `multiples` holds
+  /// plan.padded_multiples() slots — k planes of ic·ih·iw bank
+  /// outputs plus the trailing zero region, which must be 0.
+  virtual void accumulate_conv(const ConvLayerPlan& plan,
+                               const std::int64_t* multiples,
+                               std::int64_t* out) const = 0;
+
+  /// Conventional exact conv stage over the degenerate single-multiple
+  /// plane: out[r·P + p] = biases[r] + Σ_c weights[r][c] ·
+  /// activations[patch_elems[c] + oy·iw + ox].
+  virtual void exact_conv(const ConvLayerPlan& plan,
+                          const std::int64_t* activations,
+                          std::int64_t* out) const = 0;
 };
 
 /// The process-wide instance of one backend kind.

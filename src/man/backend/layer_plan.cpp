@@ -73,4 +73,122 @@ DenseLayerPlan DenseLayerPlan::build_asm(int rows, int cols, int k,
   return plan;
 }
 
+namespace {
+
+/// Shared geometry setup: validates the valid-padding stride-1 shape
+/// and fills the patch-element offsets (input element of padded patch
+/// column c at output position (0,0); padding columns read element 0).
+ConvLayerPlan conv_geometry(int oc, int ic, int kernel, int ih, int iw) {
+  if (oc < 1 || ic < 1 || kernel < 1 || ih < kernel || iw < kernel) {
+    throw std::invalid_argument(
+        "ConvLayerPlan: bad geometry " + std::to_string(oc) + "x" +
+        std::to_string(ic) + "x" + std::to_string(kernel) + " over " +
+        std::to_string(ih) + "x" + std::to_string(iw));
+  }
+  ConvLayerPlan plan;
+  plan.oc = oc;
+  plan.ic = ic;
+  plan.kernel = kernel;
+  plan.ih = ih;
+  plan.iw = iw;
+  plan.oh = ih - kernel + 1;
+  plan.ow = iw - kernel + 1;
+  plan.cols = ic * kernel * kernel;
+  plan.cols_padded =
+      (plan.cols + kLaneWidth - 1) / kLaneWidth * kLaneWidth;
+  plan.patch_elems.assign(static_cast<std::size_t>(plan.cols_padded), 0);
+  for (int c = 0; c < plan.cols; ++c) {
+    const int channel = c / (kernel * kernel);
+    const int ky = (c / kernel) % kernel;
+    const int kx = c % kernel;
+    plan.patch_elems[static_cast<std::size_t>(c)] =
+        static_cast<std::uint32_t>((channel * ih + ky) * iw + kx);
+  }
+  return plan;
+}
+
+}  // namespace
+
+ConvLayerPlan ConvLayerPlan::build_exact(int oc, int ic, int kernel, int ih,
+                                         int iw,
+                                         std::vector<std::int32_t> weights,
+                                         std::vector<std::int64_t> biases) {
+  ConvLayerPlan plan = conv_geometry(oc, ic, kernel, ih, iw);
+  if (weights.size() != static_cast<std::size_t>(oc) * plan.cols) {
+    throw std::invalid_argument(
+        "ConvLayerPlan: " + std::to_string(weights.size()) +
+        " weights for " + std::to_string(oc) + "x" +
+        std::to_string(plan.cols));
+  }
+  plan.exact = true;
+  plan.biases = std::move(biases);
+  // Repack oc × cols into oc × cols_padded; padding weights are 0, so
+  // the branch-free kernels read element 0 and contribute nothing.
+  plan.weights.assign(
+      static_cast<std::size_t>(oc) * plan.cols_padded, 0);
+  for (int r = 0; r < oc; ++r) {
+    for (int c = 0; c < plan.cols; ++c) {
+      plan.weights[static_cast<std::size_t>(r) * plan.cols_padded + c] =
+          weights[static_cast<std::size_t>(r) * plan.cols + c];
+    }
+  }
+  return plan;
+}
+
+ConvLayerPlan ConvLayerPlan::build_asm(int oc, int ic, int kernel, int ih,
+                                       int iw, int k,
+                                       std::vector<AsmWeight> asm_weights,
+                                       std::vector<AsmStep> steps,
+                                       std::vector<std::int64_t> biases) {
+  ConvLayerPlan plan = conv_geometry(oc, ic, kernel, ih, iw);
+  if (asm_weights.size() != static_cast<std::size_t>(oc) * plan.cols) {
+    throw std::invalid_argument(
+        "ConvLayerPlan: " + std::to_string(asm_weights.size()) +
+        " schedules for " + std::to_string(oc) + "x" +
+        std::to_string(plan.cols));
+  }
+  plan.k = k;
+  plan.zero_base = static_cast<std::uint32_t>(plan.input_elems()) * k;
+  plan.biases = std::move(biases);
+
+  for (const AsmWeight& w : asm_weights) {
+    plan.planes = std::max(plan.planes, static_cast<int>(w.step_count));
+  }
+  // Degenerate all-zero-weight layer: keep one (all-absent) plane so
+  // kernels that pre-read plane 0 for the zero-step skip never index
+  // an empty idx array.
+  plan.planes = std::max(plan.planes, 1);
+
+  // Quartet planes, exactly as in the dense plan except offsets are
+  // position-(0,0) patch elements: cells past a weight's step count
+  // and the column padding read the zero region, which stays zero
+  // under every position base.
+  const std::size_t stride = plan.plane_stride();
+  plan.idx.assign(static_cast<std::size_t>(plan.planes) * stride,
+                  plan.zero_base);
+  plan.shifts.assign(static_cast<std::size_t>(plan.planes) * stride, 0);
+  plan.sign_masks.assign(stride, 0);
+  for (int r = 0; r < oc; ++r) {
+    for (int c = 0; c < plan.cols; ++c) {
+      const AsmWeight& w =
+          asm_weights[static_cast<std::size_t>(r) * plan.cols + c];
+      const std::size_t cell =
+          static_cast<std::size_t>(r) * plan.cols_padded + c;
+      plan.sign_masks[cell] = w.negative ? -1 : 0;
+      for (std::uint8_t s = 0; s < w.step_count; ++s) {
+        const AsmStep& step = steps[w.step_begin + s];
+        plan.idx[s * stride + cell] =
+            static_cast<std::uint32_t>(step.lane) *
+                static_cast<std::uint32_t>(plan.input_elems()) +
+            plan.patch_elems[static_cast<std::size_t>(c)];
+        plan.shifts[s * stride + cell] = step.shift;
+      }
+    }
+  }
+
+  plan.asm_weights = std::move(asm_weights);
+  plan.steps = std::move(steps);
+  return plan;
+}
+
 }  // namespace man::backend

@@ -93,6 +93,107 @@ struct DenseLayerPlan {
       std::vector<AsmStep> steps, std::vector<std::int64_t> biases);
 };
 
+/// Self-contained plan for one valid-padding stride-1 conv stage —
+/// the dense plan generalized by one degree of freedom: the filter
+/// patch slides over the input, so every (plane, filter, column)
+/// cell stores the multiples offset of its patch element *at output
+/// position (0,0)* and kernels add a per-position base offset
+/// (oy·iw + ox) to every read. Unlike the dense path's k-strided
+/// element-major staging, the conv multiples buffer is *lane-major*
+/// (all elements' a₀ multiples, then all a₁, ...): a conv weight
+/// fires at every output position with the same lane, so consecutive
+/// positions read consecutive slots — vector kernels use plain loads
+/// where an element-major layout would need gathers. Rather than
+/// branch on absent quartets, their cells point at `zero_base` and
+/// the buffer carries a zero *region* wide enough that zero_base plus
+/// any position base still reads 0 (the dense plan's always-zero-slot
+/// idea, stretched to cover the slide).
+///
+/// Exact (conventional-multiplier) convs use a degenerate
+/// single-multiple plane: `patch_elems` indexes the activations
+/// themselves (one "multiple" per element, no shift), and kernels
+/// multiply by the quantized weight instead of walking quartets.
+struct ConvLayerPlan {
+  int oc = 0;           ///< filters / output channels
+  int ic = 0;           ///< input channels
+  int kernel = 0;       ///< square kernel size K
+  int ih = 0, iw = 0;   ///< input geometry (per channel)
+  int oh = 0, ow = 0;   ///< output geometry (= ih-K+1, iw-K+1)
+  int cols = 0;         ///< patch size ic·K·K
+  int cols_padded = 0;  ///< cols rounded up to kLaneWidth
+  int k = 0;            ///< alphabet count (bank outputs per element)
+  int planes = 0;       ///< max step count over all weights
+  bool exact = false;   ///< conventional layer: weights × gathered acts
+
+  /// Exact path: quantized weights, oc × cols_padded (padding 0).
+  std::vector<std::int32_t> weights;
+  /// Biases at product scale, one per filter (both paths).
+  std::vector<std::int64_t> biases;
+  /// Degenerate single-multiple plane: input element offset of each
+  /// padded patch column at output position (0,0); padding columns
+  /// read element 0 under weight 0.
+  std::vector<std::uint32_t> patch_elems;
+
+  /// ASM path, AoS schedule (the scalar reference walks this).
+  std::vector<AsmWeight> asm_weights;  ///< oc × cols
+  std::vector<AsmStep> steps;
+
+  /// ASM path, SoA planes, laid out exactly like the dense plan with
+  /// rows ≡ oc: entry for plane q, filter r, column c lives at
+  /// q · oc · cols_padded + r · cols_padded + c. Offsets index the
+  /// lane-major multiples buffer (lane · ic·ih·iw + patch element);
+  /// kernels add the position base oy·iw + ox.
+  std::vector<std::uint32_t> idx;
+  std::vector<std::int64_t> shifts;
+  /// Per-weight sign masks, oc × cols_padded (0 or -1).
+  std::vector<std::int64_t> sign_masks;
+  /// First slot of the always-zero region (== k · ic·ih·iw).
+  std::uint32_t zero_base = 0;
+
+  /// Output positions per filter (out has oc · positions() slots,
+  /// channel-major).
+  [[nodiscard]] std::size_t positions() const noexcept {
+    return static_cast<std::size_t>(oh) * ow;
+  }
+
+  /// Input elements per sample (ic · ih · iw).
+  [[nodiscard]] std::size_t input_elems() const noexcept {
+    return static_cast<std::size_t>(ic) * ih * iw;
+  }
+
+  /// Largest per-position base offset added to any read (element
+  /// units — the lane-major layout strides by elements, not by k).
+  [[nodiscard]] std::size_t max_position_base() const noexcept {
+    return static_cast<std::size_t>(oh - 1) * iw + (ow - 1);
+  }
+
+  /// Slots the lane-major multiples buffer must provide: k planes of
+  /// ic·ih·iw bank outputs plus a zero region covering zero_base +
+  /// every position base.
+  [[nodiscard]] std::size_t padded_multiples() const noexcept {
+    return zero_base + max_position_base() + 1;
+  }
+
+  /// Entries per quartet plane.
+  [[nodiscard]] std::size_t plane_stride() const noexcept {
+    return static_cast<std::size_t>(oc) * cols_padded;
+  }
+
+  /// Builds the plan for one exact (conventional-multiplier) conv.
+  /// `weights` is oc × ic × K × K row-major (the Conv2D layout).
+  [[nodiscard]] static ConvLayerPlan build_exact(
+      int oc, int ic, int kernel, int ih, int iw,
+      std::vector<std::int32_t> weights, std::vector<std::int64_t> biases);
+
+  /// Builds the plan for one ASM conv from the compiled schedule.
+  /// `asm_weights` has oc × ic·K·K entries whose steps index `steps`;
+  /// `k` is the bank's alphabet count.
+  [[nodiscard]] static ConvLayerPlan build_asm(
+      int oc, int ic, int kernel, int ih, int iw, int k,
+      std::vector<AsmWeight> asm_weights, std::vector<AsmStep> steps,
+      std::vector<std::int64_t> biases);
+};
+
 }  // namespace man::backend
 
 #endif  // MAN_BACKEND_LAYER_PLAN_H

@@ -5,6 +5,7 @@
 #ifndef MAN_BACKEND_PLANES_KERNEL_H
 #define MAN_BACKEND_PLANES_KERNEL_H
 
+#include <algorithm>
 #include <cstdint>
 
 #include "man/backend/layer_plan.h"
@@ -64,6 +65,135 @@ inline void exact_dense_blocked(const DenseLayerPlan& plan,
              activations[static_cast<std::size_t>(c)];
     }
     out[r] = acc;
+  }
+}
+
+/// Positions processed per tile of the conv plane walk: big enough to
+/// amortize the per-weight plan loads across a whole cache line of
+/// accumulators, small enough to live on the stack.
+inline constexpr int kConvTile = 64;
+
+/// Conv variant of the plane walk, blocked over a 2-D tile of output
+/// positions (up to kConvTile of them, arranged as several output
+/// rows × a run of columns): a conv weight fires once per output
+/// position with the same idx/shift/sign, so each plan entry is
+/// loaded once per *tile* and streamed over every tile position —
+/// multi-row tiles matter because a large conv stage's plan exceeds
+/// L1 and would otherwise be re-read once per output row. In the
+/// lane-major layout the per-row reads are contiguous (base offsets
+/// step by one element), so the inner loop is a shift-and-add over
+/// adjacent slots — exactly the shape the auto-vectorizer eats. The
+/// per-weight quartet steps are packed from plane 0, so the first
+/// absent cell ends the weight — skipped weights contribute exactly
+/// the zero the padded walk would have added, keeping the result
+/// bit-identical to the scalar reference.
+inline void accumulate_conv_planes(const ConvLayerPlan& plan,
+                                   const std::int64_t* multiples,
+                                   std::int64_t* out) {
+  const std::size_t stride = plan.plane_stride();
+  const std::size_t positions = plan.positions();
+  const std::uint32_t* idx = plan.idx.data();
+  const std::int64_t* shifts = plan.shifts.data();
+  const std::int64_t* signs = plan.sign_masks.data();
+  const int cn = std::min(plan.ow, kConvTile);       // tile columns
+  const int rn_max = std::max(1, kConvTile / cn);    // tile rows
+  std::int64_t tmp[kConvTile];
+  for (int oy0 = 0; oy0 < plan.oh; oy0 += rn_max) {
+    const int rn = std::min(rn_max, plan.oh - oy0);
+    for (int ox0 = 0; ox0 < plan.ow; ox0 += cn) {
+      const int tc = std::min(cn, plan.ow - ox0);
+      const std::size_t ebase0 =
+          static_cast<std::size_t>(oy0) * plan.iw + ox0;
+      for (int r = 0; r < plan.oc; ++r) {
+        std::int64_t* out_r = out + static_cast<std::size_t>(r) * positions;
+        const std::int64_t bias = plan.biases[static_cast<std::size_t>(r)];
+        for (int t = 0; t < rn * tc; ++t) tmp[t] = 0;
+        const std::size_t row =
+            static_cast<std::size_t>(r) * plan.cols_padded;
+        for (int c = 0; c < plan.cols_padded; ++c) {
+          const std::size_t cell = row + static_cast<std::size_t>(c);
+          const std::uint32_t first_idx = idx[cell];
+          if (first_idx == plan.zero_base) continue;  // zero-step weight
+          const std::int64_t sign = signs[cell];
+          if (sign == 0) {
+            // Positive weight: accumulate the shifted multiples
+            // straight into the tile.
+            for (int q = 0; q < plan.planes; ++q) {
+              const std::size_t pc = q * stride + cell;
+              const std::uint32_t cell_idx = idx[pc];
+              if (cell_idx == plan.zero_base) break;  // steps are packed
+              const std::int64_t sh = shifts[pc];
+              for (int ty = 0; ty < rn; ++ty) {
+                const std::int64_t* src = multiples + cell_idx + ebase0 +
+                                          static_cast<std::size_t>(ty) *
+                                              plan.iw;
+                std::int64_t* dst = tmp + ty * tc;
+                for (int t = 0; t < tc; ++t) dst[t] += src[t] << sh;
+              }
+            }
+          } else {
+            // Negative weight: form the per-position product first,
+            // then subtract — two's complement makes
+            // (product ^ -1) - (-1) == -product exactly.
+            std::int64_t prod[kConvTile];
+            for (int t = 0; t < rn * tc; ++t) prod[t] = 0;
+            for (int q = 0; q < plan.planes; ++q) {
+              const std::size_t pc = q * stride + cell;
+              const std::uint32_t cell_idx = idx[pc];
+              if (cell_idx == plan.zero_base) break;  // steps are packed
+              const std::int64_t sh = shifts[pc];
+              for (int ty = 0; ty < rn; ++ty) {
+                const std::int64_t* src = multiples + cell_idx + ebase0 +
+                                          static_cast<std::size_t>(ty) *
+                                              plan.iw;
+                std::int64_t* dst = prod + ty * tc;
+                for (int t = 0; t < tc; ++t) dst[t] += src[t] << sh;
+              }
+            }
+            for (int t = 0; t < rn * tc; ++t) tmp[t] -= prod[t];
+          }
+        }
+        for (int ty = 0; ty < rn; ++ty) {
+          std::int64_t* out_row = out_r +
+                                  static_cast<std::size_t>(oy0 + ty) *
+                                      plan.ow +
+                                  ox0;
+          const std::int64_t* src = tmp + ty * tc;
+          for (int t = 0; t < tc; ++t) out_row[t] = bias + src[t];
+        }
+      }
+    }
+  }
+}
+
+/// Exact conv with kLaneWidth independent accumulators per filter and
+/// the degenerate single-multiple plane gather (integer addition
+/// commutes, so the result is bit-identical to the sequential
+/// reference).
+inline void exact_conv_blocked(const ConvLayerPlan& plan,
+                               const std::int64_t* activations,
+                               std::int64_t* out) {
+  const std::size_t positions = plan.positions();
+  const std::uint32_t* elems = plan.patch_elems.data();
+  for (int oy = 0; oy < plan.oh; ++oy) {
+    for (int ox = 0; ox < plan.ow; ++ox) {
+      const std::size_t base = static_cast<std::size_t>(oy) * plan.iw + ox;
+      const std::size_t p = static_cast<std::size_t>(oy) * plan.ow + ox;
+      for (int r = 0; r < plan.oc; ++r) {
+        const std::int32_t* wrow =
+            &plan.weights[static_cast<std::size_t>(r) * plan.cols_padded];
+        std::int64_t lanes[kLaneWidth] = {};
+        for (int c = 0; c < plan.cols_padded; c += kLaneWidth) {
+          for (int l = 0; l < kLaneWidth; ++l) {
+            lanes[l] += static_cast<std::int64_t>(wrow[c + l]) *
+                        activations[elems[c + l] + base];
+          }
+        }
+        std::int64_t acc = plan.biases[static_cast<std::size_t>(r)];
+        for (int l = 0; l < kLaneWidth; ++l) acc += lanes[l];
+        out[static_cast<std::size_t>(r) * positions + p] = acc;
+      }
+    }
   }
 }
 

@@ -56,6 +56,67 @@ class ScalarBackend final : public KernelBackend {
       out[o] = acc;
     }
   }
+
+  void accumulate_conv(const ConvLayerPlan& plan,
+                       const std::int64_t* multiples,
+                       std::int64_t* out) const override {
+    // The original 6-deep ConvStage reference loop, re-expressed over
+    // the plan's patch columns: column c of filter r at position
+    // (oy, ox) reads the lane-major multiples of input element
+    // patch_elems[c] + oy·iw + ox, in the same (ic, ky, kx) order the
+    // hand-rolled loop visited.
+    const std::size_t positions = plan.positions();
+    const std::size_t elems = plan.input_elems();
+    for (int r = 0; r < plan.oc; ++r) {
+      const std::size_t row = static_cast<std::size_t>(r) * plan.cols;
+      for (int oy = 0; oy < plan.oh; ++oy) {
+        for (int ox = 0; ox < plan.ow; ++ox) {
+          const std::size_t elem_base =
+              static_cast<std::size_t>(oy) * plan.iw + ox;
+          std::int64_t acc = plan.biases[static_cast<std::size_t>(r)];
+          for (int c = 0; c < plan.cols; ++c) {
+            const AsmWeight& w = plan.asm_weights[row + c];
+            if (w.step_count == 0) continue;
+            const std::int64_t* m =
+                &multiples[plan.patch_elems[static_cast<std::size_t>(c)] +
+                           elem_base];
+            std::int64_t product = 0;
+            for (std::uint8_t s = 0; s < w.step_count; ++s) {
+              const AsmStep& step = plan.steps[w.step_begin + s];
+              product += m[step.lane * elems] << step.shift;
+            }
+            acc += w.negative ? -product : product;
+          }
+          out[static_cast<std::size_t>(r) * positions +
+              static_cast<std::size_t>(oy) * plan.ow + ox] = acc;
+        }
+      }
+    }
+  }
+
+  void exact_conv(const ConvLayerPlan& plan,
+                  const std::int64_t* activations,
+                  std::int64_t* out) const override {
+    const std::size_t positions = plan.positions();
+    for (int r = 0; r < plan.oc; ++r) {
+      const std::int32_t* wrow =
+          &plan.weights[static_cast<std::size_t>(r) * plan.cols_padded];
+      for (int oy = 0; oy < plan.oh; ++oy) {
+        for (int ox = 0; ox < plan.ow; ++ox) {
+          const std::size_t elem_base =
+              static_cast<std::size_t>(oy) * plan.iw + ox;
+          std::int64_t acc = plan.biases[static_cast<std::size_t>(r)];
+          for (int c = 0; c < plan.cols; ++c) {
+            acc += static_cast<std::int64_t>(wrow[c]) *
+                   activations[plan.patch_elems[static_cast<std::size_t>(c)] +
+                               elem_base];
+          }
+          out[static_cast<std::size_t>(r) * positions +
+              static_cast<std::size_t>(oy) * plan.ow + ox] = acc;
+        }
+      }
+    }
+  }
 };
 
 }  // namespace

@@ -71,6 +71,127 @@ void accumulate_planes_avx2(const DenseLayerPlan& plan,
   }
 }
 
+/// Output rows processed per AVX2 conv tile: one plan pass feeds
+/// kConvRowTile × 4 output positions, so the (often L1-exceeding)
+/// plan streams through kConvRowTile times less often.
+inline constexpr int kConvRowTile = 4;
+
+// Conv kernel vectorized over output *positions*, not weight columns:
+// a conv weight fires at every position with the same idx/shift/sign,
+// so 4 consecutive positions of one output row share one broadcast
+// plan entry — and in the lane-major multiples layout their reads are
+// *contiguous*, so the inner step is a plain 256-bit load plus one
+// broadcast-count shift (_mm256_sll_epi64); no gather at all. Each
+// plan entry additionally feeds up to kConvRowTile output rows (one
+// vector accumulator per row) before the walk moves on. Packed
+// quartet steps let whole absent planes (and zero-step weights) skip
+// without touching memory. Positions left of a 4-lane row boundary
+// run the same math scalar, so every output is bit-identical to the
+// reference regardless of ow % 4.
+/// One vectorized tile: RN output rows × 4 columns starting at
+/// (oy0, ox), every filter. RN is a compile-time constant so the
+/// accumulator/product arrays live entirely in ymm registers.
+template <int RN>
+void conv_tile_avx2(const ConvLayerPlan& plan,
+                    const std::int64_t* multiples, std::int64_t* out,
+                    int oy0, int ox) {
+  const std::size_t stride = plan.plane_stride();
+  const std::size_t positions = plan.positions();
+  const std::uint32_t* idx = plan.idx.data();
+  const std::int64_t* shifts = plan.shifts.data();
+  const std::int64_t* signs = plan.sign_masks.data();
+  const std::size_t ebase0 = static_cast<std::size_t>(oy0) * plan.iw + ox;
+  for (int r = 0; r < plan.oc; ++r) {
+    const std::size_t row = static_cast<std::size_t>(r) * plan.cols_padded;
+    __m256i acc[RN];
+    const __m256i bias =
+        _mm256_set1_epi64x(plan.biases[static_cast<std::size_t>(r)]);
+    for (int ty = 0; ty < RN; ++ty) acc[ty] = bias;
+    for (int c = 0; c < plan.cols_padded; ++c) {
+      const std::size_t cell = row + static_cast<std::size_t>(c);
+      if (idx[cell] == plan.zero_base) continue;  // zero-step weight
+      __m256i product[RN];
+      for (int ty = 0; ty < RN; ++ty) product[ty] = _mm256_setzero_si256();
+      for (int q = 0; q < plan.planes; ++q) {
+        const std::size_t pc = q * stride + cell;
+        const std::uint32_t cell_idx = idx[pc];
+        if (cell_idx == plan.zero_base) break;  // steps are packed
+        const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shifts[pc]));
+        const std::int64_t* src = multiples + cell_idx + ebase0;
+        for (int ty = 0; ty < RN; ++ty) {
+          const __m256i m = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(
+                  src + static_cast<std::size_t>(ty) * plan.iw));
+          product[ty] =
+              _mm256_add_epi64(product[ty], _mm256_sll_epi64(m, sh));
+        }
+      }
+      const __m256i sign = _mm256_set1_epi64x(signs[cell]);
+      for (int ty = 0; ty < RN; ++ty) {
+        acc[ty] = _mm256_add_epi64(
+            acc[ty],
+            _mm256_sub_epi64(_mm256_xor_si256(product[ty], sign), sign));
+      }
+    }
+    for (int ty = 0; ty < RN; ++ty) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(
+              out + static_cast<std::size_t>(r) * positions +
+              static_cast<std::size_t>(oy0 + ty) * plan.ow + ox),
+          acc[ty]);
+    }
+  }
+}
+
+void accumulate_conv_avx2(const ConvLayerPlan& plan,
+                          const std::int64_t* multiples,
+                          std::int64_t* out) {
+  const std::size_t stride = plan.plane_stride();
+  const std::size_t positions = plan.positions();
+  const std::uint32_t* idx = plan.idx.data();
+  const std::int64_t* shifts = plan.shifts.data();
+  const std::int64_t* signs = plan.sign_masks.data();
+  for (int oy0 = 0; oy0 < plan.oh; oy0 += kConvRowTile) {
+    const int rn = std::min(kConvRowTile, plan.oh - oy0);
+    int ox = 0;
+    for (; ox + kLaneWidth <= plan.ow; ox += kLaneWidth) {
+      switch (rn) {
+        case 4: conv_tile_avx2<4>(plan, multiples, out, oy0, ox); break;
+        case 3: conv_tile_avx2<3>(plan, multiples, out, oy0, ox); break;
+        case 2: conv_tile_avx2<2>(plan, multiples, out, oy0, ox); break;
+        default: conv_tile_avx2<1>(plan, multiples, out, oy0, ox); break;
+      }
+    }
+    // Row tail (ow % 4 positions): same walk, one position at a time.
+    for (; ox < plan.ow; ++ox) {
+      for (int ty = 0; ty < rn; ++ty) {
+        const std::size_t base =
+            static_cast<std::size_t>(oy0 + ty) * plan.iw + ox;
+        const std::size_t p =
+            static_cast<std::size_t>(oy0 + ty) * plan.ow + ox;
+        for (int r = 0; r < plan.oc; ++r) {
+          const std::size_t row =
+              static_cast<std::size_t>(r) * plan.cols_padded;
+          std::int64_t acc = plan.biases[static_cast<std::size_t>(r)];
+          for (int c = 0; c < plan.cols_padded; ++c) {
+            const std::size_t cell = row + static_cast<std::size_t>(c);
+            std::int64_t product = 0;
+            for (int q = 0; q < plan.planes; ++q) {
+              const std::size_t pc = q * stride + cell;
+              const std::uint32_t cell_idx = idx[pc];
+              if (cell_idx == plan.zero_base) break;  // steps are packed
+              product += multiples[cell_idx + base] << shifts[pc];
+            }
+            const std::int64_t sign = signs[cell];
+            acc += (product ^ sign) - sign;
+          }
+          out[static_cast<std::size_t>(r) * positions + p] = acc;
+        }
+      }
+    }
+  }
+}
+
 #endif  // MAN_HAVE_AVX2 && __AVX2__
 
 class SimdBackend final : public KernelBackend {
@@ -113,6 +234,25 @@ class SimdBackend final : public KernelBackend {
     // 64-bit products have no AVX2 multiplier; the blocked loop is
     // already the right shape for the compiler here.
     exact_dense_blocked(plan, activations, out);
+  }
+
+  void accumulate_conv(const ConvLayerPlan& plan,
+                       const std::int64_t* multiples,
+                       std::int64_t* out) const override {
+#if defined(MAN_HAVE_AVX2) && defined(__AVX2__)
+    if (avx2_) {
+      accumulate_conv_avx2(plan, multiples, out);
+      return;
+    }
+#endif
+    accumulate_conv_planes(plan, multiples, out);
+  }
+
+  void exact_conv(const ConvLayerPlan& plan,
+                  const std::int64_t* activations,
+                  std::int64_t* out) const override {
+    // Same reasoning as exact_dense: no 64-bit AVX2 multiplier.
+    exact_conv_blocked(plan, activations, out);
   }
 
  private:

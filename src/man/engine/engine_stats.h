@@ -73,12 +73,19 @@ struct EngineStats {
     for (std::size_t i = 0; i < layers.size(); ++i) {
       layers[i] += other.layers[i];
     }
-    inferences += other.inferences;
-    if (backend.empty()) {
-      backend = other.backend;
-    } else if (!other.backend.empty() && other.backend != backend) {
-      backend = "mixed";
+    // The label reflects where work actually ran: a side that recorded
+    // zero inferences (a freshly constructed runner's stats, a
+    // make_stats() shape, an idle shard) carries no vote, so merging
+    // it can neither flip a real result to "mixed" nor overwrite a
+    // real label with an idle runner's.
+    if (!other.backend.empty() && other.inferences > 0) {
+      if (backend.empty() || inferences == 0) {
+        backend = other.backend;
+      } else if (other.backend != backend) {
+        backend = "mixed";
+      }
     }
+    inferences += other.inferences;
   }
 };
 

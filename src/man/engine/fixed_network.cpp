@@ -1,5 +1,6 @@
 #include "man/engine/fixed_network.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "man/core/asm_multiplier.h"
@@ -24,6 +25,50 @@ namespace {
 man::fixed::QFormat accumulator_format(const man::nn::QuantSpec& spec) {
   return man::fixed::QFormat(
       30, spec.weight_format.frac_bits() + spec.activation_format.frac_bits());
+}
+
+// Stages the CSHM bank outputs of every input element, k-strided
+// element-major, into `multiples` (values.size() × k slots) — the
+// dense path's staging loop. Consecutive repeated values (long
+// background runs in images, saturated LUT outputs) replay the row
+// just written instead of going back through the cache's hash map.
+void stage_multiples(std::span<const std::int64_t> values, std::size_t k,
+                     man::core::PrecomputerCache& cache,
+                     std::int64_t* multiples) {
+  OpCounts discard;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::int64_t* dest = multiples + i * k;
+    if (i > 0 && values[i] == values[i - 1]) {
+      std::copy(dest - k, dest, dest);
+      continue;
+    }
+    const std::int64_t* row = cache.lookup(values[i], discard);
+    std::copy(row, row + k, dest);
+  }
+}
+
+// Lane-major variant for the conv path: lane l's multiple of element i
+// lands at multiples[l · values.size() + i], so consecutive output
+// positions of one conv weight read consecutive slots (the layout
+// ConvLayerPlan::idx indexes). Same repeated-value fast path.
+void stage_multiples_lane_major(std::span<const std::int64_t> values,
+                                std::size_t k,
+                                man::core::PrecomputerCache& cache,
+                                std::int64_t* multiples) {
+  OpCounts discard;
+  const std::size_t stride = values.size();
+  for (std::size_t i = 0; i < stride; ++i) {
+    if (i > 0 && values[i] == values[i - 1]) {
+      for (std::size_t l = 0; l < k; ++l) {
+        multiples[l * stride + i] = multiples[l * stride + i - 1];
+      }
+      continue;
+    }
+    const std::int64_t* row = cache.lookup(values[i], discard);
+    for (std::size_t l = 0; l < k; ++l) {
+      multiples[l * stride + i] = row[l];
+    }
+  }
 }
 
 }  // namespace
@@ -62,10 +107,10 @@ FixedNetwork::FixedNetwork(man::nn::Network& network,
       stage.ic = conv->in_channels();
       stage.oc = conv->out_channels();
       stage.k = conv->kernel();
+      stage.ih = conv->in_height();
+      stage.iw = conv->in_width();
       stage.oh = conv->out_height();
       stage.ow = conv->out_width();
-      stage.ih = stage.oh + stage.k - 1;
-      stage.iw = stage.ow + stage.k - 1;
       stage.synapse.scheme = plan_.scheme(synapse_index++);
       compile_synapse(stage.synapse, conv->weights(),
                       std::span<const float>(conv->biases().data(),
@@ -132,25 +177,41 @@ FixedNetwork::FixedNetwork(man::nn::Network& network,
 }
 
 void FixedNetwork::compile_plan() {
+  // The synapse runtime paths read only the plans from here on, so the
+  // schedules move instead of copy — no weight is resident twice.
   for (Stage& stage : stages_) {
-    auto* dense = std::get_if<DenseStage>(&stage);
-    if (dense == nullptr) continue;
-    SynapseData& syn = dense->synapse;
-    dense->plan_index = static_cast<int>(plans_.size());
-    // The dense runtime path reads only the plan from here on, so the
-    // schedules move instead of copy — no weight is resident twice.
-    if (syn.scheme.multiplier == MultiplierKind::kExact) {
-      plans_.push_back(man::backend::DenseLayerPlan::build_exact(
-          dense->out, dense->in, std::move(syn.weights_raw),
-          std::move(syn.biases_raw)));
-    } else {
-      syn.weights_raw.clear();
-      syn.weights_raw.shrink_to_fit();
-      plans_.push_back(man::backend::DenseLayerPlan::build_asm(
-          dense->out, dense->in,
-          static_cast<int>(syn.bank.alphabet_set().size()),
-          std::move(syn.asm_weights), std::move(syn.steps),
-          std::move(syn.biases_raw)));
+    if (auto* dense = std::get_if<DenseStage>(&stage)) {
+      SynapseData& syn = dense->synapse;
+      dense->plan_index = static_cast<int>(plans_.size());
+      if (syn.scheme.multiplier == MultiplierKind::kExact) {
+        plans_.push_back(man::backend::DenseLayerPlan::build_exact(
+            dense->out, dense->in, std::move(syn.weights_raw),
+            std::move(syn.biases_raw)));
+      } else {
+        syn.weights_raw.clear();
+        syn.weights_raw.shrink_to_fit();
+        plans_.push_back(man::backend::DenseLayerPlan::build_asm(
+            dense->out, dense->in,
+            static_cast<int>(syn.bank.alphabet_set().size()),
+            std::move(syn.asm_weights), std::move(syn.steps),
+            std::move(syn.biases_raw)));
+      }
+    } else if (auto* conv = std::get_if<ConvStage>(&stage)) {
+      SynapseData& syn = conv->synapse;
+      conv->plan_index = static_cast<int>(conv_plans_.size());
+      if (syn.scheme.multiplier == MultiplierKind::kExact) {
+        conv_plans_.push_back(man::backend::ConvLayerPlan::build_exact(
+            conv->oc, conv->ic, conv->k, conv->ih, conv->iw,
+            std::move(syn.weights_raw), std::move(syn.biases_raw)));
+      } else {
+        syn.weights_raw.clear();
+        syn.weights_raw.shrink_to_fit();
+        conv_plans_.push_back(man::backend::ConvLayerPlan::build_asm(
+            conv->oc, conv->ic, conv->k, conv->ih, conv->iw,
+            static_cast<int>(syn.bank.alphabet_set().size()),
+            std::move(syn.asm_weights), std::move(syn.steps),
+            std::move(syn.biases_raw)));
+      }
     }
   }
 }
@@ -339,15 +400,10 @@ void FixedNetwork::infer_into(std::span<const float> pixels,
         // once per distinct value per shard, shared across lanes —
         // CSHM), staged k-strided plus the trailing zero slot the
         // quartet planes point absent entries at.
-        const std::size_t k = syn.bank.alphabet_set().size();
         std::vector<std::int64_t>& multiples = scratch.multiples;
         multiples.resize(plan.padded_multiples());
-        man::core::PrecomputerCache& cache = scratch.caches[synapse_counter];
-        OpCounts discard;
-        for (std::size_t i = 0; i < buffer.size(); ++i) {
-          const std::int64_t* m = cache.lookup(buffer[i], discard);
-          std::copy(m, m + k, multiples.begin() + i * k);
-        }
+        stage_multiples(buffer, static_cast<std::size_t>(plan.k),
+                        scratch.caches[synapse_counter], multiples.data());
         multiples[plan.zero_slot] = 0;
         kernel.accumulate_dense(plan, multiples.data(), next.data());
       }
@@ -360,74 +416,24 @@ void FixedNetwork::infer_into(std::span<const float> pixels,
     } else if (const auto* conv = std::get_if<ConvStage>(&stage)) {
       const SynapseData& syn = conv->synapse;
       std::vector<std::int64_t>& next = scratch.next;
-      next.assign(static_cast<std::size_t>(conv->oc) * conv->oh * conv->ow,
-                  0);
-      const auto in_at = [&](int c, int y, int x) {
-        return buffer[static_cast<std::size_t>((c * conv->ih + y) * conv->iw +
-                                               x)];
-      };
+      next.resize(static_cast<std::size_t>(conv->oc) * conv->oh * conv->ow);
+      const man::backend::ConvLayerPlan& plan =
+          conv_plans_[static_cast<std::size_t>(conv->plan_index)];
 
-      if (syn.scheme.multiplier == MultiplierKind::kExact) {
-        for (int oc = 0; oc < conv->oc; ++oc) {
-          for (int oy = 0; oy < conv->oh; ++oy) {
-            for (int ox = 0; ox < conv->ow; ++ox) {
-              std::int64_t acc = syn.biases_raw[static_cast<std::size_t>(oc)];
-              for (int ic = 0; ic < conv->ic; ++ic) {
-                for (int ky = 0; ky < conv->k; ++ky) {
-                  for (int kx = 0; kx < conv->k; ++kx) {
-                    const std::size_t widx = static_cast<std::size_t>(
-                        ((oc * conv->ic + ic) * conv->k + ky) * conv->k + kx);
-                    acc += static_cast<std::int64_t>(syn.weights_raw[widx]) *
-                           in_at(ic, oy + ky, ox + kx);
-                  }
-                }
-              }
-              next[static_cast<std::size_t>((oc * conv->oh + oy) * conv->ow +
-                                            ox)] = acc;
-            }
-          }
-        }
+      if (plan.exact) {
+        kernel.exact_conv(plan, buffer.data(), next.data());
       } else {
-        const std::size_t k = syn.bank.alphabet_set().size();
+        // Lane-major staging (consecutive positions read consecutive
+        // slots), plus the zero *region* the conv planes point absent
+        // quartets at (wide enough to stay zero under every
+        // per-position base offset).
         std::vector<std::int64_t>& multiples = scratch.multiples;
-        multiples.resize(buffer.size() * k);
-        man::core::PrecomputerCache& cache = scratch.caches[synapse_counter];
-        OpCounts discard;
-        for (std::size_t i = 0; i < buffer.size(); ++i) {
-          const std::int64_t* m = cache.lookup(buffer[i], discard);
-          std::copy(m, m + k, multiples.begin() + i * k);
-        }
-        const auto multiples_at = [&](int c, int y, int x) {
-          return &multiples[static_cast<std::size_t>(
-                                (c * conv->ih + y) * conv->iw + x) *
-                            k];
-        };
-        for (int oc = 0; oc < conv->oc; ++oc) {
-          for (int oy = 0; oy < conv->oh; ++oy) {
-            for (int ox = 0; ox < conv->ow; ++ox) {
-              std::int64_t acc = syn.biases_raw[static_cast<std::size_t>(oc)];
-              for (int ic = 0; ic < conv->ic; ++ic) {
-                for (int ky = 0; ky < conv->k; ++ky) {
-                  for (int kx = 0; kx < conv->k; ++kx) {
-                    const std::size_t widx = static_cast<std::size_t>(
-                        ((oc * conv->ic + ic) * conv->k + ky) * conv->k + kx);
-                    const AsmWeight& w = syn.asm_weights[widx];
-                    if (w.step_count == 0) continue;
-                    const std::int64_t* m = multiples_at(ic, oy + ky, ox + kx);
-                    std::int64_t product = 0;
-                    for (std::uint8_t s = 0; s < w.step_count; ++s) {
-                      const Step& step = syn.steps[w.step_begin + s];
-                      product += m[step.lane] << step.shift;
-                    }
-                    acc += w.negative ? -product : product;
-                  }
-                }
-              }
-              next[static_cast<std::size_t>((oc * conv->oh + oy) * conv->ow +
-                                            ox)] = acc;
-            }
-          }
-        }
+        multiples.resize(plan.padded_multiples());
+        stage_multiples_lane_major(buffer, static_cast<std::size_t>(plan.k),
+                                   scratch.caches[synapse_counter],
+                                   multiples.data());
+        std::fill(multiples.begin() + plan.zero_base, multiples.end(), 0);
+        kernel.accumulate_conv(plan, multiples.data(), next.data());
       }
 
       LayerStats& ls = stats.layers[synapse_counter++];

@@ -80,9 +80,11 @@ class FixedNetwork {
   /// scratch (a shard). Obtain via make_scratch(); the engine must
   /// outlive it.
   struct InferScratch {
-    std::vector<std::int64_t> buffer;     ///< current stage activations
-    std::vector<std::int64_t> next;       ///< next stage activations
-    std::vector<std::int64_t> multiples;  ///< bank outputs, k-strided
+    std::vector<std::int64_t> buffer;  ///< current stage activations
+    std::vector<std::int64_t> next;    ///< next stage activations
+    /// Bank outputs: k-strided element-major for dense stages,
+    /// lane-major (plus zero region) for conv stages.
+    std::vector<std::int64_t> multiples;
     std::vector<man::core::PrecomputerCache> caches;  ///< per synapse stage
     /// Output staging for callers that loop infer_into per sample
     /// (e.g. BatchRunner's Example path) without re-allocating.
@@ -101,8 +103,9 @@ class FixedNetwork {
   /// accumulated into `stats`; `scratch` carries the buffers and the
   /// CSHM caches between calls. Safe to call concurrently from many
   /// threads as long as each thread owns its `stats` and `scratch`.
-  /// Dense stages run on this engine's default kernel backend
-  /// (resolved from MAN_BACKEND / CPU detection at construction).
+  /// Synapse stages (dense and conv) run on this engine's default
+  /// kernel backend (resolved from MAN_BACKEND / CPU detection at
+  /// construction).
   void infer_into(std::span<const float> pixels, std::span<std::int64_t> out,
                   EngineStats& stats, InferScratch& scratch) const;
 
@@ -146,6 +149,12 @@ class FixedNetwork {
     return plans_;
   }
 
+  /// The compiled per-conv-stage plans, in stage order.
+  [[nodiscard]] const std::vector<man::backend::ConvLayerPlan>& conv_plans()
+      const noexcept {
+    return conv_plans_;
+  }
+
   /// The kernel backend infer_into() uses when none is passed
   /// explicitly (resolved once at construction).
   [[nodiscard]] const man::backend::KernelBackend& default_kernel()
@@ -182,6 +191,7 @@ class FixedNetwork {
   };
   struct ConvStage {
     int ic = 0, oc = 0, k = 0, ih = 0, iw = 0, oh = 0, ow = 0;
+    int plan_index = -1;  ///< into conv_plans_ once compile_plan() has run
     SynapseData synapse;
   };
   struct PoolStage {
@@ -196,11 +206,12 @@ class FixedNetwork {
                        std::span<const float> biases, std::uint64_t macs,
                        int out_neurons);
 
-  /// One-time lowering of every dense stage to a structure-of-arrays
-  /// backend::DenseLayerPlan (contiguous quartet planes + sign masks).
-  /// Run once at the end of construction; the dense schedules are
-  /// moved out of SynapseData into the plans (conv stages keep
-  /// theirs — they still run the reference loop).
+  /// One-time lowering of every synapse stage to a structure-of-arrays
+  /// backend plan (contiguous quartet planes + sign masks): dense
+  /// stages to DenseLayerPlan, conv stages to ConvLayerPlan. Run once
+  /// at the end of construction; the schedules are moved out of
+  /// SynapseData into the plans — every synapse hot path runs on the
+  /// kernel backends.
   void compile_plan();
   [[nodiscard]] const SynapseData& synapse_at(std::size_t stage_index) const;
 
@@ -210,6 +221,7 @@ class FixedNetwork {
   std::vector<Stage> stages_;
   std::vector<std::size_t> synapse_stage_indices_;
   std::vector<man::backend::DenseLayerPlan> plans_;
+  std::vector<man::backend::ConvLayerPlan> conv_plans_;
   const man::backend::KernelBackend* default_kernel_ = nullptr;
   std::size_t input_size_ = 0;
   std::size_t output_size_ = 0;

@@ -26,6 +26,8 @@ class Conv2D final : public Layer {
   [[nodiscard]] int in_channels() const noexcept { return ic_; }
   [[nodiscard]] int out_channels() const noexcept { return oc_; }
   [[nodiscard]] int kernel() const noexcept { return k_; }
+  [[nodiscard]] int in_height() const noexcept { return ih_; }
+  [[nodiscard]] int in_width() const noexcept { return iw_; }
   [[nodiscard]] int out_height() const noexcept { return oh_; }
   [[nodiscard]] int out_width() const noexcept { return ow_; }
   [[nodiscard]] std::span<float> weights() noexcept { return weights_; }

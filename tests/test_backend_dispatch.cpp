@@ -15,6 +15,7 @@
 #include "man/engine/fixed_network.h"
 #include "man/nn/activation_layer.h"
 #include "man/nn/constraint_projection.h"
+#include "man/nn/conv2d.h"
 #include "man/nn/dense.h"
 #include "man/util/rng.h"
 
@@ -24,9 +25,11 @@ namespace {
 using man::core::AlphabetSet;
 using man::engine::BatchOptions;
 using man::engine::BatchRunner;
+using man::engine::EngineStats;
 using man::engine::FixedNetwork;
 using man::engine::LayerAlphabetPlan;
 using man::nn::ActivationLayer;
+using man::nn::Conv2D;
 using man::nn::Dense;
 using man::nn::Network;
 using man::nn::ProjectionPlan;
@@ -184,6 +187,81 @@ TEST_P(BackendBitIdentity, EveryBackendMatchesScalarReference) {
 INSTANTIATE_TEST_SUITE_P(PaperWidths, BackendBitIdentity,
                          ::testing::Values(8, 12));
 
+// Two-conv stack on a non-square input (5×7 → 3×5 → 2×4), so height,
+// width and the two kernel sizes all differ — any transposed or
+// mis-based gather in a conv kernel shows up as a bit mismatch.
+Network make_cnn(std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  Network net;
+  net.add<Conv2D>(2, 3, 3, 5, 7).init_xavier(rng);  // 3 @ 3×5
+  net.add<ActivationLayer>(man::core::ActivationKind::kTanh);
+  net.add<Conv2D>(3, 4, 2, 3, 5).init_xavier(rng);  // 4 @ 2×4
+  net.add<ActivationLayer>(man::core::ActivationKind::kSigmoid);
+  net.add<Dense>(32, 3).init_xavier(rng);
+  return net;
+}
+
+// 1-channel single-conv edge case (the smallest patch geometry).
+Network make_tiny_cnn(std::uint64_t seed) {
+  man::util::Rng rng(seed);
+  Network net;
+  net.add<Conv2D>(1, 2, 2, 4, 4).init_xavier(rng);  // 2 @ 3×3
+  net.add<ActivationLayer>(man::core::ActivationKind::kTanh);
+  net.add<Dense>(18, 2).init_xavier(rng);
+  return net;
+}
+
+// Conv twin of BackendBitIdentity: the same contract over ConvLayerPlan
+// — every backend's accumulate_conv/exact_conv must match the scalar
+// reference bit for bit, at both paper weight widths, for ASM and
+// conventional schemes, on non-square and 1-channel geometry.
+class ConvBackendBitIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvBackendBitIdentity, EveryBackendMatchesScalarReference) {
+  const int bits = GetParam();
+  const QuantSpec spec = QuantSpec::for_bits(bits);
+  const AlphabetSet set = AlphabetSet::four();
+
+  for (Network (*build)(std::uint64_t) : {&make_cnn, &make_tiny_cnn}) {
+    Network net = build(300 + static_cast<std::uint64_t>(bits));
+    const ProjectionPlan projection(spec, set, net.num_weight_layers());
+    projection.project_network(net);
+
+    FixedNetwork asm_engine(
+        net, spec,
+        LayerAlphabetPlan::uniform_asm(net.num_weight_layers(), set));
+    FixedNetwork exact_engine(
+        net, spec, LayerAlphabetPlan::conventional(net.num_weight_layers()));
+
+    man::util::Rng rng(29);
+    std::vector<float> pixels(asm_engine.input_size());
+    for (float& p : pixels) p = static_cast<float>(rng.next_double());
+    std::vector<float> signed_pixels(asm_engine.input_size());
+    for (float& p : signed_pixels) {
+      p = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+    }
+
+    for (FixedNetwork* engine : {&asm_engine, &exact_engine}) {
+      for (const auto& vector : {pixels, signed_pixels}) {
+        auto scratch = engine->make_scratch();
+        auto stats = engine->make_stats();
+        std::vector<std::int64_t> reference(engine->output_size());
+        engine->infer_into(vector, reference, stats, scratch,
+                           backend_for(BackendKind::kScalar));
+        for (const auto* backend : all_backends()) {
+          std::vector<std::int64_t> raw(engine->output_size());
+          engine->infer_into(vector, raw, stats, scratch, *backend);
+          EXPECT_EQ(raw, reference)
+              << "bits=" << bits << " backend=" << backend->name();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWidths, ConvBackendBitIdentity,
+                         ::testing::Values(8, 12));
+
 TEST(BackendBatchRunner, BackendsAgreeAndStatsRecordTheChoice) {
   EnvGuard guard;
   guard.unset();
@@ -242,6 +320,147 @@ TEST(BackendPlans, CompiledPlansCoverEveryDenseStage) {
                 plans[0].plane_stride());
   // 8-bit weights decompose into at most two quartets (paper Fig 4).
   EXPECT_LE(plans[0].planes, 2);
+}
+
+TEST(BackendPlans, CompiledConvPlansExposeGeometry) {
+  Network net = make_cnn(97);
+  const QuantSpec spec = QuantSpec::bits8();
+  const ProjectionPlan projection(spec, AlphabetSet::four(),
+                                  net.num_weight_layers());
+  projection.project_network(net);
+  FixedNetwork engine(
+      net, spec,
+      LayerAlphabetPlan::uniform_asm(net.num_weight_layers(),
+                                     AlphabetSet::four()));
+  const auto& plans = engine.conv_plans();
+  ASSERT_EQ(plans.size(), 2u);
+  ASSERT_EQ(engine.plans().size(), 1u);  // the trailing dense stage
+
+  const ConvLayerPlan& c1 = plans[0];
+  EXPECT_FALSE(c1.exact);
+  EXPECT_EQ(c1.oc, 3);
+  EXPECT_EQ(c1.ic, 2);
+  EXPECT_EQ(c1.kernel, 3);
+  EXPECT_EQ(c1.ih, 5);
+  EXPECT_EQ(c1.iw, 7);
+  EXPECT_EQ(c1.oh, 3);
+  EXPECT_EQ(c1.ow, 5);
+  EXPECT_EQ(c1.cols, 2 * 3 * 3);
+  EXPECT_EQ(c1.cols_padded % kLaneWidth, 0);
+  EXPECT_GE(c1.cols_padded, c1.cols);
+  EXPECT_EQ(c1.k, 4);
+  EXPECT_GT(c1.planes, 0);
+  EXPECT_LE(c1.planes, 2);  // 8-bit: at most two quartets
+  EXPECT_EQ(c1.positions(), 15u);
+  EXPECT_EQ(c1.input_elems(), 70u);
+  EXPECT_EQ(c1.zero_base, 70u * 4);
+  // The zero region must absorb the largest position base (element
+  // units — the conv multiples buffer is lane-major).
+  EXPECT_EQ(c1.padded_multiples(), c1.zero_base + (2u * 7 + 4) + 1);
+  EXPECT_EQ(c1.idx.size(),
+            static_cast<std::size_t>(c1.planes) * c1.plane_stride());
+  EXPECT_EQ(c1.sign_masks.size(), c1.plane_stride());
+  // Patch offsets follow the (ic, ky, kx) element layout: column 0 is
+  // element 0, the first column of channel 1 is element ih·iw.
+  ASSERT_EQ(c1.patch_elems.size(),
+            static_cast<std::size_t>(c1.cols_padded));
+  EXPECT_EQ(c1.patch_elems[0], 0u);
+  EXPECT_EQ(c1.patch_elems[9], 5u * 7);
+  // Every in-range gather (idx + max base) stays inside the buffer.
+  for (std::uint32_t offset : c1.idx) {
+    EXPECT_LT(offset + c1.max_position_base(), c1.padded_multiples());
+  }
+
+  const ConvLayerPlan& c3 = plans[1];
+  EXPECT_EQ(c3.oc, 4);
+  EXPECT_EQ(c3.kernel, 2);
+  EXPECT_EQ(c3.oh, 2);
+  EXPECT_EQ(c3.ow, 4);
+
+  // The conventional engine gets exact conv plans with padded weights.
+  FixedNetwork exact_engine(
+      net, spec, LayerAlphabetPlan::conventional(net.num_weight_layers()));
+  const ConvLayerPlan& e1 = exact_engine.conv_plans()[0];
+  EXPECT_TRUE(e1.exact);
+  EXPECT_EQ(e1.weights.size(),
+            static_cast<std::size_t>(e1.oc) * e1.cols_padded);
+  for (int r = 0; r < e1.oc; ++r) {
+    for (int c = e1.cols; c < e1.cols_padded; ++c) {
+      EXPECT_EQ(e1.weights[static_cast<std::size_t>(r) * e1.cols_padded + c],
+                0);
+    }
+  }
+}
+
+// Regression: a conv layer whose weights all quantize to zero ASM
+// steps compiles to a degenerate plan that must still carry one
+// (all-absent) quartet plane — the blocked/SIMD kernels pre-read
+// plane 0 for their zero-step skip, which would index an empty idx
+// array otherwise. Every backend must agree (outputs are pure biases).
+TEST(BackendPlans, AllZeroWeightConvRunsOnEveryBackend) {
+  man::util::Rng rng(5);
+  Network net;
+  auto& conv = net.add<Conv2D>(1, 2, 2, 4, 4);
+  conv.init_xavier(rng);
+  for (float& w : conv.weights()) w = 0.0f;
+  net.add<Dense>(18, 2).init_xavier(rng);
+
+  FixedNetwork engine(
+      net, QuantSpec::bits8(),
+      LayerAlphabetPlan::uniform_asm(net.num_weight_layers(),
+                                     AlphabetSet::four()));
+  ASSERT_EQ(engine.conv_plans().size(), 1u);
+  EXPECT_EQ(engine.conv_plans()[0].planes, 1);
+
+  std::vector<float> pixels(engine.input_size());
+  for (float& p : pixels) p = static_cast<float>(rng.next_double());
+  auto scratch = engine.make_scratch();
+  auto stats = engine.make_stats();
+  std::vector<std::int64_t> reference(engine.output_size());
+  engine.infer_into(pixels, reference, stats, scratch,
+                    backend_for(BackendKind::kScalar));
+  for (const auto* backend : all_backends()) {
+    std::vector<std::int64_t> raw(engine.output_size());
+    engine.infer_into(pixels, raw, stats, scratch, *backend);
+    EXPECT_EQ(raw, reference) << "backend=" << backend->name();
+  }
+}
+
+// Regression: merging stats that recorded zero inferences (a freshly
+// constructed runner's labeled-but-idle stats, or an unlabeled
+// make_stats() shape) must not flip a real result's backend label to
+// "mixed" — only sides that actually ran carry a vote.
+TEST(BackendStats, MergeIgnoresIdleSidesForBackendLabel) {
+  const auto make = [](const char* backend, std::uint64_t inferences) {
+    EngineStats stats;
+    stats.layers.push_back(man::engine::LayerStats{"l0", 0, 0, {}});
+    stats.backend = backend;
+    stats.inferences = inferences;
+    return stats;
+  };
+
+  // Idle labeled side merged into real work: label survives.
+  EngineStats ran = make("scalar", 4);
+  ran.merge(make("simd", 0));
+  EXPECT_EQ(ran.backend, "scalar");
+
+  // Real work merged into an idle labeled object: the work's label
+  // wins over the construction-time label.
+  EngineStats idle = make("simd", 0);
+  idle.merge(make("scalar", 4));
+  EXPECT_EQ(idle.backend, "scalar");
+
+  // Unlabeled shapes (make_stats()) never vote in either direction.
+  EngineStats unlabeled = make("", 0);
+  unlabeled.merge(make("blocked", 2));
+  EXPECT_EQ(unlabeled.backend, "blocked");
+  unlabeled.merge(make("", 0));
+  EXPECT_EQ(unlabeled.backend, "blocked");
+
+  // Two real runs on different backends still flag "mixed".
+  EngineStats mixed = make("scalar", 1);
+  mixed.merge(make("simd", 1));
+  EXPECT_EQ(mixed.backend, "mixed");
 }
 
 }  // namespace

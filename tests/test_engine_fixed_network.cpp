@@ -184,6 +184,55 @@ TEST(FixedNetwork, ConventionalEngineHasNoBankActivity) {
   EXPECT_GT(engine.stats().layers[0].ops.adds, 0u);  // accumulator adds
 }
 
+// Conv stages must price select/shift/add activity exactly like the
+// dense path: per-inference counts derived from the compiled schedule
+// (each weight fires once per output position), so Fig 8/9 energy
+// replays account CNN stages correctly. Recomputed here from the
+// compiled ConvLayerPlan and checked against the recorded LayerStats.
+TEST(FixedNetwork, ConvLayerStatsPriceTheCompiledSchedule) {
+  Network net = make_cnn(81);
+  const QuantSpec spec = QuantSpec::bits8();
+  const AlphabetSet set = AlphabetSet::four();
+  const ProjectionPlan plan(spec, set, net.num_weight_layers());
+  plan.project_network(net);
+  FixedNetwork engine(net, spec,
+                      LayerAlphabetPlan::uniform_asm(2, set));
+
+  man::util::Rng rng(19);
+  (void)engine.predict(random_pixels(engine.input_size(), rng));
+
+  const auto& conv_plan = engine.conv_plans().at(0);
+  const std::uint64_t positions = conv_plan.positions();
+  const std::uint64_t macs =
+      static_cast<std::uint64_t>(conv_plan.oc) * positions * conv_plan.cols;
+  man::core::OpCounts expected;
+  for (const auto& w : conv_plan.asm_weights) {
+    expected.selects += w.step_count * positions;
+    expected.shifts += w.step_count * positions;
+    if (w.step_count > 1) expected.adds += (w.step_count - 1) * positions;
+    if (w.negative) expected.negates += positions;
+  }
+  expected.adds += macs;  // accumulator adds
+  const std::uint64_t groups =
+      (static_cast<std::uint64_t>(conv_plan.oc) + engine.lanes() - 1) /
+      engine.lanes();
+  const std::uint64_t bank_activations =
+      groups * (macs / static_cast<std::uint64_t>(conv_plan.oc));
+  expected.precomputer_adds =
+      bank_activations * static_cast<std::uint64_t>(
+                             man::core::PrecomputerBank(set).adder_count());
+
+  const LayerStats& conv_stats = engine.stats().layers.at(0);
+  EXPECT_EQ(conv_stats.macs, macs);
+  EXPECT_EQ(conv_stats.bank_activations, bank_activations);
+  EXPECT_EQ(conv_stats.ops.selects, expected.selects);
+  EXPECT_EQ(conv_stats.ops.shifts, expected.shifts);
+  EXPECT_EQ(conv_stats.ops.adds, expected.adds);
+  EXPECT_EQ(conv_stats.ops.negates, expected.negates);
+  EXPECT_EQ(conv_stats.ops.precomputer_adds, expected.precomputer_adds);
+  EXPECT_GT(conv_stats.ops.selects, 0u);
+}
+
 TEST(FixedNetwork, MacsPerInferenceStatic) {
   Network net = make_cnn(78);
   FixedNetwork engine(net, QuantSpec::bits12(),
