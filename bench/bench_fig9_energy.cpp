@@ -9,9 +9,11 @@
 // Fixed-iteration mode for CI via MAN_REPLAY_SAMPLES /
 // MAN_REPLAY_CNN_SAMPLES; per-backend timings land in MAN_BENCH_JSON
 // when set.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
 
 #include "bench_common.h"
 #include "man/backend/kernel_backend.h"
@@ -27,6 +29,12 @@ using man::core::AlphabetSet;
 using man::core::MultiplierKind;
 using man::hw::compute_network_energy;
 using man::hw::with_uniform_scheme;
+
+/// Seconds over a value count as nanoseconds per value (0 when none
+/// were counted) — shared by the breakdown table and its JSON twin.
+double ns_per_value(double seconds, std::uint64_t values) {
+  return values > 0 ? seconds * 1e9 / static_cast<double>(values) : 0.0;
+}
 
 std::size_t samples_from_env(const char* env_name,
                              std::size_t fallback) {
@@ -68,6 +76,10 @@ struct ReplayResult {
   double par_s = 0.0;
   std::string par_backend;
   bool identical = true;
+  // Per-element phase attribution (single thread, auto backend).
+  man::engine::PhaseProfile phases;
+  std::size_t phase_samples = 0;
+  std::string phase_backend;
 };
 
 /// Replays `samples` random inferences through every registered
@@ -133,6 +145,51 @@ ReplayResult run_replay(const man::engine::FixedNetwork& engine,
   }
   std::cout << backends_table.to_string();
 
+  // Per-element phase attribution: where a single-thread inference
+  // spends its wall clock — CSHM staging (flat-table fill + copy),
+  // the activation LUT sweep, the kernel accumulation, pooling, and
+  // input quantization. Recorded in the bench JSON so a regression in
+  // the backend-shared staging/LUT paths is attributable to its
+  // phase, not smeared over total time.
+  {
+    result.phase_samples = std::min<std::size_t>(samples, 64);
+    auto prof_scratch = engine.make_scratch();
+    prof_scratch.profile = &result.phases;
+    auto prof_stats = engine.make_stats();
+    std::vector<std::int64_t> prof_out(engine.output_size());
+    for (std::size_t s = 0; s < result.phase_samples; ++s) {
+      engine.infer_into(
+          std::span<const float>(batch.data() + s * engine.input_size(),
+                                 engine.input_size()),
+          prof_out, prof_stats, prof_scratch);
+    }
+    result.phase_backend = engine.default_kernel().name();
+    man::util::Table phase_table({"Phase", "ms", "ns/value"});
+    phase_table.add_row(
+        {"staging", man::util::format_double(result.phases.staging_s * 1e3, 2),
+         man::util::format_double(
+             ns_per_value(result.phases.staging_s,
+                          result.phases.staged_values),
+             2)});
+    phase_table.add_row(
+        {"lut", man::util::format_double(result.phases.lut_s * 1e3, 2),
+         man::util::format_double(
+             ns_per_value(result.phases.lut_s, result.phases.lut_values),
+             2)});
+    phase_table.add_row(
+        {"kernel (" + result.phase_backend + ")",
+         man::util::format_double(result.phases.kernel_s * 1e3, 2), "-"});
+    phase_table.add_row(
+        {"pool", man::util::format_double(result.phases.pool_s * 1e3, 2),
+         "-"});
+    phase_table.add_row(
+        {"quantize",
+         man::util::format_double(result.phases.quantize_s * 1e3, 2), "-"});
+    std::cout << "Per-element phase breakdown ("
+              << result.phase_samples << " samples, 1 thread):\n"
+              << phase_table.to_string();
+  }
+
   // Batched runtime on the auto backend: outputs and the per-layer
   // activity reduction must both match the sequential reference.
   std::vector<std::int64_t> raw_par(samples * engine.output_size());
@@ -183,6 +240,12 @@ void emit_json_section(std::ofstream& out, const char* name,
       << ",\n    \"parallel_speedup\": "
       << man::util::format_double(
              result.par_s > 0 ? result.scalar_s / result.par_s : 0.0, 3)
+      << ",\n    \"scalar_ms_per_sample\": "
+      << man::util::format_double(
+             result.samples > 0
+                 ? result.scalar_s * 1e3 / static_cast<double>(result.samples)
+                 : 0.0,
+             4)
       << ",\n    \"backends\": {\n";
   for (std::size_t i = 0; i < result.backends.size(); ++i) {
     out << "      \"" << result.backends[i].name << "\": {\"ms\": "
@@ -195,7 +258,27 @@ void emit_json_section(std::ofstream& out, const char* name,
                                     3)
         << "}" << (i + 1 < result.backends.size() ? "," : "") << "\n";
   }
-  out << "    }\n  }" << (last ? "\n" : ",\n");
+  out << "    },\n    \"phase_breakdown\": {\n      \"samples\": "
+      << result.phase_samples << ",\n      \"backend\": \""
+      << result.phase_backend << "\",\n      \"staging_ms\": "
+      << man::util::format_double(result.phases.staging_s * 1e3, 3)
+      << ",\n      \"lut_ms\": "
+      << man::util::format_double(result.phases.lut_s * 1e3, 3)
+      << ",\n      \"kernel_ms\": "
+      << man::util::format_double(result.phases.kernel_s * 1e3, 3)
+      << ",\n      \"pool_ms\": "
+      << man::util::format_double(result.phases.pool_s * 1e3, 3)
+      << ",\n      \"quantize_ms\": "
+      << man::util::format_double(result.phases.quantize_s * 1e3, 3)
+      << ",\n      \"staging_ns_per_value\": "
+      << man::util::format_double(
+             ns_per_value(result.phases.staging_s,
+                          result.phases.staged_values),
+             3)
+      << ",\n      \"lut_ns_per_value\": "
+      << man::util::format_double(
+             ns_per_value(result.phases.lut_s, result.phases.lut_values), 3)
+      << "\n    }\n  }" << (last ? "\n" : ",\n");
 }
 
 void print_group(const char* title, const std::vector<AppId>& ids) {

@@ -69,6 +69,21 @@ struct DenseLayerPlan {
   /// Index of the always-zero multiples slot (== cols * k).
   std::uint32_t zero_slot = 0;
 
+  /// Staging window: every activation fed to this stage is known to
+  /// lie in [in_min_raw, in_max_raw] (raw units of the stage's input
+  /// format — quantized pixels, LUT outputs, and pool averages all
+  /// stay inside the activation QFormat's range). Set by
+  /// FixedNetwork::compile_plan(); the staging paths arm the
+  /// PrecomputerCache's flat direct-mapped table with it, so filling
+  /// the multiples buffer does no per-element hashing. min > max
+  /// (the default) means unknown: staging falls back to the hash
+  /// memo, bit-identically.
+  std::int64_t in_min_raw = 0;
+  std::int64_t in_max_raw = -1;
+  [[nodiscard]] bool has_input_range() const noexcept {
+    return in_min_raw <= in_max_raw;
+  }
+
   /// Slots the multiples buffer must provide: cols × k bank outputs
   /// plus the trailing zero slot.
   [[nodiscard]] std::size_t padded_multiples() const noexcept {
@@ -149,6 +164,15 @@ struct ConvLayerPlan {
   std::vector<std::int64_t> sign_masks;
   /// First slot of the always-zero region (== k · ic·ih·iw).
   std::uint32_t zero_base = 0;
+
+  /// Staging window, exactly as in DenseLayerPlan: the raw input
+  /// range the lane-major staging arms the flat CSHM table with.
+  /// min > max (the default) means unknown (hash fallback).
+  std::int64_t in_min_raw = 0;
+  std::int64_t in_max_raw = -1;
+  [[nodiscard]] bool has_input_range() const noexcept {
+    return in_min_raw <= in_max_raw;
+  }
 
   /// Output positions per filter (out has oc · positions() slots,
   /// channel-major).

@@ -156,8 +156,34 @@ std::int64_t PrecomputerBank::multiple_of(int alphabet,
   throw std::logic_error("PrecomputerBank: alphabet lookup failed");
 }
 
-const std::int64_t* PrecomputerCache::lookup(std::int64_t input,
-                                             OpCounts& counts) {
+void PrecomputerCache::configure_range(std::int64_t min_raw,
+                                       std::int64_t max_raw) {
+  if (bank_ == nullptr) {
+    throw std::logic_error(
+        "PrecomputerCache: configure_range on unbound cache");
+  }
+  if (min_raw > max_raw) {
+    throw std::invalid_argument(
+        "PrecomputerCache: empty range [" + std::to_string(min_raw) + ", " +
+        std::to_string(max_raw) + "]");
+  }
+  const std::uint64_t span = static_cast<std::uint64_t>(max_raw) -
+                             static_cast<std::uint64_t>(min_raw) + 1;
+  if (span > kMaxFlatSpan) {
+    throw std::invalid_argument(
+        "PrecomputerCache: range spans " + std::to_string(span) +
+        " values, cap is " + std::to_string(kMaxFlatSpan));
+  }
+  flat_min_ = min_raw;
+  flat_span_ = span;
+  flat_k_ = bank_->alphabet_set().size();
+  flat_.assign(static_cast<std::size_t>(span) * flat_k_, 0);
+  flat_filled_.assign(static_cast<std::size_t>(span), 0);
+  flat_entries_ = 0;
+}
+
+const std::int64_t* PrecomputerCache::lookup_fallback(std::int64_t input,
+                                                      OpCounts& counts) {
   if (bank_ == nullptr) {
     throw std::logic_error("PrecomputerCache: lookup on unbound cache");
   }
@@ -167,7 +193,7 @@ const std::int64_t* PrecomputerCache::lookup(std::int64_t input,
   }
   ++misses_;
   const std::size_t k = bank_->alphabet_set().size();
-  if (index_.size() >= kMaxEntries) {
+  if (index_.size() >= kMaxHashEntries) {
     overflow_.resize(k);
     bank_->compute_into(input, overflow_.data(), counts);
     return overflow_.data();

@@ -10,6 +10,7 @@
 #include "man/nn/conv2d.h"
 #include "man/nn/dense.h"
 #include "man/nn/pool.h"
+#include "man/util/stopwatch.h"
 
 namespace man::engine {
 
@@ -27,11 +28,24 @@ man::fixed::QFormat accumulator_format(const man::nn::QuantSpec& spec) {
       30, spec.weight_format.frac_bits() + spec.activation_format.frac_bits());
 }
 
+// Arms the cache's flat direct-mapped table with the plan's staging
+// window (a no-op when already armed — the usual case, since
+// make_scratch() pre-arms every cache). Plans without a range leave
+// the cache in hash-fallback mode, bit-identically.
+void arm_staging_window(man::core::PrecomputerCache& cache,
+                        std::int64_t in_min_raw, std::int64_t in_max_raw) {
+  if (in_min_raw <= in_max_raw) {
+    cache.ensure_range(in_min_raw, in_max_raw);
+  }
+}
+
 // Stages the CSHM bank outputs of every input element, k-strided
 // element-major, into `multiples` (values.size() × k slots) — the
-// dense path's staging loop. Consecutive repeated values (long
-// background runs in images, saturated LUT outputs) replay the row
-// just written instead of going back through the cache's hash map.
+// dense path's staging loop. In-window values resolve through the
+// cache's flat table (subtract + indexed load, no hashing);
+// consecutive repeated values (long background runs in images,
+// saturated LUT outputs) replay the row just written without even
+// that.
 void stage_multiples(std::span<const std::int64_t> values, std::size_t k,
                      man::core::PrecomputerCache& cache,
                      std::int64_t* multiples) {
@@ -50,7 +64,8 @@ void stage_multiples(std::span<const std::int64_t> values, std::size_t k,
 // Lane-major variant for the conv path: lane l's multiple of element i
 // lands at multiples[l · values.size() + i], so consecutive output
 // positions of one conv weight read consecutive slots (the layout
-// ConvLayerPlan::idx indexes). Same repeated-value fast path.
+// ConvLayerPlan::idx indexes). Same flat-table and repeated-value
+// fast paths.
 void stage_multiples_lane_major(std::span<const std::int64_t> values,
                                 std::size_t k,
                                 man::core::PrecomputerCache& cache,
@@ -69,6 +84,20 @@ void stage_multiples_lane_major(std::span<const std::int64_t> values,
       multiples[l * stride + i] = row[l];
     }
   }
+}
+
+// Phase timing shim: runs `fn` and charges its wall clock to the given
+// PhaseProfile field when profiling is on (profile non-null).
+template <typename Fn>
+void timed_phase(PhaseProfile* profile, double PhaseProfile::*field,
+                 Fn&& fn) {
+  if (profile == nullptr) {
+    fn();
+    return;
+  }
+  man::util::Stopwatch watch;
+  fn();
+  profile->*field += watch.seconds();
 }
 
 }  // namespace
@@ -177,6 +206,17 @@ FixedNetwork::FixedNetwork(man::nn::Network& network,
 }
 
 void FixedNetwork::compile_plan() {
+  // Every synapse stage's inputs are quantized pixels, LUT outputs,
+  // or pool averages of those — all confined to the activation
+  // format's raw range. The plans carry that window so staging can
+  // arm the flat direct-mapped CSHM table (no per-element hashing).
+  // A format too wide for the flat table (impossible for the paper
+  // specs, whose activations are 9-bit) leaves the plans without a
+  // window: staging then runs on the hash memo, bit-identically.
+  const auto window = staging_window();
+  const std::int64_t in_min = window.first;
+  const std::int64_t in_max = window.second;
+
   // The synapse runtime paths read only the plans from here on, so the
   // schedules move instead of copy — no weight is resident twice.
   for (Stage& stage : stages_) {
@@ -196,6 +236,8 @@ void FixedNetwork::compile_plan() {
             std::move(syn.asm_weights), std::move(syn.steps),
             std::move(syn.biases_raw)));
       }
+      plans_.back().in_min_raw = in_min;
+      plans_.back().in_max_raw = in_max;
     } else if (auto* conv = std::get_if<ConvStage>(&stage)) {
       SynapseData& syn = conv->synapse;
       conv->plan_index = static_cast<int>(conv_plans_.size());
@@ -212,6 +254,8 @@ void FixedNetwork::compile_plan() {
             std::move(syn.asm_weights), std::move(syn.steps),
             std::move(syn.biases_raw)));
       }
+      conv_plans_.back().in_min_raw = in_min;
+      conv_plans_.back().in_max_raw = in_max;
     }
   }
 }
@@ -225,12 +269,28 @@ const FixedNetwork::SynapseData& FixedNetwork::synapse_at(
   return std::get<ConvStage>(stage).synapse;
 }
 
+std::pair<std::int64_t, std::int64_t> FixedNetwork::staging_window() const {
+  const std::int64_t in_min = spec_.activation_format.min_raw();
+  const std::int64_t in_max = spec_.activation_format.max_raw();
+  const auto span = static_cast<std::uint64_t>(in_max - in_min) + 1;
+  if (span > man::core::PrecomputerCache::kMaxFlatSpan) {
+    return {0, -1};  // unknown: staging falls back to the hash memo
+  }
+  return {in_min, in_max};
+}
+
 FixedNetwork::InferScratch FixedNetwork::make_scratch() const {
   InferScratch scratch;
+  const auto window = staging_window();
   scratch.buffer.reserve(input_size_);
   scratch.caches.reserve(synapse_stage_indices_.size());
   for (std::size_t idx : synapse_stage_indices_) {
     scratch.caches.emplace_back(synapse_at(idx).bank);
+    // Pre-arm the flat staging window so the first sample already
+    // skips the hash path.
+    if (window.first <= window.second) {
+      scratch.caches.back().configure_range(window.first, window.second);
+    }
   }
   return scratch;
 }
@@ -377,12 +437,15 @@ void FixedNetwork::infer_into(std::span<const float> pixels,
   }
 
   const auto& afmt = spec_.activation_format;
+  PhaseProfile* const profile = scratch.profile;
   std::vector<std::int64_t>& buffer = scratch.buffer;
-  buffer.clear();
-  buffer.reserve(pixels.size());
-  for (float p : pixels) {
-    buffer.push_back(afmt.quantize(static_cast<double>(p)));
-  }
+  timed_phase(profile, &PhaseProfile::quantize_s, [&] {
+    buffer.clear();
+    buffer.reserve(pixels.size());
+    for (float p : pixels) {
+      buffer.push_back(afmt.quantize(static_cast<double>(p)));
+    }
+  });
 
   std::size_t synapse_counter = 0;
   for (const Stage& stage : stages_) {
@@ -394,18 +457,29 @@ void FixedNetwork::infer_into(std::span<const float> pixels,
           plans_[static_cast<std::size_t>(dense->plan_index)];
 
       if (plan.exact) {
-        kernel.exact_dense(plan, buffer.data(), next.data());
+        timed_phase(profile, &PhaseProfile::kernel_s, [&] {
+          kernel.exact_dense(plan, buffer.data(), next.data());
+        });
       } else {
         // Pre-computer bank outputs for every input value (computed
         // once per distinct value per shard, shared across lanes —
-        // CSHM), staged k-strided plus the trailing zero slot the
-        // quartet planes point absent entries at.
+        // CSHM; in-window values resolve via the flat direct-mapped
+        // table the plan's range arms), staged k-strided plus the
+        // trailing zero slot the quartet planes point absent entries
+        // at.
         std::vector<std::int64_t>& multiples = scratch.multiples;
-        multiples.resize(plan.padded_multiples());
-        stage_multiples(buffer, static_cast<std::size_t>(plan.k),
-                        scratch.caches[synapse_counter], multiples.data());
-        multiples[plan.zero_slot] = 0;
-        kernel.accumulate_dense(plan, multiples.data(), next.data());
+        timed_phase(profile, &PhaseProfile::staging_s, [&] {
+          multiples.resize(plan.padded_multiples());
+          arm_staging_window(scratch.caches[synapse_counter],
+                             plan.in_min_raw, plan.in_max_raw);
+          stage_multiples(buffer, static_cast<std::size_t>(plan.k),
+                          scratch.caches[synapse_counter], multiples.data());
+          multiples[plan.zero_slot] = 0;
+        });
+        if (profile != nullptr) profile->staged_values += buffer.size();
+        timed_phase(profile, &PhaseProfile::kernel_s, [&] {
+          kernel.accumulate_dense(plan, multiples.data(), next.data());
+        });
       }
 
       LayerStats& ls = stats.layers[synapse_counter++];
@@ -421,19 +495,29 @@ void FixedNetwork::infer_into(std::span<const float> pixels,
           conv_plans_[static_cast<std::size_t>(conv->plan_index)];
 
       if (plan.exact) {
-        kernel.exact_conv(plan, buffer.data(), next.data());
+        timed_phase(profile, &PhaseProfile::kernel_s, [&] {
+          kernel.exact_conv(plan, buffer.data(), next.data());
+        });
       } else {
         // Lane-major staging (consecutive positions read consecutive
         // slots), plus the zero *region* the conv planes point absent
         // quartets at (wide enough to stay zero under every
         // per-position base offset).
         std::vector<std::int64_t>& multiples = scratch.multiples;
-        multiples.resize(plan.padded_multiples());
-        stage_multiples_lane_major(buffer, static_cast<std::size_t>(plan.k),
-                                   scratch.caches[synapse_counter],
-                                   multiples.data());
-        std::fill(multiples.begin() + plan.zero_base, multiples.end(), 0);
-        kernel.accumulate_conv(plan, multiples.data(), next.data());
+        timed_phase(profile, &PhaseProfile::staging_s, [&] {
+          multiples.resize(plan.padded_multiples());
+          arm_staging_window(scratch.caches[synapse_counter],
+                             plan.in_min_raw, plan.in_max_raw);
+          stage_multiples_lane_major(buffer,
+                                     static_cast<std::size_t>(plan.k),
+                                     scratch.caches[synapse_counter],
+                                     multiples.data());
+          std::fill(multiples.begin() + plan.zero_base, multiples.end(), 0);
+        });
+        if (profile != nullptr) profile->staged_values += buffer.size();
+        timed_phase(profile, &PhaseProfile::kernel_s, [&] {
+          kernel.accumulate_conv(plan, multiples.data(), next.data());
+        });
       }
 
       LayerStats& ls = stats.layers[synapse_counter++];
@@ -445,29 +529,34 @@ void FixedNetwork::infer_into(std::span<const float> pixels,
       std::vector<std::int64_t>& next = scratch.next;
       next.assign(static_cast<std::size_t>(pool->c) * pool->oh * pool->ow, 0);
       const int n = pool->window * pool->window;
-      for (int c = 0; c < pool->c; ++c) {
-        for (int oy = 0; oy < pool->oh; ++oy) {
-          for (int ox = 0; ox < pool->ow; ++ox) {
-            std::int64_t acc = 0;
-            for (int wy = 0; wy < pool->window; ++wy) {
-              for (int wx = 0; wx < pool->window; ++wx) {
-                acc += buffer[static_cast<std::size_t>(
-                    (c * pool->ih + oy * pool->window + wy) * pool->iw +
-                    ox * pool->window + wx)];
+      timed_phase(profile, &PhaseProfile::pool_s, [&] {
+        for (int c = 0; c < pool->c; ++c) {
+          for (int oy = 0; oy < pool->oh; ++oy) {
+            for (int ox = 0; ox < pool->ow; ++ox) {
+              std::int64_t acc = 0;
+              for (int wy = 0; wy < pool->window; ++wy) {
+                for (int wx = 0; wx < pool->window; ++wx) {
+                  acc += buffer[static_cast<std::size_t>(
+                      (c * pool->ih + oy * pool->window + wy) * pool->iw +
+                      ox * pool->window + wx)];
+                }
               }
+              // Round-to-nearest average (hardware: add tree + shift
+              // for power-of-two windows).
+              const std::int64_t rounded =
+                  acc >= 0 ? (acc + n / 2) / n : -((-acc + n / 2) / n);
+              next[static_cast<std::size_t>((c * pool->oh + oy) * pool->ow +
+                                            ox)] = rounded;
             }
-            // Round-to-nearest average (hardware: add tree + shift for
-            // power-of-two windows).
-            const std::int64_t rounded =
-                acc >= 0 ? (acc + n / 2) / n : -((-acc + n / 2) / n);
-            next[static_cast<std::size_t>((c * pool->oh + oy) * pool->ow +
-                                          ox)] = rounded;
           }
         }
-      }
+      });
       std::swap(buffer, next);
     } else if (const auto* lut = std::get_if<LutStage>(&stage)) {
-      for (std::int64_t& v : buffer) v = lut->lut.apply_raw(v);
+      timed_phase(profile, &PhaseProfile::lut_s, [&] {
+        for (std::int64_t& v : buffer) v = lut->lut.apply_raw(v);
+      });
+      if (profile != nullptr) profile->lut_values += buffer.size();
     }
   }
   stats.inferences += 1;

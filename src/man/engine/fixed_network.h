@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -44,6 +45,23 @@ namespace man::engine {
   }
   return best;
 }
+
+/// Wall-clock attribution of the per-element phases inside one
+/// infer_into() call, accumulated across calls: CSHM staging (flat
+/// table fill + copy into the multiples buffer), the activation LUT
+/// sweep, the kernel-backend accumulation, pooling, and input
+/// quantization. Attach to InferScratch::profile to collect;
+/// bench_fig9_energy uses it to emit the per-element breakdown that
+/// makes staging/LUT regressions attributable.
+struct PhaseProfile {
+  double quantize_s = 0.0;
+  double staging_s = 0.0;
+  double kernel_s = 0.0;
+  double lut_s = 0.0;
+  double pool_s = 0.0;
+  std::uint64_t staged_values = 0;  ///< values run through staging
+  std::uint64_t lut_values = 0;     ///< values run through apply_raw
+};
 
 /// Bit-accurate fixed-point inference engine.
 class FixedNetwork {
@@ -89,6 +107,9 @@ class FixedNetwork {
     /// Output staging for callers that loop infer_into per sample
     /// (e.g. BatchRunner's Example path) without re-allocating.
     std::vector<std::int64_t> raw_out;
+    /// Non-null: infer_into() times its per-element phases into this
+    /// (adds two clock reads per stage — leave null on hot paths).
+    PhaseProfile* profile = nullptr;
   };
   [[nodiscard]] InferScratch make_scratch() const;
 
@@ -214,6 +235,11 @@ class FixedNetwork {
   /// kernel backends.
   void compile_plan();
   [[nodiscard]] const SynapseData& synapse_at(std::size_t stage_index) const;
+
+  /// The staging window every synapse stage's inputs lie in (the
+  /// activation format's raw range), or {0, -1} when the format is
+  /// too wide for the flat table (staging then hash-falls-back).
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> staging_window() const;
 
   man::nn::QuantSpec spec_;
   LayerAlphabetPlan plan_;

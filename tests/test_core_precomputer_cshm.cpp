@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "man/util/rng.h"
 
 namespace man::core {
@@ -68,6 +71,180 @@ TEST(PrecomputerBank, CountsAdderActivations) {
   OpCounts counts;
   (void)bank.compute(42, counts);
   EXPECT_EQ(counts.precomputer_adds, 3u);
+}
+
+// --- PrecomputerCache: flat direct-mapped window + hash fallback ---
+
+TEST(PrecomputerCacheFlat, InWindowLookupsMatchBankWithoutHashEntries) {
+  const PrecomputerBank bank(AlphabetSet::four());
+  PrecomputerCache cache(bank);
+  cache.configure_range(-255, 255);
+  EXPECT_TRUE(cache.has_range());
+  EXPECT_EQ(cache.range_min(), -255);
+  EXPECT_EQ(cache.range_max(), 255);
+
+  OpCounts counts;
+  for (int round = 0; round < 2; ++round) {
+    for (std::int64_t input = -255; input <= 255; ++input) {
+      const std::int64_t* row = cache.lookup(input, counts);
+      const auto expected = bank.compute(input);
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(row[i], expected[i]) << "input " << input;
+      }
+    }
+  }
+  EXPECT_EQ(cache.entries(), 511u);
+  EXPECT_EQ(cache.hash_entries(), 0u);  // no lookup touched the hash
+  EXPECT_EQ(cache.misses(), 511u);
+  EXPECT_EQ(cache.hits(), 511u);
+  // Structural adds charged once per distinct value.
+  EXPECT_EQ(counts.precomputer_adds,
+            511u * static_cast<std::uint64_t>(bank.adder_count()));
+}
+
+TEST(PrecomputerCacheFlat, OutOfWindowInputsTakeTheHashFallback) {
+  const PrecomputerBank bank(AlphabetSet::two());
+  PrecomputerCache cache(bank);
+  cache.configure_range(-10, 10);
+
+  OpCounts counts;
+  for (int round = 0; round < 3; ++round) {
+    for (std::int64_t input : {-500LL, 11LL, 4096LL, -11LL}) {
+      const std::int64_t* row = cache.lookup(input, counts);
+      EXPECT_EQ(row[0], input);
+      EXPECT_EQ(row[1], 3 * input);
+    }
+    const std::int64_t* in_window = cache.lookup(7, counts);
+    EXPECT_EQ(in_window[1], 21);
+  }
+  EXPECT_EQ(cache.hash_entries(), 4u);  // the out-of-window values
+  EXPECT_EQ(cache.entries(), 5u);       // plus the flat row for 7
+  EXPECT_EQ(cache.misses(), 5u);
+  EXPECT_EQ(cache.hits(), 10u);
+}
+
+TEST(PrecomputerCacheFlat, ResetKeepsTheWindowAndDropsTheMemo) {
+  const PrecomputerBank bank(AlphabetSet::four());
+  PrecomputerCache cache(bank);
+  cache.configure_range(0, 100);
+  OpCounts counts;
+  (void)cache.lookup(5, counts);
+  (void)cache.lookup(5, counts);
+  (void)cache.lookup(1000, counts);  // hash fallback
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  cache.reset();
+  EXPECT_TRUE(cache.has_range());  // window survives reset
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // Rows refill on demand after the reset.
+  const std::int64_t* row = cache.lookup(5, counts);
+  EXPECT_EQ(row[0], 5);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PrecomputerCacheFlat, BindDropsWindowAndCounters) {
+  const PrecomputerBank four(AlphabetSet::four());
+  const PrecomputerBank two(AlphabetSet::two());
+  PrecomputerCache cache(four);
+  cache.configure_range(-5, 5);
+  OpCounts counts;
+  (void)cache.lookup(3, counts);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.bind(two);  // different alphabet count: window must not leak
+  EXPECT_EQ(cache.bank(), &two);
+  EXPECT_FALSE(cache.has_range());
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // Unarmed lookups run on the hash path against the new bank.
+  const std::int64_t* row = cache.lookup(3, counts);
+  EXPECT_EQ(row[1], 9);
+  EXPECT_EQ(cache.hash_entries(), 1u);
+
+  cache.configure_range(-5, 5);
+  const std::int64_t* flat_row = cache.lookup(3, counts);
+  EXPECT_EQ(flat_row[1], 9);
+  EXPECT_EQ(cache.entries(), 2u);  // hash entry + fresh flat row
+}
+
+TEST(PrecomputerCacheFlat, EnsureRangeIsIdempotentAndRearms) {
+  const PrecomputerBank bank(AlphabetSet::four());
+  PrecomputerCache cache(bank);
+  cache.ensure_range(-255, 255);
+  OpCounts counts;
+  (void)cache.lookup(0, counts);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.ensure_range(-255, 255);  // no-op: the filled row survives
+  (void)cache.lookup(0, counts);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.ensure_range(-127, 127);  // different window: re-armed
+  (void)cache.lookup(0, counts);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PrecomputerCacheFlat, RejectsBadWindows) {
+  const PrecomputerBank bank(AlphabetSet::four());
+  PrecomputerCache unbound;
+  EXPECT_THROW(unbound.configure_range(0, 1), std::logic_error);
+  PrecomputerCache cache(bank);
+  EXPECT_THROW(cache.configure_range(1, 0), std::invalid_argument);
+  EXPECT_THROW(
+      cache.configure_range(
+          0, static_cast<std::int64_t>(PrecomputerCache::kMaxFlatSpan)),
+      std::invalid_argument);
+  // Extreme inputs against an armed window must not wrap into it.
+  cache.configure_range(-10, 10);
+  OpCounts counts;
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max() / 16;
+  const std::int64_t* row = cache.lookup(big, counts);
+  EXPECT_EQ(row[0], big);
+  EXPECT_EQ(cache.hash_entries(), 1u);
+}
+
+TEST(PrecomputerCacheFallback, HashCapSaturatesIntoOverflowScratch) {
+  const PrecomputerBank bank(AlphabetSet::two());
+  PrecomputerCache cache(bank);
+  cache.configure_range(0, 7);  // tiny window; the stream lands outside
+
+  OpCounts counts;
+  const auto cap =
+      static_cast<std::int64_t>(PrecomputerCache::kMaxHashEntries);
+  for (std::int64_t input = 1; input <= cap; ++input) {
+    (void)cache.lookup(-input, counts);
+  }
+  EXPECT_EQ(cache.hash_entries(), PrecomputerCache::kMaxHashEntries);
+  EXPECT_EQ(cache.misses(), PrecomputerCache::kMaxHashEntries);
+
+  // Past the cap: values are still served correctly (recomputed into
+  // the overflow scratch) but never memoized — every lookup is a miss
+  // and the entry count stays pinned at the cap.
+  for (int round = 0; round < 3; ++round) {
+    const std::int64_t* row = cache.lookup(-(cap + 1), counts);
+    EXPECT_EQ(row[0], -(cap + 1));
+    EXPECT_EQ(row[1], 3 * -(cap + 1));
+  }
+  EXPECT_EQ(cache.hash_entries(), PrecomputerCache::kMaxHashEntries);
+  EXPECT_EQ(cache.misses(), PrecomputerCache::kMaxHashEntries + 3);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Pre-cap entries and the flat window still replay from the memo.
+  (void)cache.lookup(-1, counts);
+  EXPECT_EQ(cache.hits(), 1u);
+  (void)cache.lookup(3, counts);
+  (void)cache.lookup(3, counts);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.entries(), PrecomputerCache::kMaxHashEntries + 1);
+}
+
+TEST(PrecomputerCacheFallback, UnboundLookupThrows) {
+  PrecomputerCache cache;
+  OpCounts counts;
+  EXPECT_THROW((void)cache.lookup(1, counts), std::logic_error);
 }
 
 TEST(CshmUnit, SharesOneBankActivationAcrossLanes) {

@@ -1,0 +1,232 @@
+// Randomized property test (seeded RNG) for the flat-table CSHM
+// staging: over random dense/conv geometries at 8- and 12-bit ×
+// ASM + exact schemes, a direct-mapped (flat) PrecomputerCache and a
+// hash-fallback cache must produce bit-identical multiples buffers
+// laid out exactly as the compiled plans index them — and every
+// kernel backend must produce bit-identical accumulators from either
+// buffer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "man/backend/kernel_backend.h"
+#include "man/core/precomputer_bank.h"
+#include "man/engine/fixed_network.h"
+#include "man/nn/constraint_projection.h"
+#include "man/nn/conv2d.h"
+#include "man/nn/dense.h"
+#include "man/util/rng.h"
+
+namespace man::engine {
+namespace {
+
+using man::backend::all_backends;
+using man::backend::BackendKind;
+using man::backend::backend_for;
+using man::core::AlphabetSet;
+using man::core::OpCounts;
+using man::core::PrecomputerBank;
+using man::core::PrecomputerCache;
+using man::nn::Network;
+using man::nn::ProjectionPlan;
+using man::nn::QuantSpec;
+
+// Quantized random activations in the stage's raw input range.
+std::vector<std::int64_t> random_raw_values(std::size_t n,
+                                            const QuantSpec& spec,
+                                            man::util::Rng& rng) {
+  std::vector<std::int64_t> values(n);
+  for (std::int64_t& v : values) {
+    v = spec.activation_format.quantize(rng.next_double() * 2.0 - 1.0);
+  }
+  return values;
+}
+
+// The dense staging layout: k-strided element-major plus the trailing
+// always-zero slot (what stage_multiples produces inside the engine).
+std::vector<std::int64_t> stage_dense(
+    const man::backend::DenseLayerPlan& plan,
+    std::span<const std::int64_t> values, PrecomputerCache& cache) {
+  OpCounts discard;
+  std::vector<std::int64_t> multiples(plan.padded_multiples(), -1);
+  const auto k = static_cast<std::size_t>(plan.k);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::int64_t* row = cache.lookup(values[i], discard);
+    std::copy(row, row + k, multiples.data() + i * k);
+  }
+  multiples[plan.zero_slot] = 0;
+  return multiples;
+}
+
+// The conv staging layout: lane-major planes plus the zero region
+// (what stage_multiples_lane_major + the zero fill produce).
+std::vector<std::int64_t> stage_conv(
+    const man::backend::ConvLayerPlan& plan,
+    std::span<const std::int64_t> values, PrecomputerCache& cache) {
+  OpCounts discard;
+  std::vector<std::int64_t> multiples(plan.padded_multiples(), -1);
+  const auto k = static_cast<std::size_t>(plan.k);
+  const std::size_t stride = values.size();
+  for (std::size_t i = 0; i < stride; ++i) {
+    const std::int64_t* row = cache.lookup(values[i], discard);
+    for (std::size_t l = 0; l < k; ++l) {
+      multiples[l * stride + i] = row[l];
+    }
+  }
+  std::fill(multiples.begin() + plan.zero_base, multiples.end(), 0);
+  return multiples;
+}
+
+// Flat-vs-hash staging + per-backend accumulation for one ASM dense
+// engine.
+void check_dense_engine(const FixedNetwork& engine, const QuantSpec& spec,
+                        const PrecomputerBank& bank, man::util::Rng& rng) {
+  ASSERT_EQ(engine.plans().size(), 1u);
+  const auto& plan = engine.plans()[0];
+  ASSERT_FALSE(plan.exact);
+  // The plan carries the staging window of the activation format.
+  ASSERT_TRUE(plan.has_input_range());
+  EXPECT_EQ(plan.in_min_raw, spec.activation_format.min_raw());
+  EXPECT_EQ(plan.in_max_raw, spec.activation_format.max_raw());
+
+  const auto values = random_raw_values(
+      static_cast<std::size_t>(plan.cols), spec, rng);
+
+  PrecomputerCache flat(bank);
+  flat.configure_range(plan.in_min_raw, plan.in_max_raw);
+  PrecomputerCache hash(bank);  // no window: every lookup hashes
+
+  const auto flat_multiples = stage_dense(plan, values, flat);
+  const auto hash_multiples = stage_dense(plan, values, hash);
+  EXPECT_EQ(flat_multiples, hash_multiples);
+  EXPECT_EQ(hash.hash_entries(), hash.entries());
+  EXPECT_EQ(flat.hash_entries(), 0u);
+
+  std::vector<std::int64_t> reference(static_cast<std::size_t>(plan.rows));
+  backend_for(BackendKind::kScalar)
+      .accumulate_dense(plan, flat_multiples.data(), reference.data());
+  for (const auto* backend : all_backends()) {
+    for (const auto* multiples : {&flat_multiples, &hash_multiples}) {
+      std::vector<std::int64_t> out(static_cast<std::size_t>(plan.rows));
+      backend->accumulate_dense(plan, multiples->data(), out.data());
+      EXPECT_EQ(out, reference) << "backend=" << backend->name();
+    }
+  }
+}
+
+// Same property for one ASM conv engine (lane-major layout).
+void check_conv_engine(const FixedNetwork& engine, const QuantSpec& spec,
+                       const PrecomputerBank& bank, man::util::Rng& rng) {
+  ASSERT_EQ(engine.conv_plans().size(), 1u);
+  const auto& plan = engine.conv_plans()[0];
+  ASSERT_FALSE(plan.exact);
+  ASSERT_TRUE(plan.has_input_range());
+  EXPECT_EQ(plan.in_min_raw, spec.activation_format.min_raw());
+  EXPECT_EQ(plan.in_max_raw, spec.activation_format.max_raw());
+
+  const auto values = random_raw_values(plan.input_elems(), spec, rng);
+
+  PrecomputerCache flat(bank);
+  flat.configure_range(plan.in_min_raw, plan.in_max_raw);
+  PrecomputerCache hash(bank);
+
+  const auto flat_multiples = stage_conv(plan, values, flat);
+  const auto hash_multiples = stage_conv(plan, values, hash);
+  EXPECT_EQ(flat_multiples, hash_multiples);
+  EXPECT_EQ(flat.hash_entries(), 0u);
+
+  const std::size_t out_size =
+      static_cast<std::size_t>(plan.oc) * plan.positions();
+  std::vector<std::int64_t> reference(out_size);
+  backend_for(BackendKind::kScalar)
+      .accumulate_conv(plan, flat_multiples.data(), reference.data());
+  for (const auto* backend : all_backends()) {
+    for (const auto* multiples : {&flat_multiples, &hash_multiples}) {
+      std::vector<std::int64_t> out(out_size);
+      backend->accumulate_conv(plan, multiples->data(), out.data());
+      EXPECT_EQ(out, reference) << "backend=" << backend->name();
+    }
+  }
+}
+
+// Exact engines do not stage, but their plans carry the window too
+// and every backend must agree on the full forward pass.
+void check_engine_backends_agree(FixedNetwork& engine,
+                                 man::util::Rng& rng) {
+  std::vector<float> pixels(engine.input_size());
+  for (float& p : pixels) {
+    p = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+  }
+  auto scratch = engine.make_scratch();
+  auto stats = engine.make_stats();
+  std::vector<std::int64_t> reference(engine.output_size());
+  engine.infer_into(pixels, reference, stats, scratch,
+                    backend_for(BackendKind::kScalar));
+  for (const auto* backend : all_backends()) {
+    std::vector<std::int64_t> raw(engine.output_size());
+    engine.infer_into(pixels, raw, stats, scratch, *backend);
+    EXPECT_EQ(raw, reference) << "backend=" << backend->name();
+  }
+}
+
+class StagingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StagingProperty, RandomDenseGeometries) {
+  const QuantSpec spec = QuantSpec::for_bits(GetParam());
+  const AlphabetSet set = AlphabetSet::four();
+  const PrecomputerBank bank(set);
+  man::util::Rng rng(900 + static_cast<std::uint64_t>(GetParam()));
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const int in = static_cast<int>(rng.next_in(4, 40));
+    const int out = static_cast<int>(rng.next_in(1, 12));
+    Network net;
+    net.add<man::nn::Dense>(in, out).init_xavier(rng);
+    const ProjectionPlan projection(spec, set, 1);
+    projection.project_network(net);
+
+    FixedNetwork asm_engine(net, spec, LayerAlphabetPlan::uniform_asm(1, set));
+    check_dense_engine(asm_engine, spec, bank, rng);
+    check_engine_backends_agree(asm_engine, rng);
+
+    FixedNetwork exact_engine(net, spec, LayerAlphabetPlan::conventional(1));
+    ASSERT_TRUE(exact_engine.plans()[0].exact);
+    EXPECT_TRUE(exact_engine.plans()[0].has_input_range());
+    check_engine_backends_agree(exact_engine, rng);
+  }
+}
+
+TEST_P(StagingProperty, RandomConvGeometries) {
+  const QuantSpec spec = QuantSpec::for_bits(GetParam());
+  const AlphabetSet set = AlphabetSet::four();
+  const PrecomputerBank bank(set);
+  man::util::Rng rng(7100 + static_cast<std::uint64_t>(GetParam()));
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const int ic = static_cast<int>(rng.next_in(1, 3));
+    const int oc = static_cast<int>(rng.next_in(1, 4));
+    const int kernel = static_cast<int>(rng.next_in(2, 3));
+    const int ih = static_cast<int>(rng.next_in(kernel, 8));
+    const int iw = static_cast<int>(rng.next_in(kernel, 8));
+    Network net;
+    net.add<man::nn::Conv2D>(ic, oc, kernel, ih, iw).init_xavier(rng);
+    const ProjectionPlan projection(spec, set, 1);
+    projection.project_network(net);
+
+    FixedNetwork asm_engine(net, spec, LayerAlphabetPlan::uniform_asm(1, set));
+    check_conv_engine(asm_engine, spec, bank, rng);
+    check_engine_backends_agree(asm_engine, rng);
+
+    FixedNetwork exact_engine(net, spec, LayerAlphabetPlan::conventional(1));
+    ASSERT_TRUE(exact_engine.conv_plans()[0].exact);
+    EXPECT_TRUE(exact_engine.conv_plans()[0].has_input_range());
+    check_engine_backends_agree(exact_engine, rng);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWidths, StagingProperty,
+                         ::testing::Values(8, 12));
+
+}  // namespace
+}  // namespace man::engine
