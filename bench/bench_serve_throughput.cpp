@@ -1,28 +1,61 @@
-// Serving-layer throughput/latency bench: concurrent clients hammer
-// InferenceServer front-ends (digit + face engines sharing one
-// persistent ThreadPool) with single-sample requests, and the bench
-// reports QPS, p50/p99 client-observed latency, micro-batch shape,
-// and a bit-identity spot check against the sequential engine path.
+// Serving-layer throughput/latency bench, in three phases:
+//
+//  1. In-process closed loop (the historical `serve_throughput`
+//     section): concurrent clients hammer InferenceServer front-ends
+//     (digit + face engines sharing one persistent ThreadPool) with
+//     single-sample typed requests; reports QPS, p50/p99/p999
+//     client-observed latency, micro-batch shape, and bit-identity
+//     spot checks against the sequential engine path.
+//  2. HTTP closed loop: the same engines behind the epoll HTTP/1.1
+//     front-end on loopback; measures sustainable capacity C in
+//     requests/s (this also calibrates the servers' queue-delay
+//     EWMA) with bit-identity spot checks on the wire responses.
+//  3. HTTP open loop: an arrival-rate sweep [C/2, C, 2C, C/2] with
+//     latency measured from each request's *intended* send time
+//     (coordinated-omission-free), demonstrating overload behaviour:
+//     excess load shed with 429 + Retry-After while the server stays
+//     up, and p99 of accepted traffic recovering once load drops.
+//     If 2C fails to overload (capacity was underestimated), the
+//     overload step escalates 4C, 8C and reports the factor used.
 //
 // Env knobs: MAN_SERVE_CLIENTS (default 4), MAN_SERVE_REQUESTS per
 // client (default 200), MAN_SERVE_MAX_BATCH (default 64),
 // MAN_SERVE_MAX_WAIT_US (default 200), MAN_BENCH_WORKERS (pool size,
-// default auto).
+// default auto), MAN_HTTP_SAMPLES (samples per HTTP request, default
+// 16), MAN_HTTP_QUEUE (bounded queue, in samples — the deterministic
+// overload trigger; default 512), MAN_HTTP_SLO_US (queue-delay SLO,
+// default 25000), MAN_HTTP_STEP_SECONDS (sweep step duration, default
+// 2), MAN_HTTP_SENDERS (open-loop sender threads, default 32).
+// MAN_HTTP_ADDR=host:port drives an already-running external server
+// (e.g. serving_demo --listen) instead of an in-process one — phases
+// 2+3 only, /v1/infer/digit only, payload size from MAN_HTTP_INPUT
+// (default 1024, the digit MLP input), no bit-identity checks.
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
+#include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "man/serve/engine_cache.h"
+#include "man/serve/http/http_client.h"
+#include "man/serve/http/http_server.h"
 #include "man/serve/inference_server.h"
 #include "man/serve/thread_pool.h"
 #include "man/util/rng.h"
 
 namespace {
+
+using man::serve::http::HttpClient;
+using man::serve::http::HttpResponse;
 
 int env_int(const char* name, int fallback) {
   if (const char* env = std::getenv(name)) {
@@ -44,32 +77,231 @@ struct ClientStats {
   std::size_t mismatches = 0;
 };
 
+/// Extracts the "raw":[...] array from a wire response body.
+std::vector<std::int64_t> parse_raw(const std::string& body) {
+  std::vector<std::int64_t> raw;
+  const std::size_t key = body.find("\"raw\":[");
+  if (key == std::string::npos) return raw;
+  const char* cursor = body.c_str() + key + 7;
+  while (*cursor != ']' && *cursor != '\0') {
+    char* end = nullptr;
+    raw.push_back(std::strtoll(cursor, &end, 10));
+    cursor = *end == ',' ? end + 1 : end;
+  }
+  return raw;
+}
+
+std::string binary_payload(const std::vector<float>& pixels) {
+  std::string body(pixels.size() * sizeof(float), '\0');
+  std::memcpy(body.data(), pixels.data(), body.size());
+  return body;
+}
+
+/// Where the HTTP phases aim: an in-process loopback server, or an
+/// external MAN_HTTP_ADDR one.
+struct HttpTarget {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  bool external = false;
+  /// Engines for payload sizing + bit-identity (empty when external).
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<const man::engine::FixedNetwork>>>
+      models;
+  std::size_t external_input = 1024;
+
+  [[nodiscard]] std::size_t input_size(std::size_t model_index) const {
+    return external ? external_input
+                    : models[model_index % models.size()].second->input_size();
+  }
+  [[nodiscard]] const std::string& model_key(std::size_t model_index) const {
+    static const std::string kDigit = "digit";
+    return external ? kDigit : models[model_index % models.size()].first;
+  }
+};
+
+/// One open-loop sweep step's client-side tally.
+struct SweepStep {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;        ///< 429 with Retry-After
+  std::size_t retry_after_missing = 0;
+  std::size_t errors = 0;      ///< transport/5xx/anything else
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+/// Closed-loop HTTP phase: `threads` connections each running
+/// `requests` back-to-back infer calls of `samples_per_request`.
+/// Returns achieved requests/s; bumps `mismatches` on any response
+/// whose raw payload is not bit-identical to the sequential engine.
+double http_closed_loop(const HttpTarget& target, int threads, int requests,
+                        std::size_t samples_per_request,
+                        std::atomic<std::size_t>& mismatches,
+                        std::atomic<std::size_t>& failures) {
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  man::util::Stopwatch wall;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        HttpClient client(target.host, target.port);
+        man::util::Rng rng(9000 + static_cast<std::uint64_t>(t));
+        for (int r = 0; r < requests; ++r) {
+          const std::size_t model = static_cast<std::size_t>(t + r);
+          std::vector<float> pixels(target.input_size(model) *
+                                    samples_per_request);
+          for (float& p : pixels) p = static_cast<float>(rng.next_double());
+          const HttpResponse response = client.request(
+              "POST", "/v1/infer/" + target.model_key(model),
+              binary_payload(pixels), "application/octet-stream");
+          if (response.status != 200) {
+            failures.fetch_add(1);
+            continue;
+          }
+          if (!target.external && r % 32 == 0) {
+            const auto& engine = *target.models[model % 2].second;
+            auto stats = engine.make_stats();
+            auto scratch = engine.make_scratch();
+            std::vector<std::int64_t> expected(samples_per_request *
+                                               engine.output_size());
+            for (std::size_t i = 0; i < samples_per_request; ++i) {
+              engine.infer_into(
+                  std::span<const float>(pixels).subspan(
+                      i * engine.input_size(), engine.input_size()),
+                  std::span<std::int64_t>(expected).subspan(
+                      i * engine.output_size(), engine.output_size()),
+                  stats, scratch);
+            }
+            if (parse_raw(response.body) != expected) mismatches.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(static_cast<std::size_t>(requests));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double wall_s = wall.seconds();
+  return wall_s > 0
+             ? static_cast<double>(threads) * requests / wall_s
+             : 0.0;
+}
+
+/// Open-loop phase: `total` arrivals scheduled at fixed `rate_qps`
+/// intervals across `senders` threads. Latency is measured from the
+/// *intended* send time, so a sender running behind schedule charges
+/// the backlog to the server, not the generator (no coordinated
+/// omission).
+SweepStep http_open_loop(const HttpTarget& target, double rate_qps,
+                         std::size_t total, int senders,
+                         std::size_t samples_per_request) {
+  using Clock = std::chrono::steady_clock;
+  struct SenderTally {
+    std::vector<double> ok_ms;
+    std::size_t ok = 0, shed = 0, retry_missing = 0, errors = 0;
+  };
+  std::vector<SenderTally> tallies(static_cast<std::size_t>(senders));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(senders));
+  const auto start = Clock::now() + std::chrono::milliseconds(10);
+  const double interval_ns = 1e9 / rate_qps;
+
+  for (int s = 0; s < senders; ++s) {
+    workers.emplace_back([&, s] {
+      auto& mine = tallies[static_cast<std::size_t>(s)];
+      std::unique_ptr<HttpClient> client;
+      man::util::Rng rng(11000 + static_cast<std::uint64_t>(s));
+      for (std::size_t i = static_cast<std::size_t>(s); i < total;
+           i += static_cast<std::size_t>(senders)) {
+        const auto intended =
+            start + std::chrono::nanoseconds(
+                        static_cast<std::int64_t>(interval_ns *
+                                                  static_cast<double>(i)));
+        std::this_thread::sleep_until(intended);  // no-op when behind
+        std::vector<float> pixels(target.input_size(i) *
+                                  samples_per_request);
+        for (float& p : pixels) p = static_cast<float>(rng.next_double());
+        try {
+          if (!client) {
+            client = std::make_unique<HttpClient>(target.host, target.port);
+          }
+          const HttpResponse response = client->request(
+              "POST", "/v1/infer/" + target.model_key(i),
+              binary_payload(pixels), "application/octet-stream");
+          const double latency_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        intended)
+                  .count();
+          if (response.status == 200) {
+            mine.ok += 1;
+            mine.ok_ms.push_back(latency_ms);
+          } else if (response.status == 429) {
+            mine.shed += 1;
+            if (response.find_header("Retry-After") == nullptr) {
+              mine.retry_missing += 1;
+            }
+          } else {
+            mine.errors += 1;
+          }
+          if (!response.keep_alive) client.reset();
+        } catch (const std::exception&) {
+          mine.errors += 1;
+          client.reset();  // reconnect on the next arrival
+        }
+      }
+    });
+  }
+  man::util::Stopwatch wall;
+  for (auto& w : workers) w.join();
+
+  SweepStep step;
+  step.offered_qps = rate_qps;
+  std::vector<double> ok_ms;
+  for (auto& tally : tallies) {
+    ok_ms.insert(ok_ms.end(), tally.ok_ms.begin(), tally.ok_ms.end());
+    step.ok += tally.ok;
+    step.shed += tally.shed;
+    step.retry_after_missing += tally.retry_missing;
+    step.errors += tally.errors;
+  }
+  const double wall_s = wall.seconds();
+  step.achieved_qps =
+      wall_s > 0 ? static_cast<double>(total) / wall_s : 0.0;
+  std::sort(ok_ms.begin(), ok_ms.end());
+  step.p50_ms = percentile(ok_ms, 0.50);
+  step.p99_ms = percentile(ok_ms, 0.99);
+  step.p999_ms = percentile(ok_ms, 0.999);
+  return step;
+}
+
 }  // namespace
 
 int main() {
   using man::serve::EngineCache;
   using man::serve::EngineSpec;
   using man::serve::InferenceServer;
-  using man::serve::ServerOptions;
+  using man::serve::ServeConfig;
   using man::serve::ThreadPool;
 
   const int clients = env_int("MAN_SERVE_CLIENTS", 4);
   const int requests_per_client = env_int("MAN_SERVE_REQUESTS", 200);
   const int max_batch = env_int("MAN_SERVE_MAX_BATCH", 64);
   const int max_wait_us = env_int("MAN_SERVE_MAX_WAIT_US", 200);
+  const auto http_samples =
+      static_cast<std::size_t>(env_int("MAN_HTTP_SAMPLES", 16));
+  const auto http_queue =
+      static_cast<std::size_t>(env_int("MAN_HTTP_QUEUE", 512));
+  const int http_slo_us = env_int("MAN_HTTP_SLO_US", 25'000);
+  const int step_seconds = env_int("MAN_HTTP_STEP_SECONDS", 2);
+  const int senders = env_int("MAN_HTTP_SENDERS", 32);
   const int pool_threads = [] {
     const int requested = man::bench::bench_workers();
     if (requested > 0) return requested;
     const unsigned hw = std::thread::hardware_concurrency();
     return std::clamp(static_cast<int>(hw), 1, 16);
   }();
-
-  man::bench::print_banner(
-      "Serving throughput: " + std::to_string(clients) + " clients x " +
-      std::to_string(requests_per_client) + " requests, max_batch " +
-      std::to_string(max_batch) + ", max_wait " +
-      std::to_string(max_wait_us) + " us, pool " +
-      std::to_string(pool_threads) + " threads");
 
   // Untrained engines: serving throughput does not depend on the
   // weights, and the bench must not pay minutes of training.
@@ -84,15 +316,23 @@ int main() {
 
   const auto digit_engine = engine_cache.get(digit_spec);
   const auto face_engine = engine_cache.get(face_spec);
-
   const auto pool = std::make_shared<ThreadPool>(pool_threads);
-  ServerOptions options;
-  options.max_batch = static_cast<std::size_t>(max_batch);
-  options.max_wait = std::chrono::microseconds(max_wait_us);
-  options.batch.pool = pool;
-  options.batch.min_samples_per_worker = 1;
-  InferenceServer digit_server(*digit_engine, options);
-  InferenceServer face_server(*face_engine, options);
+
+  // ------------------------------------------------ phase 1: in-process
+  man::bench::print_banner(
+      "Serving throughput (in-process): " + std::to_string(clients) +
+      " clients x " + std::to_string(requests_per_client) +
+      " requests, max_batch " + std::to_string(max_batch) + ", max_wait " +
+      std::to_string(max_wait_us) + " us, pool " +
+      std::to_string(pool_threads) + " threads");
+
+  ServeConfig config;
+  config.max_batch = static_cast<std::size_t>(max_batch);
+  config.max_wait = std::chrono::microseconds(max_wait_us);
+  config.pool = pool;
+  config.min_samples_per_worker = 1;
+  InferenceServer digit_server(*digit_engine, config);
+  InferenceServer face_server(*face_engine, config);
 
   std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
   std::vector<std::thread> threads;
@@ -112,10 +352,15 @@ int main() {
         std::vector<float> pixels(engine.input_size());
         for (float& p : pixels) p = static_cast<float>(rng.next_double());
 
+        man::serve::InferenceRequest request;
+        request.payload = pixels;
         man::util::Stopwatch latency;
-        auto result = server.submit(pixels).get();
+        const auto result = server.submit(std::move(request)).get();
         mine.latencies_ms.push_back(latency.seconds() * 1e3);
-
+        if (!result.ok()) {
+          mine.mismatches += 1;
+          continue;
+        }
         // Spot-check bit-identity on a sample of responses.
         if (r % 50 == 0) {
           auto check_stats = engine.make_stats();
@@ -154,6 +399,8 @@ int main() {
                  man::util::format_double(percentile(all_ms, 0.50), 3)});
   table.add_row({"p99 latency (ms)",
                  man::util::format_double(percentile(all_ms, 0.99), 3)});
+  table.add_row({"p999 latency (ms)",
+                 man::util::format_double(percentile(all_ms, 0.999), 3)});
   table.add_row({"micro-batches", std::to_string(batches)});
   table.add_row(
       {"avg batch (samples)",
@@ -169,9 +416,149 @@ int main() {
                  std::to_string(pool->threads_started())});
   table.add_row({"kernel backend", digit_server.stats().backend});
   std::cout << table.to_string();
-
   std::cout << "bit-identity spot checks: "
             << (mismatches == 0 ? "all matched" : "MISMATCH") << "\n";
+
+  // --------------------------------------------- phases 2+3: HTTP front-end
+  HttpTarget target;
+  std::unique_ptr<InferenceServer> http_digit;
+  std::unique_ptr<InferenceServer> http_face;
+  std::unique_ptr<man::serve::http::HttpServer> http_server;
+  if (const char* addr = std::getenv("MAN_HTTP_ADDR")) {
+    const std::string spec(addr);
+    const std::size_t colon = spec.rfind(':');
+    target.external = true;
+    target.host = colon == std::string::npos ? spec : spec.substr(0, colon);
+    target.port = static_cast<std::uint16_t>(
+        colon == std::string::npos ? 0 : std::atoi(spec.c_str() + colon + 1));
+    target.external_input =
+        static_cast<std::size_t>(env_int("MAN_HTTP_INPUT", 1024));
+  } else {
+    // A deliberately small bounded queue is the overload mechanism
+    // under test: once senders outpace the engine, admission control
+    // turns the excess into immediate 429s instead of letting latency
+    // grow without bound. The SLO backstops it for slow engines.
+    ServeConfig http_config = config;
+    http_config.queue_capacity =
+        std::max(http_queue, http_config.max_batch);
+    http_config.queue_delay_slo = std::chrono::microseconds(http_slo_us);
+    http_digit =
+        std::make_unique<InferenceServer>(*digit_engine, http_config);
+    http_face = std::make_unique<InferenceServer>(*face_engine, http_config);
+    http_server = std::make_unique<man::serve::http::HttpServer>();
+    http_server->add_model("digit", *http_digit);
+    http_server->add_model("face", *http_face);
+    http_server->start();
+    target.port = http_server->port();
+    target.models.emplace_back("digit", digit_engine);
+    target.models.emplace_back("face", face_engine);
+  }
+
+  man::bench::print_banner(
+      "HTTP closed loop (capacity): " + target.host + ":" +
+      std::to_string(target.port) + ", " + std::to_string(http_samples) +
+      " samples/request" + (target.external ? " [external]" : ""));
+
+  std::atomic<std::size_t> http_mismatches{0};
+  std::atomic<std::size_t> http_failures{0};
+  // Short warmup calibrates the queue-delay EWMA before measuring.
+  http_closed_loop(target, 4, 50, http_samples, http_mismatches,
+                   http_failures);
+  // 4 connections keep the closed-loop queue well inside the bounded
+  // capacity, so this measures engine throughput, not shed-reply rate.
+  const double capacity_qps = http_closed_loop(
+      target, 4, 400, http_samples, http_mismatches, http_failures);
+  std::cout << "capacity: " << man::util::format_double(capacity_qps, 0)
+            << " requests/s (" << http_failures.load()
+            << " failures)\n";
+
+  man::bench::print_banner("HTTP open loop: sweep [C/2, C, 2C, C/2], " +
+                           std::to_string(step_seconds) + " s per step, " +
+                           std::to_string(senders) + " senders");
+
+  // Let the queue drain between load changes so each step measures
+  // its own rate, not the previous step's backlog.
+  const auto settle = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  };
+  const auto step_requests = [&](double rate) {
+    const double want = rate * step_seconds;
+    return static_cast<std::size_t>(
+        std::clamp(want, 200.0, 200'000.0));
+  };
+  std::vector<std::pair<std::string, SweepStep>> sweep;
+  const double half = capacity_qps / 2;
+  // Discarded warm step: pays connection setup + first-touch costs so
+  // the pre-overload baseline measures steady state.
+  http_open_loop(target, half, step_requests(half) / 4, senders,
+                 http_samples);
+  settle();
+  sweep.emplace_back("0.5C pre",
+                     http_open_loop(target, half, step_requests(half),
+                                    senders, http_samples));
+  sweep.emplace_back("1C",
+                     http_open_loop(target, capacity_qps,
+                                    step_requests(capacity_qps), senders,
+                                    http_samples));
+  // Overload step: escalate 2C -> 4C -> 8C until shedding engages (a
+  // closed-loop capacity estimate can undershoot what batching
+  // absorbs).
+  double overload_factor = 2.0;
+  SweepStep overload;
+  for (;;) {
+    const double rate = capacity_qps * overload_factor;
+    overload =
+        http_open_loop(target, rate, step_requests(rate), senders,
+                       http_samples);
+    if (overload.shed > 0 || overload_factor >= 8.0) break;
+    overload_factor *= 2;
+  }
+  sweep.emplace_back(man::util::format_double(overload_factor, 0) + "C",
+                     overload);
+  settle();
+  sweep.emplace_back("0.5C post",
+                     http_open_loop(target, half, step_requests(half),
+                                    senders, http_samples));
+
+  man::util::Table sweep_table({"step", "offered", "achieved", "ok", "shed",
+                                "errors", "p50 ms", "p99 ms", "p999 ms"});
+  for (const auto& [label, step] : sweep) {
+    sweep_table.add_row(
+        {label, man::util::format_double(step.offered_qps, 0),
+         man::util::format_double(step.achieved_qps, 0),
+         std::to_string(step.ok), std::to_string(step.shed),
+         std::to_string(step.errors),
+         man::util::format_double(step.p50_ms, 3),
+         man::util::format_double(step.p99_ms, 3),
+         man::util::format_double(step.p999_ms, 3)});
+  }
+  std::cout << sweep_table.to_string();
+
+  const SweepStep& pre = sweep[0].second;
+  const SweepStep& at_1c = sweep[1].second;
+  const SweepStep& post = sweep[3].second;
+  const double shed_rate_overload =
+      overload.ok + overload.shed > 0
+          ? static_cast<double>(overload.shed) /
+                static_cast<double>(overload.ok + overload.shed)
+          : 0.0;
+  const double recovery_p99_ratio =
+      pre.p99_ms > 0 ? post.p99_ms / pre.p99_ms : 0.0;
+  const bool http_ok = http_mismatches.load() == 0 &&
+                       overload.retry_after_missing == 0;
+  std::cout << "overload factor: "
+            << man::util::format_double(overload_factor, 0)
+            << "C, shed rate " << man::util::format_double(
+                   shed_rate_overload * 100, 1)
+            << "%, recovery p99 ratio "
+            << man::util::format_double(recovery_p99_ratio, 2)
+            << ", 429s missing Retry-After: "
+            << overload.retry_after_missing << "\n";
+  std::cout << "HTTP bit-identity spot checks: "
+            << (http_mismatches.load() == 0 ? "all matched" : "MISMATCH")
+            << "\n";
+
+  if (http_server) http_server->stop();
 
   if (const std::string json = man::bench::bench_json_path(); !json.empty()) {
     std::ofstream out(json);
@@ -182,9 +569,24 @@ int main() {
         << man::util::format_double(percentile(all_ms, 0.50), 4)
         << ",\n    \"p99_ms\": "
         << man::util::format_double(percentile(all_ms, 0.99), 4)
+        << ",\n    \"p999_ms\": "
+        << man::util::format_double(percentile(all_ms, 0.999), 4)
         << ",\n    \"backend\": \"" << digit_server.stats().backend
         << "\",\n    \"bit_identical\": "
-        << (mismatches == 0 ? "true" : "false") << "\n  }\n}\n";
+        << (mismatches == 0 ? "true" : "false") << "\n  },\n"
+        << "  \"serve_http\": {\n    \"capacity_qps\": "
+        << man::util::format_double(capacity_qps, 2)
+        << ",\n    \"overload_factor\": "
+        << man::util::format_double(overload_factor, 0)
+        << ",\n    \"shed_rate_overload\": "
+        << man::util::format_double(shed_rate_overload, 4)
+        << ",\n    \"p999_ms\": "
+        << man::util::format_double(at_1c.p999_ms, 4)
+        << ",\n    \"recovery_p99_ratio\": "
+        << man::util::format_double(recovery_p99_ratio, 4)
+        << ",\n    \"external\": " << (target.external ? "true" : "false")
+        << ",\n    \"bit_identical\": "
+        << (http_mismatches.load() == 0 ? "true" : "false") << "\n  }\n}\n";
   }
-  return mismatches == 0 ? 0 : 1;
+  return mismatches == 0 && http_ok ? 0 : 1;
 }

@@ -8,6 +8,12 @@ bench/baseline.json:
 
   * serve_throughput.qps dropping more than `max_drop` (default 15%)
     below baseline fails the job (exit 1);
+  * serve_http (the HTTP front-end's open-loop overload sweep) must
+    report a usable capacity/p999 and, against the baseline bounds: a
+    shed rate at overload of at least min_shed_rate_overload (zero
+    means overload is buffered instead of shed with 429s), a
+    post-overload p99 recovery ratio of at most max_recovery_p99_ratio,
+    and a p999 at capacity under max_p999_ms;
   * fig9_replay / fig9_cnn_replay backend speedups below the
     baseline's min_speedup floors fail the job — the floors are set
     at roughly half the measured speedup so runner variance cannot
@@ -95,6 +101,71 @@ def check_throughput(serve, baseline, failures, warnings):
         failures.append(
             f"QPS {qps:.1f} is below the regression floor {floor:.1f} "
             f"(baseline {baseline_qps:.1f} - {max_drop:.0%})")
+
+
+def check_http(serve, baseline, failures, warnings):
+    http = serve.get("serve_http")
+    if not isinstance(http, dict):
+        failures.append(
+            "serve JSON has no serve_http section - did "
+            "bench_serve_throughput run its HTTP phases?")
+        return
+    if not http.get("bit_identical", False):
+        failures.append("serve_http reported bit_identical: false")
+
+    # The open-loop sweep's headline numbers must at least be real
+    # measurements, baseline or not.
+    capacity = http.get("capacity_qps")
+    if not usable_number(capacity):
+        failures.append(
+            f"serve_http reported unusable capacity_qps: {capacity!r}")
+    p999 = http.get("p999_ms")
+    if not usable_number(p999):
+        failures.append(f"serve_http reported unusable p999_ms: {p999!r}")
+    shed_rate = http.get("shed_rate_overload")
+    if isinstance(shed_rate, bool) or not isinstance(shed_rate, (int, float)):
+        failures.append(
+            f"serve_http reported unusable shed_rate_overload: {shed_rate!r}")
+        shed_rate = None
+    recovery = http.get("recovery_p99_ratio")
+    if not usable_number(recovery):
+        failures.append(
+            f"serve_http reported unusable recovery_p99_ratio: {recovery!r}")
+        recovery = None
+
+    base = baseline.get("serve_http")
+    if not isinstance(base, dict):
+        warnings.append(
+            "skip: bench/baseline.json has no serve_http entry; overload "
+            "bounds not enforced - add one via the refresh workflow")
+        return
+    min_shed = base.get("min_shed_rate_overload")
+    if usable_number(min_shed) and shed_rate is not None:
+        line = (f"serve_http: shed rate {shed_rate:.1%} at "
+                f"{http.get('overload_factor', 0):.0f}x capacity "
+                f"{capacity if usable_number(capacity) else 0:.0f} qps")
+        if shed_rate < min_shed:
+            failures.append(
+                f"{line} is below the floor {min_shed:.1%} - overload is "
+                f"not being shed with 429s")
+        else:
+            print(line)
+    max_recovery = base.get("max_recovery_p99_ratio")
+    if usable_number(max_recovery) and recovery is not None:
+        line = f"serve_http: post-overload p99 ratio {recovery:.2f}x"
+        if recovery > max_recovery:
+            failures.append(
+                f"{line} exceeds {max_recovery:.2f}x - p99 is not "
+                f"recovering once load drops")
+        else:
+            print(line)
+    max_p999 = base.get("max_p999_ms")
+    if usable_number(max_p999) and usable_number(p999):
+        line = f"serve_http: p999 {p999:.1f} ms at capacity"
+        if p999 > max_p999:
+            failures.append(f"{line} exceeds the {max_p999:.0f} ms bound")
+        else:
+            print(line)
 
 
 def check_replay(name, fig9, baseline, failures, warnings):
@@ -189,6 +260,7 @@ def main():
     warnings = []
 
     check_throughput(serve, baseline, failures, warnings)
+    check_http(serve, baseline, failures, warnings)
     check_replay("fig9_replay", fig9, baseline, failures, warnings)
     check_replay("fig9_cnn_replay", fig9, baseline, failures, warnings)
 

@@ -1,20 +1,34 @@
 // One process serving two models: the digit MLP and the face MLP are
 // trained (once, via the on-disk ModelCache), compiled through the
 // sharded EngineCache, and fronted by two InferenceServers sharing a
-// single persistent ThreadPool. Concurrent clients drive interleaved
-// digit/face traffic from the synthetic test splits; the demo reports
-// accuracy per app, micro-batching behaviour, and verifies responses
-// against the sequential engine path.
+// single persistent ThreadPool — speaking the typed request/response
+// API (ServeConfig + InferenceRequest/InferenceResult).
 //
-// Usage: serving_demo [dataset_scale]   (default 0.05)
-#include <atomic>
+// Two modes:
+//   serving_demo [dataset_scale]
+//     in-process demo: concurrent clients drive interleaved
+//     digit/face traffic from the synthetic test splits; reports
+//     accuracy per app, micro-batching behaviour, and verifies
+//     responses against the sequential engine path.
+//   serving_demo [dataset_scale] --listen [port]
+//     network demo: exposes both models over the epoll HTTP/1.1
+//     front-end (POST /v1/infer/digit, /v1/infer/face, GET /healthz,
+//     GET /metrics), port 0 = ephemeral, and serves until
+//     SIGINT/SIGTERM; prints final serving metrics on shutdown.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "man/backend/kernel_backend.h"
 #include "man/serve/engine_cache.h"
+#include "man/serve/http/http_server.h"
 #include "man/serve/inference_server.h"
 #include "man/serve/thread_pool.h"
 #include "man/util/stopwatch.h"
@@ -23,6 +37,7 @@ namespace {
 
 struct AppTraffic {
   const char* label;
+  const char* model_key;
   std::shared_ptr<const man::engine::FixedNetwork> engine;
   std::shared_ptr<const man::data::Dataset> dataset;
   std::unique_ptr<man::serve::InferenceServer> server;
@@ -31,54 +46,52 @@ struct AppTraffic {
   std::atomic<std::size_t> mismatches{0};
 };
 
-}  // namespace
+std::atomic<bool> g_stop{false};
 
-int main(int argc, char** argv) {
-  using namespace man;
+void handle_signal(int) { g_stop.store(true); }
 
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
-  std::printf("== man::serve demo: digit + face from one process ==\n");
-
-  serve::EngineCache cache;
-  serve::EngineSpec digit_spec;
-  digit_spec.app = apps::AppId::kDigitMlp8;
-  digit_spec.alphabets = 4;  // ASM {1,3,5,7}
-  digit_spec.dataset_scale = scale;
-  serve::EngineSpec face_spec;
-  face_spec.app = apps::AppId::kFaceMlp12;
-  face_spec.alphabets = 1;  // MAN {1}
-  face_spec.dataset_scale = scale;
-
-  std::printf("training/compiling engines (cached in bench_cache/)...\n");
-  util::Stopwatch build_watch;
-  AppTraffic apps_traffic[2];
-  apps_traffic[0].label = "digit (ASM 4)";
-  apps_traffic[0].engine = cache.get(digit_spec);
-  apps_traffic[0].dataset = cache.dataset(digit_spec.app, scale);
-  apps_traffic[1].label = "face  (MAN 1)";
-  apps_traffic[1].engine = cache.get(face_spec);
-  apps_traffic[1].dataset = cache.dataset(face_spec.app, scale);
-  std::printf("engines ready in %.1f s (%zu resident)\n",
-              build_watch.seconds(), cache.size());
-
-  const auto pool = serve::ThreadPool::shared();
-  serve::ServerOptions options;
-  options.max_batch = 32;
-  options.max_wait = std::chrono::microseconds(300);
-  options.batch.pool = pool;
-  options.batch.min_samples_per_worker = 1;
+int run_listen_mode(AppTraffic (&apps_traffic)[2], std::uint16_t port) {
+  man::serve::http::HttpServerConfig http;
+  http.port = port;
+  man::serve::http::HttpServer server(http);
   for (auto& app : apps_traffic) {
-    app.server =
-        std::make_unique<serve::InferenceServer>(*app.engine, options);
+    server.add_model(app.model_key, *app.server);
+  }
+  server.start();
+  std::printf("listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  constexpr int kClients = 4;
-  const auto& kernel = man::backend::resolve(options.batch.backend);
-  std::printf("kernel backend: %s — %s (override via MAN_BACKEND)\n",
-              kernel.name(), kernel.description());
-  std::printf("driving mixed traffic with %d clients on a %d-thread pool\n",
-              kClients, pool->size());
+  const auto metrics = server.metrics();
+  server.stop();
+  std::printf(
+      "http metrics: accepted=%llu requests=%llu ok=%llu shed=%llu "
+      "parse_errors=%llu bad_requests=%llu deadline_exceeded=%llu "
+      "p50_us=%llu p99_us=%llu p999_us=%llu\n",
+      static_cast<unsigned long long>(metrics.connections_accepted),
+      static_cast<unsigned long long>(metrics.requests),
+      static_cast<unsigned long long>(metrics.responses_ok),
+      static_cast<unsigned long long>(metrics.shed),
+      static_cast<unsigned long long>(metrics.parse_errors),
+      static_cast<unsigned long long>(metrics.bad_requests),
+      static_cast<unsigned long long>(metrics.deadline_exceeded),
+      static_cast<unsigned long long>(metrics.p50_ns / 1000),
+      static_cast<unsigned long long>(metrics.p99_ns / 1000),
+      static_cast<unsigned long long>(metrics.p999_ns / 1000));
+  return 0;
+}
 
+int run_inprocess_demo(AppTraffic (&apps_traffic)[2],
+                       const std::shared_ptr<man::serve::ThreadPool>& pool) {
+  using namespace man;
+
+  constexpr int kClients = 4;
   util::Stopwatch wall;
   std::vector<std::thread> clients;
   clients.reserve(kClients);
@@ -90,7 +103,14 @@ int main(int argc, char** argv) {
         for (std::size_t i = static_cast<std::size_t>(c); i < test.size();
              i += kClients) {
           const auto& example = test[i];
-          auto result = app.server->submit(example.pixels).get();
+          serve::InferenceRequest request;
+          request.model_key = app.model_key;
+          request.payload = example.pixels;
+          auto result = app.server->submit(std::move(request)).get();
+          if (!result.ok()) {
+            app.mismatches.fetch_add(1);
+            continue;
+          }
           app.served.fetch_add(1);
           if (result.predictions[0] == example.label) app.correct.fetch_add(1);
           // Cross-check a sample of responses against the sequential
@@ -135,4 +155,75 @@ int main(int argc, char** argv) {
   std::printf("bit-identity vs sequential engine: %s\n",
               mismatches == 0 ? "all checks matched" : "MISMATCH");
   return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace man;
+
+  double scale = 0.05;
+  bool listen = false;
+  std::uint16_t port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0) {
+      listen = true;
+      if (i + 1 < argc && std::atoi(argv[i + 1]) >= 0 &&
+          std::strcmp(argv[i + 1], "--listen") != 0) {
+        port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      }
+    } else {
+      scale = std::atof(argv[i]);
+    }
+  }
+  std::printf("== man::serve demo: digit + face from one process ==\n");
+
+  serve::EngineCache cache;
+  serve::EngineSpec digit_spec;
+  digit_spec.app = apps::AppId::kDigitMlp8;
+  digit_spec.alphabets = 4;  // ASM {1,3,5,7}
+  digit_spec.dataset_scale = scale;
+  serve::EngineSpec face_spec;
+  face_spec.app = apps::AppId::kFaceMlp12;
+  face_spec.alphabets = 1;  // MAN {1}
+  face_spec.dataset_scale = scale;
+
+  std::printf("training/compiling engines (cached in bench_cache/)...\n");
+  util::Stopwatch build_watch;
+  AppTraffic apps_traffic[2];
+  apps_traffic[0].label = "digit (ASM 4)";
+  apps_traffic[0].model_key = "digit";
+  apps_traffic[0].engine = cache.get(digit_spec);
+  apps_traffic[0].dataset = cache.dataset(digit_spec.app, scale);
+  apps_traffic[1].label = "face  (MAN 1)";
+  apps_traffic[1].model_key = "face";
+  apps_traffic[1].engine = cache.get(face_spec);
+  apps_traffic[1].dataset = cache.dataset(face_spec.app, scale);
+  std::printf("engines ready in %.1f s (%zu resident)\n",
+              build_watch.seconds(), cache.size());
+
+  const auto pool = serve::ThreadPool::shared();
+  serve::ServeConfig config;
+  config.max_batch = 32;
+  config.max_wait = std::chrono::microseconds(300);
+  config.pool = pool;
+  config.min_samples_per_worker = 1;
+  // Deliberately tight admission bounds so the network mode
+  // demonstrates overload behaviour (429 + Retry-After) under a
+  // modest loopback load instead of buffering seconds of backlog.
+  config.queue_capacity = 256;
+  config.queue_delay_slo = std::chrono::milliseconds(20);
+  for (auto& app : apps_traffic) {
+    app.server = std::make_unique<serve::InferenceServer>(*app.engine, config);
+  }
+
+  const auto& kernel = man::backend::resolve(config.backend);
+  std::printf("kernel backend: %s — %s (override via MAN_BACKEND)\n",
+              kernel.name(), kernel.description());
+
+  if (listen) return run_listen_mode(apps_traffic, port);
+
+  std::printf("driving mixed traffic with %d clients on a %d-thread pool\n",
+              4, pool->size());
+  return run_inprocess_demo(apps_traffic, pool);
 }

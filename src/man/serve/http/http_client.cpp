@@ -1,0 +1,216 @@
+#include "man/serve/http/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace man::serve::http {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpResponse::find_header(
+    std::string_view name) const noexcept {
+  for (const Header& header : headers) {
+    if (iequals(header.name, name)) return &header.value;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(const std::string& host, std::uint16_t port,
+                       std::chrono::milliseconds timeout) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("HttpClient: socket() failed");
+
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("HttpClient: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const std::string reason = std::strerror(errno);
+    close();
+    throw std::runtime_error("HttpClient: connect to " + host + ":" +
+                             std::to_string(port) + " failed: " + reason);
+  }
+}
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string HttpClient::frame(std::string_view method,
+                              std::string_view target, std::string_view body,
+                              std::string_view content_type,
+                              const std::vector<std::string>& extra_headers) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += method;
+  out.push_back(' ');
+  out += target;
+  out += " HTTP/1.1\r\nHost: localhost\r\n";
+  for (const std::string& line : extra_headers) {
+    out += line;
+    out += "\r\n";
+  }
+  if (!body.empty() || method == "POST") {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+void HttpClient::send_raw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("HttpClient: send failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+HttpResponse HttpClient::request(
+    std::string_view method, std::string_view target, std::string_view body,
+    std::string_view content_type,
+    const std::vector<std::string>& extra_headers) {
+  send_raw(frame(method, target, body, content_type, extra_headers));
+  return read_response();
+}
+
+HttpResponse HttpClient::infer(std::string_view model,
+                               const std::vector<float>& pixels) {
+  std::string body = "{\"pixels\":[";
+  char number[32];
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    if (i > 0) body.push_back(',');
+    // %.9g round-trips any float exactly, preserving the serving
+    // path's bit-identity contract through the JSON encoding.
+    std::snprintf(number, sizeof number, "%.9g",
+                  static_cast<double>(pixels[i]));
+    body += number;
+  }
+  body += "]}";
+  std::string target = "/v1/infer/";
+  target += model;
+  return request("POST", target, body);
+}
+
+HttpResponse HttpClient::read_response() {
+  const auto read_more = [this]() {
+    char chunk[8 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return;
+    }
+    if (n == 0) {
+      throw std::runtime_error("HttpClient: connection closed mid-response");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw std::runtime_error("HttpClient: receive timeout");
+    }
+    throw std::runtime_error(std::string("HttpClient: recv failed: ") +
+                             std::strerror(errno));
+  };
+
+  std::size_t header_end;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    read_more();
+  }
+
+  HttpResponse response;
+  std::string_view head(buffer_.data(), header_end);
+
+  const std::size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (status_line.size() < 12 || status_line.substr(0, 5) != "HTTP/") {
+    throw std::runtime_error("HttpClient: malformed status line");
+  }
+  response.status =
+      std::atoi(std::string(status_line.substr(9, 3)).c_str());
+
+  std::string_view rest = line_end == std::string_view::npos
+                              ? std::string_view{}
+                              : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const std::size_t next = rest.find("\r\n");
+    std::string_view line =
+        next == std::string_view::npos ? rest : rest.substr(0, next);
+    rest = next == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(next + 2);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    response.headers.push_back(
+        {std::string(line.substr(0, colon)), std::string(value)});
+  }
+
+  std::size_t content_length = 0;
+  if (const std::string* header = response.find_header("Content-Length")) {
+    content_length = static_cast<std::size_t>(
+        std::strtoull(header->c_str(), nullptr, 10));
+  }
+  if (const std::string* header = response.find_header("Connection")) {
+    response.keep_alive = !iequals(*header, "close");
+  }
+
+  const std::size_t body_start = header_end + 4;
+  while (buffer_.size() < body_start + content_length) read_more();
+  response.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+  return response;
+}
+
+}  // namespace man::serve::http

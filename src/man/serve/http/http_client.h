@@ -1,0 +1,83 @@
+// Minimal blocking HTTP/1.1 client for loopback tests and the load
+// generator: connects, frames requests, and parses Content-Length
+// responses (the only framing this server emits). Deliberately
+// low-level — send_raw()/read_response() let tests drive split and
+// pipelined writes byte-by-byte, and fd() exposes the socket for
+// abrupt-disconnect scenarios.
+#ifndef MAN_SERVE_HTTP_HTTP_CLIENT_H
+#define MAN_SERVE_HTTP_HTTP_CLIENT_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "man/serve/http/http_parser.h"
+
+namespace man::serve::http {
+
+/// A parsed response. keep_alive reflects the server's Connection
+/// header decision.
+struct HttpResponse {
+  int status = 0;
+  std::vector<Header> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  [[nodiscard]] const std::string* find_header(
+      std::string_view name) const noexcept;
+};
+
+class HttpClient {
+ public:
+  /// Connects (blocking) and arms a receive timeout. Throws
+  /// std::runtime_error when the server is unreachable.
+  HttpClient(const std::string& host, std::uint16_t port,
+             std::chrono::milliseconds timeout = std::chrono::seconds(10));
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Frames and sends one request, then reads its response.
+  /// extra_headers entries are full "Name: value" lines.
+  HttpResponse request(std::string_view method, std::string_view target,
+                       std::string_view body = {},
+                       std::string_view content_type = "application/json",
+                       const std::vector<std::string>& extra_headers = {});
+
+  /// POST /v1/infer/<model> with a JSON pixels payload.
+  HttpResponse infer(std::string_view model, const std::vector<float>& pixels);
+
+  /// Sends bytes verbatim (split-read and malformed-input tests).
+  void send_raw(std::string_view bytes);
+
+  /// Reads and parses the next response on the wire (supports
+  /// pipelining: leftovers are retained for the following call).
+  /// Throws std::runtime_error on timeout, EOF mid-response, or
+  /// malformed framing.
+  HttpResponse read_response();
+
+  /// Builds the exact bytes request() would send — for hand-driven
+  /// split / pipelined writes via send_raw().
+  static std::string frame(std::string_view method, std::string_view target,
+                           std::string_view body = {},
+                           std::string_view content_type = "application/json",
+                           const std::vector<std::string>& extra_headers = {});
+
+  /// The raw socket (e.g. to shutdown()/close() abruptly mid-request).
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Closes the socket early (destructor does this too).
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the previous response
+};
+
+}  // namespace man::serve::http
+
+#endif  // MAN_SERVE_HTTP_HTTP_CLIENT_H

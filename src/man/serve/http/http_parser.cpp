@@ -1,0 +1,380 @@
+#include "man/serve/http/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace man::serve::http {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim_ows(std::string_view value) noexcept {
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.remove_prefix(1);
+  }
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+    value.remove_suffix(1);
+  }
+  return value;
+}
+
+/// Splits a comma-separated header value and reports whether any
+/// token case-insensitively equals `needle`.
+bool list_contains(std::string_view value, std::string_view needle) {
+  while (!value.empty()) {
+    const std::size_t comma = value.find(',');
+    const std::string_view token = trim_ows(value.substr(0, comma));
+    if (iequals(token, needle)) return true;
+    if (comma == std::string_view::npos) break;
+    value.remove_prefix(comma + 1);
+  }
+  return false;
+}
+
+/// Chunk-size lines are tiny; anything longer is garbage, not a
+/// legitimately huge extension.
+constexpr std::size_t kMaxChunkSizeLine = 1024;
+
+}  // namespace
+
+const std::string* ParsedRequest::find_header(
+    std::string_view name) const noexcept {
+  for (const Header& header : headers) {
+    if (iequals(header.name, name)) return &header.value;
+  }
+  return nullptr;
+}
+
+RequestParser::RequestParser(ParserLimits limits) : limits_(limits) {}
+
+RequestParser::State RequestParser::feed(std::string_view data) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data.data(), data.size());
+  if (state_ == State::kComplete) return state_;  // buffered until take()
+  return parse();
+}
+
+ParsedRequest RequestParser::take() {
+  ParsedRequest out = std::move(request_);
+  request_ = ParsedRequest{};
+  phase_ = Phase::kRequestLine;
+  state_ = State::kNeedMore;
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+  compact();
+  return out;
+}
+
+RequestParser::State RequestParser::fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return state_;
+}
+
+void RequestParser::compact() {
+  if (pos_ >= 4096 && pos_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+RequestParser::State RequestParser::parse() {
+  for (;;) {
+    switch (phase_) {
+      case Phase::kRequestLine:
+      case Phase::kHeaders: {
+        std::string_view line;
+        bool failed = false;
+        if (!next_line(line, failed)) {
+          return failed ? state_ : State::kNeedMore;
+        }
+        header_bytes_ += line.size() + 2;
+        if (phase_ == Phase::kRequestLine) {
+          if (line.empty()) continue;  // tolerate leading blank lines
+          if (!parse_request_line(line)) return state_;
+          phase_ = Phase::kHeaders;
+        } else if (line.empty()) {
+          if (!finish_headers()) return state_;
+        } else if (!parse_header_line(line)) {
+          return state_;
+        }
+        break;
+      }
+      case Phase::kFixedBody: {
+        const std::size_t available = buffer_.size() - pos_;
+        const std::size_t chunk = std::min(available, body_remaining_);
+        request_.body.append(buffer_, pos_, chunk);
+        pos_ += chunk;
+        body_remaining_ -= chunk;
+        compact();
+        if (body_remaining_ > 0) return State::kNeedMore;
+        phase_ = Phase::kDone;
+        break;
+      }
+      case Phase::kChunkSize: {
+        std::string_view line;
+        bool failed = false;
+        if (!next_line(line, failed)) {
+          return failed ? state_ : State::kNeedMore;
+        }
+        if (!parse_chunk_size(line)) return state_;
+        break;
+      }
+      case Phase::kChunkData: {
+        const std::size_t available = buffer_.size() - pos_;
+        const std::size_t chunk = std::min(available, body_remaining_);
+        request_.body.append(buffer_, pos_, chunk);
+        pos_ += chunk;
+        body_remaining_ -= chunk;
+        compact();
+        if (body_remaining_ > 0) return State::kNeedMore;
+        phase_ = Phase::kChunkDataEnd;
+        break;
+      }
+      case Phase::kChunkDataEnd: {
+        // The CRLF that terminates a chunk's payload (tolerate a
+        // bare LF, matching the line parser).
+        if (pos_ >= buffer_.size()) return State::kNeedMore;
+        if (buffer_[pos_] == '\r') {
+          if (pos_ + 1 >= buffer_.size()) return State::kNeedMore;
+          if (buffer_[pos_ + 1] != '\n') {
+            return fail(400, "chunk data not terminated by CRLF");
+          }
+          pos_ += 2;
+        } else if (buffer_[pos_] == '\n') {
+          pos_ += 1;
+        } else {
+          return fail(400, "chunk data not terminated by CRLF");
+        }
+        phase_ = Phase::kChunkSize;
+        break;
+      }
+      case Phase::kTrailers: {
+        std::string_view line;
+        bool failed = false;
+        if (!next_line(line, failed)) {
+          return failed ? state_ : State::kNeedMore;
+        }
+        header_bytes_ += line.size() + 2;
+        if (line.empty()) phase_ = Phase::kDone;
+        // Trailer fields are accepted and discarded (nothing in the
+        // wire protocol uses them); they still count against the
+        // header budget via next_line.
+        break;
+      }
+      case Phase::kDone:
+        state_ = State::kComplete;
+        return state_;
+    }
+  }
+}
+
+bool RequestParser::next_line(std::string_view& line, bool& failed) {
+  const std::size_t newline = buffer_.find('\n', pos_);
+  const bool header_phase =
+      phase_ == Phase::kRequestLine || phase_ == Phase::kHeaders ||
+      phase_ == Phase::kTrailers;
+  const std::size_t limit =
+      header_phase ? limits_.max_header_bytes : kMaxChunkSizeLine;
+  const std::size_t pending =
+      (newline == std::string::npos ? buffer_.size() : newline) - pos_;
+  if (header_phase ? header_bytes_ + pending > limit : pending > limit) {
+    failed = true;
+    if (header_phase) {
+      fail(431, "request line/headers exceed " + std::to_string(limit) +
+                    " bytes");
+    } else {
+      fail(400, "chunk-size line too long");
+    }
+    return false;
+  }
+  if (newline == std::string::npos) return false;
+  std::size_t end = newline;
+  if (end > pos_ && buffer_[end - 1] == '\r') --end;
+  line = std::string_view(buffer_).substr(pos_, end - pos_);
+  pos_ = newline + 1;
+  return true;
+}
+
+bool RequestParser::parse_request_line(std::string_view line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || target.empty()) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  for (const char c : method) {
+    if (!std::isupper(static_cast<unsigned char>(c))) {
+      fail(400, "malformed method token");
+      return false;
+    }
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else {
+    fail(505, "unsupported protocol version");
+    return false;
+  }
+  request_.method.assign(method);
+  request_.target.assign(target);
+  return true;
+}
+
+bool RequestParser::parse_header_line(std::string_view line) {
+  if (line.front() == ' ' || line.front() == '\t') {
+    fail(400, "obsolete header line folding");
+    return false;
+  }
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail(400, "malformed header line");
+    return false;
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (name.find(' ') != std::string_view::npos ||
+      name.find('\t') != std::string_view::npos) {
+    fail(400, "whitespace in header name");
+    return false;
+  }
+  Header header;
+  header.name.assign(name);
+  header.value.assign(trim_ows(line.substr(colon + 1)));
+  request_.headers.push_back(std::move(header));
+  return true;
+}
+
+bool RequestParser::finish_headers() {
+  const std::string* transfer_encoding =
+      request_.find_header("Transfer-Encoding");
+  const std::string* content_length = request_.find_header("Content-Length");
+  if (transfer_encoding != nullptr) {
+    if (content_length != nullptr) {
+      fail(400, "both Transfer-Encoding and Content-Length present");
+      return false;
+    }
+    if (!iequals(trim_ows(*transfer_encoding), "chunked")) {
+      fail(501, "unsupported Transfer-Encoding: " + *transfer_encoding);
+      return false;
+    }
+    request_.chunked = true;
+  } else if (content_length != nullptr) {
+    std::size_t length = 0;
+    const std::string_view digits = trim_ows(*content_length);
+    if (digits.empty()) {
+      fail(400, "empty Content-Length");
+      return false;
+    }
+    for (const char c : digits) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        fail(400, "non-numeric Content-Length");
+        return false;
+      }
+      if (length > (limits_.max_body_bytes + 9) / 10) {
+        fail(413, "declared body exceeds " +
+                      std::to_string(limits_.max_body_bytes) + " bytes");
+        return false;
+      }
+      length = length * 10 + static_cast<std::size_t>(c - '0');
+    }
+    // A request may carry several Content-Length copies only if they
+    // all agree.
+    for (const Header& header : request_.headers) {
+      if (iequals(header.name, "Content-Length") &&
+          trim_ows(header.value) != digits) {
+        fail(400, "conflicting Content-Length values");
+        return false;
+      }
+    }
+    if (length > limits_.max_body_bytes) {
+      fail(413, "declared body exceeds " +
+                    std::to_string(limits_.max_body_bytes) + " bytes");
+      return false;
+    }
+    body_remaining_ = length;
+  }
+
+  request_.keep_alive = request_.version_minor >= 1;
+  if (const std::string* connection = request_.find_header("Connection")) {
+    if (list_contains(*connection, "close")) {
+      request_.keep_alive = false;
+    } else if (list_contains(*connection, "keep-alive")) {
+      request_.keep_alive = true;
+    }
+  }
+
+  if (request_.chunked) {
+    phase_ = Phase::kChunkSize;
+  } else if (body_remaining_ > 0) {
+    request_.body.reserve(body_remaining_);
+    phase_ = Phase::kFixedBody;
+  } else {
+    phase_ = Phase::kDone;
+  }
+  return true;
+}
+
+bool RequestParser::parse_chunk_size(std::string_view line) {
+  const std::size_t semi = line.find(';');
+  const std::string_view digits =
+      trim_ows(semi == std::string_view::npos ? line : line.substr(0, semi));
+  if (digits.empty()) {
+    fail(400, "empty chunk size");
+    return false;
+  }
+  std::size_t size = 0;
+  for (const char c : digits) {
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else {
+      fail(400, "malformed chunk size");
+      return false;
+    }
+    if (size > limits_.max_body_bytes) {
+      fail(413, "chunked body exceeds " +
+                    std::to_string(limits_.max_body_bytes) + " bytes");
+      return false;
+    }
+    size = size * 16 + static_cast<std::size_t>(nibble);
+  }
+  if (request_.body.size() + size > limits_.max_body_bytes) {
+    fail(413, "chunked body exceeds " +
+                  std::to_string(limits_.max_body_bytes) + " bytes");
+    return false;
+  }
+  if (size == 0) {
+    phase_ = Phase::kTrailers;
+  } else {
+    body_remaining_ = size;
+    phase_ = Phase::kChunkData;
+  }
+  return true;
+}
+
+}  // namespace man::serve::http

@@ -1,0 +1,140 @@
+// Incremental HTTP/1.1 request parser for the epoll front-end: bytes
+// are fed in whatever fragments the socket delivers (a request may be
+// split mid-request-line, mid-header or mid-chunk), and the parser
+// advances a small state machine — request line, headers, then a
+// Content-Length or chunked body — without ever re-scanning consumed
+// input. Pipelining-aware: bytes beyond one complete request are
+// retained, so after take() the next request parses from what is
+// already buffered. Hard limits bound both header and body size; a
+// violation or malformed input parks the parser in an error state
+// carrying the HTTP status code the connection should answer with
+// (400 / 413 / 431 / 501 / 505) before closing.
+#ifndef MAN_SERVE_HTTP_HTTP_PARSER_H
+#define MAN_SERVE_HTTP_HTTP_PARSER_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace man::serve::http {
+
+/// One parsed request header (name case preserved; lookups are
+/// case-insensitive).
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+/// A fully parsed request, handed out by RequestParser::take().
+struct ParsedRequest {
+  std::string method;
+  std::string target;
+  int version_minor = 1;  ///< HTTP/1.<minor>
+  std::vector<Header> headers;
+  std::string body;
+  /// Resolved keep-alive decision: HTTP/1.1 unless "Connection:
+  /// close"; HTTP/1.0 only with "Connection: keep-alive".
+  bool keep_alive = true;
+  bool chunked = false;  ///< body arrived chunk-encoded
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  [[nodiscard]] const std::string* find_header(
+      std::string_view name) const noexcept;
+};
+
+/// Size limits enforced while parsing (not after).
+struct ParserLimits {
+  /// Request line + headers, bytes (431 beyond).
+  std::size_t max_header_bytes = 16 * 1024;
+  /// Decoded body bytes, fixed or chunked (413 beyond).
+  std::size_t max_body_bytes = 4 * 1024 * 1024;
+};
+
+/// Incremental push parser. Typical connection loop:
+///
+///   auto state = parser.feed(data_from_socket);
+///   while (state == RequestParser::State::kComplete) {
+///     handle(parser.take());          // resets for the next request
+///     state = parser.resume();        // parses retained pipeline bytes
+///   }
+///   if (state == RequestParser::State::kError) {
+///     respond(parser.error_status(), parser.error_reason()); close();
+///   }
+class RequestParser {
+ public:
+  enum class State {
+    kNeedMore,  ///< consumed everything fed so far; request incomplete
+    kComplete,  ///< one full request ready — call take()
+    kError,     ///< unrecoverable; see error_status()/error_reason()
+  };
+
+  explicit RequestParser(ParserLimits limits = {});
+
+  /// Appends bytes and parses as far as possible. After kComplete,
+  /// further feed() calls buffer without parsing until take().
+  State feed(std::string_view data);
+
+  /// Parses bytes already buffered beyond the previous request (the
+  /// pipelining path) — equivalent to feed("").
+  State resume() { return feed({}); }
+
+  /// Hands out the completed request and resets the state machine,
+  /// retaining any buffered bytes of the next pipelined request.
+  /// Only valid in kComplete.
+  ParsedRequest take();
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  /// HTTP status the connection should answer with before closing
+  /// (only valid in kError): 400 malformed, 413 body too large,
+  /// 431 headers too large, 501 unknown transfer-encoding, 505 bad
+  /// version.
+  [[nodiscard]] int error_status() const noexcept { return error_status_; }
+  [[nodiscard]] const std::string& error_reason() const noexcept {
+    return error_reason_;
+  }
+  /// Bytes buffered but not yet consumed (pipelined requests).
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - pos_;
+  }
+
+ private:
+  enum class Phase {
+    kRequestLine,
+    kHeaders,
+    kFixedBody,
+    kChunkSize,
+    kChunkData,
+    kChunkDataEnd,  ///< CRLF after one chunk's payload
+    kTrailers,
+    kDone,
+  };
+
+  State parse();
+  bool parse_request_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  bool finish_headers();
+  bool parse_chunk_size(std::string_view line);
+  /// Extracts the next CRLF-terminated line from the buffer (CRLF
+  /// stripped). Returns false if no full line is buffered yet; fails
+  /// the parse if the line would exceed the header limit.
+  bool next_line(std::string_view& line, bool& fail);
+  State fail(int status, std::string reason);
+  void compact();
+
+  ParserLimits limits_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+
+  Phase phase_ = Phase::kRequestLine;
+  State state_ = State::kNeedMore;
+  ParsedRequest request_;
+  std::size_t header_bytes_ = 0;
+  std::size_t body_remaining_ = 0;  ///< fixed body / current chunk
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+}  // namespace man::serve::http
+
+#endif  // MAN_SERVE_HTTP_HTTP_PARSER_H

@@ -1,0 +1,76 @@
+// Fixed-footprint log-linear latency histogram for the HTTP serving
+// metrics: power-of-two decades split into 8 linear sub-buckets give
+// ~12% relative resolution from 1 us to ~4.7 hours in 128 counters —
+// enough for p50/p99/p999 without unbounded per-request storage.
+#ifndef MAN_SERVE_HTTP_LATENCY_HISTOGRAM_H
+#define MAN_SERVE_HTTP_LATENCY_HISTOGRAM_H
+
+#include <array>
+#include <cstdint>
+
+namespace man::serve::http {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;  ///< 8 linear sub-buckets per decade
+  static constexpr int kBuckets = 128;
+
+  void record(std::uint64_t nanos) noexcept {
+    counts_[bucket_index(nanos)] += 1;
+    total_ += 1;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+
+  /// Latency (ns) at quantile q in [0, 1]: the upper bound of the
+  /// bucket holding the q-th sample (0 when empty).
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const noexcept {
+    if (total_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > rank) return bucket_upper_ns(i);
+    }
+    return bucket_upper_ns(kBuckets - 1);
+  }
+
+  void merge(const LatencyHistogram& other) noexcept {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
+
+ private:
+  /// Microsecond-granular value mapped to (decade, sub-bucket).
+  static int bucket_index(std::uint64_t nanos) noexcept {
+    const std::uint64_t us = nanos / 1000;
+    if (us < (1u << kSubBits)) return static_cast<int>(us);
+    const int log2 = 63 - __builtin_clzll(us);
+    const int decade = log2 - kSubBits;  // >= 1 here
+    const int sub = static_cast<int>((us >> (log2 - kSubBits)) &
+                                     ((1u << kSubBits) - 1));
+    const int index = (decade << kSubBits) + sub + (1 << kSubBits);
+    return index < kBuckets ? index : kBuckets - 1;
+  }
+
+  static std::uint64_t bucket_upper_ns(int index) noexcept {
+    if (index < (1 << kSubBits)) {
+      return (static_cast<std::uint64_t>(index) + 1) * 1000;
+    }
+    const int decade = (index - (1 << kSubBits)) >> kSubBits;
+    const int sub = (index - (1 << kSubBits)) & ((1 << kSubBits) - 1);
+    const std::uint64_t base = 1ull << (decade + kSubBits);
+    const std::uint64_t step = base >> kSubBits;
+    return (base + static_cast<std::uint64_t>(sub + 1) * step) * 1000;
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace man::serve::http
+
+#endif  // MAN_SERVE_HTTP_LATENCY_HISTOGRAM_H

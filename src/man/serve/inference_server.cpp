@@ -9,17 +9,60 @@
 
 namespace man::serve {
 
+namespace {
+
+/// Clamped Retry-After hint from an estimated queue delay: at least
+/// 1 ms (an empty estimate still asks the client to back off), at
+/// most 30 s.
+std::chrono::milliseconds retry_after_hint(std::chrono::nanoseconds delay) {
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(delay) +
+      std::chrono::milliseconds(1);
+  return std::clamp(ms, std::chrono::milliseconds(1),
+                    std::chrono::milliseconds(30'000));
+}
+
+InferenceResult make_rejection(Status status, std::string message,
+                               std::chrono::milliseconds retry_after = {}) {
+  InferenceResult result;
+  result.status = status;
+  result.message = std::move(message);
+  result.retry_after = retry_after;
+  return result;
+}
+
+}  // namespace
+
+ServeConfig ServerOptions::to_config() const {
+  ServeConfig config;
+  config.max_batch = max_batch;
+  config.max_wait = max_wait;
+  config.workers = batch.workers;
+  config.min_samples_per_worker = batch.min_samples_per_worker;
+  config.backend = batch.backend;
+  config.pool = batch.pool;
+  // The legacy API had no admission control; keep its queue
+  // effectively unbounded (but still >= max_batch so validate()
+  // holds for huge legacy max_batch settings).
+  config.queue_capacity = std::max<std::size_t>(std::size_t{1} << 20,
+                                                max_batch);
+  return config;
+}
+
+void InferenceServer::Pending::deliver(InferenceResult&& result) {
+  if (callback) {
+    callback(std::move(result));
+  } else {
+    promise.set_value(std::move(result));
+  }
+}
+
 InferenceServer::InferenceServer(const man::engine::FixedNetwork& engine,
-                                 ServerOptions options)
+                                 ServeConfig config)
     : engine_(&engine),
-      options_(std::move(options)),
-      runner_(engine, options_.batch) {
-  if (options_.max_batch == 0) {
-    throw std::invalid_argument("InferenceServer: max_batch must be >= 1");
-  }
-  if (options_.max_wait < std::chrono::microseconds::zero()) {
-    throw std::invalid_argument("InferenceServer: max_wait must be >= 0");
-  }
+      config_(std::move(config)),
+      runner_(engine, (config_.validate(), config_.batch_options())),
+      backend_name_(runner_.kernel().name()) {
   stats_snapshot_ = runner_.stats();
   dispatcher_ = std::thread([this] {
     name_this_thread("man-dispatch");
@@ -27,7 +70,116 @@ InferenceServer::InferenceServer(const man::engine::FixedNetwork& engine,
   });
 }
 
+InferenceServer::InferenceServer(const man::engine::FixedNetwork& engine,
+                                 const ServerOptions& options)
+    : InferenceServer(engine, options.to_config()) {}
+
 InferenceServer::~InferenceServer() { shutdown(); }
+
+bool InferenceServer::try_enqueue(Pending&& pending,
+                                  InferenceResult& rejection) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      metrics_.rejected_shutdown += 1;
+      rejection = make_rejection(Status::kShutdown,
+                                 "server is shutting down");
+    } else if (queued_samples_ + pending.count > config_.queue_capacity) {
+      metrics_.rejected_overload += 1;
+      rejection = make_rejection(
+          Status::kRejectedOverload,
+          "queue full (" + std::to_string(queued_samples_) + " of " +
+              std::to_string(config_.queue_capacity) + " samples queued)",
+          retry_after_hint(estimated_delay_locked()));
+    } else {
+      queued_samples_ += pending.count;
+      metrics_.requests += 1;
+      metrics_.samples += pending.count;
+      // Priority order: ahead of strictly lower priorities, FIFO
+      // within the same priority (insertion point scans from the
+      // back, so equal priorities keep arrival order).
+      auto pos = queue_.end();
+      while (pos != queue_.begin() &&
+             std::prev(pos)->priority < pending.priority) {
+        --pos;
+      }
+      queue_.insert(pos, std::move(pending));
+      cv_.notify_one();  // only the dispatcher waits on cv_
+      return true;
+    }
+  }
+  return false;
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    InferenceRequest request) {
+  Pending pending;
+  std::future<InferenceResult> future = pending.promise.get_future();
+  const std::size_t in_size = engine_->input_size();
+
+  if (request.payload.empty() || request.payload.size() % in_size != 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      metrics_.rejected_bad_request += 1;
+    }
+    pending.promise.set_value(make_rejection(
+        Status::kBadRequest,
+        "payload of " + std::to_string(request.payload.size()) +
+            " floats is not a non-zero whole number of " +
+            std::to_string(in_size) + "-value samples"));
+    return future;
+  }
+
+  const auto now = Clock::now();
+  pending.count = request.payload.size() / in_size;
+  pending.pixels = std::move(request.payload);
+  pending.hard_deadline = request.deadline;
+  pending.flush_at = std::min(now + config_.max_wait, request.deadline);
+  pending.priority = request.priority;
+  pending.enqueued_at = now;
+
+  InferenceResult rejection;
+  if (!try_enqueue(std::move(pending), rejection)) {
+    std::promise<InferenceResult> rejected;
+    future = rejected.get_future();
+    rejected.set_value(std::move(rejection));
+  }
+  return future;
+}
+
+void InferenceServer::submit_async(InferenceRequest request,
+                                   Callback callback) {
+  const std::size_t in_size = engine_->input_size();
+  if (request.payload.empty() || request.payload.size() % in_size != 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      metrics_.rejected_bad_request += 1;
+    }
+    callback(make_rejection(
+        Status::kBadRequest,
+        "payload of " + std::to_string(request.payload.size()) +
+            " floats is not a non-zero whole number of " +
+            std::to_string(in_size) + "-value samples"));
+    return;
+  }
+
+  const auto now = Clock::now();
+  Pending pending;
+  pending.count = request.payload.size() / in_size;
+  pending.pixels = std::move(request.payload);
+  pending.hard_deadline = request.deadline;
+  pending.flush_at = std::min(now + config_.max_wait, request.deadline);
+  pending.priority = request.priority;
+  pending.enqueued_at = now;
+  pending.callback = std::move(callback);
+
+  InferenceResult rejection;
+  if (!try_enqueue(std::move(pending), rejection)) {
+    // pending.callback was not consumed: try_enqueue only moves on
+    // success.
+    pending.callback(std::move(rejection));
+  }
+}
 
 std::future<InferenceResult> InferenceServer::submit(
     std::vector<float> pixels, Clock::time_point deadline) {
@@ -42,28 +194,36 @@ std::future<InferenceResult> InferenceServer::submit(
         "-pixel samples");
   }
 
-  Request request;
-  request.count = pixels.size() / in_size;
-  request.pixels = std::move(pixels);
-  request.deadline = deadline;
-  std::future<InferenceResult> future = request.promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) {
+  Pending pending;
+  const auto now = Clock::now();
+  pending.count = pixels.size() / in_size;
+  pending.pixels = std::move(pixels);
+  // Legacy semantics: the deadline is a flush hint only (an expired
+  // one means "flush now", the request is still served) — so it
+  // becomes flush_at and the hard deadline stays unset.
+  pending.flush_at = deadline;
+  pending.hard_deadline = Clock::time_point::max();
+  pending.enqueued_at = now;
+  std::future<InferenceResult> future = pending.promise.get_future();
+
+  InferenceResult rejection;
+  if (!try_enqueue(std::move(pending), rejection)) {
+    if (rejection.status == Status::kShutdown) {
       throw std::runtime_error("InferenceServer: submit after shutdown");
     }
-    queued_samples_ += request.count;
-    metrics_.requests += 1;
-    metrics_.samples += request.count;
-    queue_.push_back(std::move(request));
+    // Overload on the legacy path (possible only with a deliberately
+    // tiny queue_capacity): resolve through the future, as the typed
+    // path does.
+    std::promise<InferenceResult> rejected;
+    future = rejected.get_future();
+    rejected.set_value(std::move(rejection));
   }
-  cv_.notify_one();  // only the dispatcher waits on cv_
   return future;
 }
 
 std::future<InferenceResult> InferenceServer::submit(
     std::vector<float> pixels) {
-  return submit(std::move(pixels), Clock::now() + options_.max_wait);
+  return submit(std::move(pixels), Clock::now() + config_.max_wait);
 }
 
 void InferenceServer::shutdown() {
@@ -86,6 +246,18 @@ man::engine::EngineStats InferenceServer::stats() const {
   return stats_snapshot_;
 }
 
+std::chrono::nanoseconds InferenceServer::estimated_queue_delay() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return estimated_delay_locked();
+}
+
+std::chrono::nanoseconds InferenceServer::estimated_delay_locked()
+    const noexcept {
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(queued_samples_) *
+      static_cast<std::int64_t>(ewma_ns_per_sample_));
+}
+
 void InferenceServer::dispatch_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -96,18 +268,16 @@ void InferenceServer::dispatch_loop() {
     }
 
     // Micro-batching wait: flush when the queue reaches max_batch
-    // samples, when the earliest deadline among queued requests
-    // arrives (a deadline already in the past flushes immediately),
-    // or when shutdown drains the queue. Explicit deadlines need not
-    // be monotonic in arrival order, so scan the whole queue — a
-    // newcomer with a tight deadline must pull the flush forward
-    // (batches still close oldest-first, so everything queued ahead
-    // of it ships with or before it).
+    // samples, when the earliest flush deadline among queued requests
+    // arrives (one already in the past flushes immediately), or when
+    // shutdown drains the queue. Flush deadlines need not be
+    // monotonic in arrival order (explicit deadlines and priority
+    // insertion both reorder), so scan the whole queue.
     bool deadline_flush = false;
-    while (!stopping_ && queued_samples_ < options_.max_batch) {
-      Clock::time_point earliest = queue_.front().deadline;
-      for (const Request& request : queue_) {
-        earliest = std::min(earliest, request.deadline);
+    while (!stopping_ && queued_samples_ < config_.max_batch) {
+      Clock::time_point earliest = queue_.front().flush_at;
+      for (const Pending& pending : queue_) {
+        earliest = std::min(earliest, pending.flush_at);
       }
       if (Clock::now() >= earliest) {
         deadline_flush = true;
@@ -115,80 +285,155 @@ void InferenceServer::dispatch_loop() {
       }
       cv_.wait_until(lock, earliest);
     }
-    if (stopping_ && queued_samples_ < options_.max_batch) {
+    if (stopping_ && queued_samples_ < config_.max_batch) {
       deadline_flush = true;  // drain counts as a deadline flush
     }
 
-    // Close the micro-batch: whole requests only, oldest first, up to
-    // max_batch samples — except that a single oversized request is
-    // dispatched alone rather than split or rejected.
-    std::vector<Request> batch;
+    // Close the micro-batch: whole requests only, in queue order, up
+    // to max_batch samples — except that a single oversized request
+    // is dispatched alone rather than split or rejected. Requests
+    // whose hard deadline already passed are expired here (they never
+    // reach compute and do not count against the batch budget).
+    const Clock::time_point close_time = Clock::now();
+    std::vector<Pending> batch;
+    std::vector<Pending> expired;
     std::size_t total_samples = 0;
     while (!queue_.empty()) {
-      Request& front = queue_.front();
+      Pending& front = queue_.front();
+      if (front.hard_deadline <= close_time) {
+        queued_samples_ -= front.count;
+        metrics_.deadline_expired += 1;
+        expired.push_back(std::move(front));
+        queue_.pop_front();
+        continue;
+      }
       if (!batch.empty() &&
-          total_samples + front.count > options_.max_batch) {
+          total_samples + front.count > config_.max_batch) {
         break;
       }
       total_samples += front.count;
       batch.push_back(std::move(front));
       queue_.pop_front();
-      if (total_samples >= options_.max_batch) break;
+      if (total_samples >= config_.max_batch) break;
     }
     queued_samples_ -= total_samples;
-    metrics_.batches += 1;
-    if (deadline_flush) {
-      metrics_.deadline_flushes += 1;
-    } else {
-      metrics_.size_flushes += 1;
+    if (!batch.empty()) {
+      metrics_.batches += 1;
+      if (deadline_flush) {
+        metrics_.deadline_flushes += 1;
+      } else {
+        metrics_.size_flushes += 1;
+      }
+      metrics_.largest_batch =
+          std::max(metrics_.largest_batch, total_samples);
     }
-    metrics_.largest_batch = std::max(metrics_.largest_batch, total_samples);
 
     lock.unlock();
-    run_batch(batch, total_samples);
+    for (Pending& pending : expired) {
+      InferenceResult result = make_rejection(
+          Status::kDeadlineExceeded,
+          "hard deadline passed before compute started");
+      result.queue_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              close_time - pending.enqueued_at)
+              .count());
+      pending.deliver(std::move(result));
+    }
+    std::uint64_t batch_ns = 0;
+    if (!batch.empty()) {
+      const auto started = Clock::now();
+      run_batch(batch, total_samples);
+      batch_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               started)
+              .count());
+    }
     lock.lock();
-    stats_snapshot_ = runner_.stats();
+    if (!batch.empty()) {
+      stats_snapshot_ = runner_.stats();
+      const std::uint64_t per_sample =
+          batch_ns / std::max<std::size_t>(total_samples, 1);
+      ewma_ns_per_sample_ =
+          ewma_ns_per_sample_ == 0
+              ? per_sample
+              : (4 * ewma_ns_per_sample_ + per_sample) / 5;
+    }
   }
 }
 
-void InferenceServer::run_batch(std::vector<Request>& batch,
+void InferenceServer::run_batch(std::vector<Pending>& batch,
                                 std::size_t total_samples) {
   const std::size_t in_size = engine_->input_size();
   const std::size_t out_size = engine_->output_size();
+  const Clock::time_point started = Clock::now();
 
   std::vector<float> inputs;
   inputs.reserve(total_samples * in_size);
-  for (const Request& request : batch) {
-    inputs.insert(inputs.end(), request.pixels.begin(), request.pixels.end());
+  for (const Pending& pending : batch) {
+    inputs.insert(inputs.end(), pending.pixels.begin(), pending.pixels.end());
   }
 
   std::vector<std::int64_t> raw(total_samples * out_size);
   try {
     runner_.run(inputs, raw);
+  } catch (const std::exception& error) {
+    // An engine failure is not expressible as a per-request Status
+    // beyond "cannot serve": promise holders get the exception (the
+    // legacy contract), callback holders a kShutdown result carrying
+    // the reason.
+    const std::exception_ptr eptr = std::current_exception();
+    for (Pending& pending : batch) {
+      if (pending.callback) {
+        pending.callback(
+            make_rejection(Status::kShutdown,
+                           std::string("engine error: ") + error.what()));
+      } else {
+        pending.promise.set_exception(eptr);
+      }
+    }
+    return;
   } catch (...) {
-    const std::exception_ptr error = std::current_exception();
-    for (Request& request : batch) request.promise.set_exception(error);
+    const std::exception_ptr eptr = std::current_exception();
+    for (Pending& pending : batch) {
+      if (pending.callback) {
+        pending.callback(make_rejection(Status::kShutdown, "engine error"));
+      } else {
+        pending.promise.set_exception(eptr);
+      }
+    }
     return;
   }
 
+  const std::uint64_t compute_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           started)
+          .count());
+
   std::size_t sample_offset = 0;
-  for (Request& request : batch) {
+  for (Pending& pending : batch) {
     InferenceResult result;
-    result.samples = request.count;
+    result.status = Status::kOk;
+    result.samples = pending.count;
     result.output_size = out_size;
     const auto begin =
         raw.begin() + static_cast<std::ptrdiff_t>(sample_offset * out_size);
     result.raw.assign(begin,
-                      begin + static_cast<std::ptrdiff_t>(request.count *
+                      begin + static_cast<std::ptrdiff_t>(pending.count *
                                                           out_size));
-    result.predictions.resize(request.count);
-    for (std::size_t s = 0; s < request.count; ++s) {
+    result.predictions.resize(pending.count);
+    for (std::size_t s = 0; s < pending.count; ++s) {
       result.predictions[s] = man::engine::argmax_raw(
           std::span<const std::int64_t>(result.raw)
               .subspan(s * out_size, out_size));
     }
-    sample_offset += request.count;
-    request.promise.set_value(std::move(result));
+    result.queue_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            started - pending.enqueued_at)
+            .count());
+    result.compute_ns = compute_ns;
+    result.backend = backend_name_;
+    sample_offset += pending.count;
+    pending.deliver(std::move(result));
   }
 }
 

@@ -1,13 +1,24 @@
-// Async serving front-end over the batched fixed-point runtime: a
-// future-based submit() API accepting single samples or whole client
-// batches, a dispatcher thread that coalesces queued requests into
-// micro-batches — flushing on max-batch-size or on the oldest
-// request's deadline, whichever comes first — and a pooled
-// BatchRunner that executes every micro-batch on a persistent
-// man::serve::ThreadPool. Because each sample's result depends only
-// on that sample's pixels, coalescing is invisible: responses are
-// bit-identical to running FixedNetwork::infer_into sample by sample,
-// regardless of how traffic interleaves or how many workers run.
+// Async serving front-end over the batched fixed-point runtime, now
+// speaking the typed request/response API (serve_types.h): submit()
+// takes an InferenceRequest{payload, deadline, priority} and resolves
+// an InferenceResult whose Status can express success, an exceeded
+// deadline, admission-control rejection, a malformed payload, or
+// shutdown — the same vocabulary the HTTP front-end maps onto wire
+// status codes. A dispatcher thread coalesces accepted requests into
+// micro-batches — flushing on max-batch-size or on the earliest
+// flush deadline across the queue — and a pooled BatchRunner executes
+// every micro-batch on a persistent man::serve::ThreadPool. Because
+// each sample's result depends only on that sample's pixels,
+// coalescing is invisible: kOk responses are bit-identical to running
+// FixedNetwork::infer_into sample by sample, regardless of how
+// traffic interleaves or how many workers run.
+//
+// Admission control: the queue is bounded (ServeConfig::
+// queue_capacity samples); a submit that would overflow it resolves
+// kRejectedOverload immediately, with a Retry-After hint derived from
+// the estimated queue delay (EWMA of recent per-sample compute time ×
+// queued samples — the same estimate the HTTP front-end sheds on once
+// it exceeds ServeConfig::queue_delay_slo).
 #ifndef MAN_SERVE_INFERENCE_SERVER_H
 #define MAN_SERVE_INFERENCE_SERVER_H
 
@@ -15,6 +26,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -22,64 +34,68 @@
 
 #include "man/engine/batch_runner.h"
 #include "man/engine/fixed_network.h"
+#include "man/serve/serve_types.h"
 
 namespace man::serve {
 
-/// Micro-batching and execution knobs for InferenceServer.
+/// DEPRECATED legacy knobs, kept so pre-typed-API call sites compile;
+/// new code passes ServeConfig. The nested BatchOptions duplication
+/// (workers/pool/backend one level removed from the batching knobs)
+/// is exactly what ServeConfig flattened away.
 struct ServerOptions {
-  /// Flush threshold in samples: the dispatcher closes a micro-batch
-  /// as soon as the queue holds this many. A single request larger
-  /// than this is legal — it is dispatched alone as one oversized
-  /// batch (requests are never split).
   std::size_t max_batch = 64;
-  /// Default batching deadline: a request submitted without an
-  /// explicit deadline waits at most this long for co-batching before
-  /// the dispatcher flushes whatever is queued.
   std::chrono::microseconds max_wait{500};
-  /// Worker configuration for the dispatch BatchRunner. Set
-  /// batch.pool to share one persistent ThreadPool across several
-  /// servers (the one-process-many-models arrangement).
   man::engine::BatchOptions batch;
-};
 
-/// Response for one request: raw final-layer accumulators and argmax
-/// predictions for every sample the request carried.
-struct InferenceResult {
-  std::size_t samples = 0;
-  std::size_t output_size = 0;
-  /// samples × output_size raw accumulators (bit-identical to
-  /// FixedNetwork::infer_into).
-  std::vector<std::int64_t> raw;
-  /// One argmax prediction per sample (same tie-breaking as every
-  /// other prediction path).
-  std::vector<int> predictions;
+  /// The equivalent consolidated config (admission-control fields at
+  /// their defaults, matching the legacy unbounded-ish behaviour).
+  [[nodiscard]] ServeConfig to_config() const;
 };
 
 /// Deadline-aware micro-batching front-end for one compiled engine.
-/// submit() is thread-safe; the engine must outlive the server. Run
-/// several servers over different engines on one shared ThreadPool to
-/// serve many model configurations from a single process.
+/// submit()/submit_async() are thread-safe; the engine must outlive
+/// the server. Run several servers over different engines on one
+/// shared ThreadPool to serve many model configurations from a single
+/// process.
 class InferenceServer {
  public:
   using Clock = std::chrono::steady_clock;
+  /// Completion callback for submit_async(). Invoked exactly once:
+  /// from the dispatcher thread after the micro-batch completes, or
+  /// inline from the submitting thread for immediate rejections
+  /// (kBadRequest / kRejectedOverload / kShutdown). Must not block.
+  using Callback = std::function<void(InferenceResult&&)>;
 
   /// Serving metrics (snapshot under the queue lock).
   struct Metrics {
-    /// Accepted submissions / samples across them.
+    /// Accepted submissions / samples across them (rejections are
+    /// counted separately and never reach the queue).
     std::uint64_t requests = 0;
     std::uint64_t samples = 0;
     /// Micro-batches dispatched, split by what closed them
-    /// (max_batch vs oldest-deadline/drain), plus the biggest one.
+    /// (max_batch vs earliest-flush-deadline/drain), plus the
+    /// biggest one.
     std::uint64_t batches = 0;
     std::uint64_t size_flushes = 0;
     std::uint64_t deadline_flushes = 0;
     std::size_t largest_batch = 0;
+    /// Typed-API outcomes: admission-control rejections, malformed
+    /// payloads, requests whose hard deadline expired while queued,
+    /// and submissions after shutdown.
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_bad_request = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t rejected_shutdown = 0;
   };
 
-  /// Starts the dispatcher thread. Throws std::invalid_argument for
-  /// max_batch == 0 or a negative max_wait.
+  /// Starts the dispatcher thread. ServeConfig::validate() applies —
+  /// nonsense configs throw std::invalid_argument.
+  InferenceServer(const man::engine::FixedNetwork& engine, ServeConfig config);
+
+  /// DEPRECATED: legacy-options constructor (and the default), kept
+  /// for pre-typed-API call sites.
   explicit InferenceServer(const man::engine::FixedNetwork& engine,
-                           ServerOptions options = {});
+                           const ServerOptions& options = {});
 
   /// Graceful: drains every accepted request, then stops.
   ~InferenceServer();
@@ -87,30 +103,51 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Submits one sample or a contiguous client batch (size must be a
-  /// non-zero multiple of the engine's input_size; anything else
-  /// throws std::invalid_argument). The request waits for co-batching
-  /// until `deadline` at the latest — the dispatcher flushes on the
-  /// earliest deadline across the queue, so a tight deadline also
-  /// pulls everything queued ahead of it. A deadline already in the
-  /// past simply flushes immediately — the request is still served.
-  /// Throws std::runtime_error after shutdown().
+  /// Typed submit: never throws for per-request conditions — the
+  /// returned future resolves with the Status instead (kBadRequest
+  /// for an empty/ragged payload, kRejectedOverload when the bounded
+  /// queue is full, kShutdown after shutdown(), kDeadlineExceeded if
+  /// the hard deadline passes before compute starts, else kOk with
+  /// payload fields bit-identical to the sequential engine path).
+  std::future<InferenceResult> submit(InferenceRequest request);
+
+  /// Callback flavour of the typed submit, for completion-driven
+  /// callers (the HTTP front-end's epoll loop must not block on
+  /// futures). Same Status semantics as submit().
+  void submit_async(InferenceRequest request, Callback callback);
+
+  /// DEPRECATED legacy submit: `deadline` is a co-batching hint only
+  /// (an expired one means "flush now" — the request is still
+  /// served), and malformed payloads / post-shutdown submits throw
+  /// (std::invalid_argument / std::runtime_error) as they always did.
   std::future<InferenceResult> submit(std::vector<float> pixels,
                                       Clock::time_point deadline);
 
-  /// Same, with the default deadline now + options.max_wait.
+  /// Same, with the default co-batching deadline now + max_wait.
   std::future<InferenceResult> submit(std::vector<float> pixels);
+
+  /// Braced-list flavour of the legacy submit. Also what keeps
+  /// `submit({})` unambiguous (and throwing, as it always did) now
+  /// that the typed InferenceRequest overload exists: in list-init
+  /// contexts an initializer_list parameter outranks both.
+  std::future<InferenceResult> submit(std::initializer_list<float> pixels) {
+    return submit(std::vector<float>(pixels));
+  }
 
   /// Stops accepting requests, serves everything already queued, and
   /// joins the dispatcher. Idempotent; also run by the destructor.
   void shutdown();
 
+  /// Estimated time a newly queued sample would wait before compute:
+  /// queued samples × EWMA per-sample batch time. Zero until the
+  /// first batch calibrates the estimate. The HTTP front-end sheds
+  /// load once this exceeds config().queue_delay_slo.
+  [[nodiscard]] std::chrono::nanoseconds estimated_queue_delay() const;
+
   [[nodiscard]] const man::engine::FixedNetwork& engine() const noexcept {
     return *engine_;
   }
-  [[nodiscard]] const ServerOptions& options() const noexcept {
-    return options_;
-  }
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
   [[nodiscard]] Metrics metrics() const;
 
   /// Aggregate per-layer activity over everything served so far (the
@@ -118,26 +155,45 @@ class InferenceServer {
   [[nodiscard]] man::engine::EngineStats stats() const;
 
  private:
-  struct Request {
+  struct Pending {
     std::vector<float> pixels;
     std::size_t count = 0;
-    Clock::time_point deadline;
+    /// Co-batching flush trigger (≤ hard_deadline on the typed path).
+    Clock::time_point flush_at;
+    /// Typed-path hard deadline; time_point::max() on the legacy
+    /// path, whose deadline was only ever a flush hint.
+    Clock::time_point hard_deadline;
+    int priority = 0;
+    Clock::time_point enqueued_at;
     std::promise<InferenceResult> promise;
+    Callback callback;  ///< when set, promise is unused
+
+    void deliver(InferenceResult&& result);
   };
 
+  /// Shared admission path. Returns true if the request was queued;
+  /// otherwise `rejection` holds the immediate result to deliver.
+  bool try_enqueue(Pending&& pending, InferenceResult& rejection);
+
   void dispatch_loop();
-  void run_batch(std::vector<Request>& batch, std::size_t total_samples);
+  void run_batch(std::vector<Pending>& batch, std::size_t total_samples);
+  [[nodiscard]] std::chrono::nanoseconds estimated_delay_locked()
+      const noexcept;
 
   const man::engine::FixedNetwork* engine_;
-  ServerOptions options_;
+  ServeConfig config_;
   man::engine::BatchRunner runner_;
+  std::string backend_name_;  ///< resolved once; immutable thereafter
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Request> queue_;
+  std::deque<Pending> queue_;
   std::size_t queued_samples_ = 0;
   bool stopping_ = false;
   Metrics metrics_;
+  /// EWMA of per-sample micro-batch wall time, for the queue-delay
+  /// estimate (0 until the first batch lands).
+  std::uint64_t ewma_ns_per_sample_ = 0;
   /// Copy of the runner's stats, refreshed after each batch so
   /// readers never race the dispatcher.
   man::engine::EngineStats stats_snapshot_;

@@ -1,0 +1,80 @@
+#include "man/serve/serve_types.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace man::serve {
+
+const char* status_name(Status status) noexcept {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kRejectedOverload:
+      return "rejected_overload";
+    case Status::kBadRequest:
+      return "bad_request";
+    case Status::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+int http_status_for(Status status) noexcept {
+  switch (status) {
+    case Status::kOk:
+      return 200;
+    case Status::kDeadlineExceeded:
+      return 504;
+    case Status::kRejectedOverload:
+      return 429;
+    case Status::kBadRequest:
+      return 400;
+    case Status::kShutdown:
+      return 503;
+  }
+  return 500;
+}
+
+void ServeConfig::validate() const {
+  if (max_batch == 0) {
+    throw std::invalid_argument("ServeConfig: max_batch must be >= 1");
+  }
+  if (max_wait < std::chrono::microseconds::zero()) {
+    throw std::invalid_argument("ServeConfig: max_wait must be >= 0");
+  }
+  if (workers < 0) {
+    throw std::invalid_argument("ServeConfig: workers must be >= 0 (0 = auto)");
+  }
+  if (min_samples_per_worker == 0) {
+    throw std::invalid_argument(
+        "ServeConfig: min_samples_per_worker must be >= 1");
+  }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument(
+        "ServeConfig: queue_capacity must be >= 1 (a zero-capacity queue "
+        "would reject every request)");
+  }
+  if (queue_delay_slo <= std::chrono::microseconds::zero()) {
+    throw std::invalid_argument(
+        "ServeConfig: queue_delay_slo must be positive");
+  }
+  if (queue_capacity < max_batch) {
+    throw std::invalid_argument(
+        "ServeConfig: queue_capacity (" + std::to_string(queue_capacity) +
+        ") must be >= max_batch (" + std::to_string(max_batch) +
+        ") or full batches could never form");
+  }
+}
+
+man::engine::BatchOptions ServeConfig::batch_options() const {
+  man::engine::BatchOptions batch;
+  batch.workers = workers;
+  batch.min_samples_per_worker = min_samples_per_worker;
+  batch.backend = backend;
+  batch.pool = pool;
+  return batch;
+}
+
+}  // namespace man::serve

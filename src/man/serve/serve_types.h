@@ -1,0 +1,133 @@
+// The typed serving API shared by the in-process submit() path and
+// the HTTP front-end: a Status enum every response carries (mapped
+// 1:1 onto wire status codes), a typed InferenceRequest carrying the
+// payload plus per-request deadline and priority, a typed
+// InferenceResult that can express rejection and overload — not just
+// success — and one consolidated ServeConfig replacing the knobs that
+// were previously split (and partly duplicated) across ServerOptions
+// and BatchOptions.
+#ifndef MAN_SERVE_SERVE_TYPES_H
+#define MAN_SERVE_SERVE_TYPES_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "man/backend/kernel_backend.h"
+#include "man/engine/batch_runner.h"
+#include "man/serve/thread_pool.h"
+
+namespace man::serve {
+
+/// Outcome of one serving request. Shared verbatim between the
+/// in-process path (InferenceServer::submit) and the HTTP front-end,
+/// which maps it onto wire status codes via http_status_for().
+enum class Status : std::uint8_t {
+  kOk = 0,               ///< served; payload fields are valid
+  kDeadlineExceeded,     ///< hard deadline passed before compute began
+  kRejectedOverload,     ///< admission control shed the request
+  kBadRequest,           ///< malformed payload (empty / ragged / undecodable)
+  kShutdown,             ///< server is stopping; request not accepted
+};
+
+/// Stable lowercase label ("ok", "deadline_exceeded", ...) — the
+/// `status` field of every wire response.
+[[nodiscard]] const char* status_name(Status status) noexcept;
+
+/// The HTTP status code a Status maps to: 200 / 504 / 429 / 400 / 503.
+[[nodiscard]] int http_status_for(Status status) noexcept;
+
+/// One typed inference request: a contiguous payload of one or more
+/// samples plus per-request scheduling metadata.
+struct InferenceRequest {
+  using Clock = std::chrono::steady_clock;
+
+  /// Which model this request addresses. Informational on the
+  /// in-process path (the InferenceServer is already bound to one
+  /// engine); the HTTP front-end routes on it and echoes it back.
+  std::string model_key;
+  /// count × input_size floats, never split across micro-batches.
+  std::vector<float> payload;
+  /// Hard deadline: if compute has not *started* by this instant the
+  /// request resolves kDeadlineExceeded instead of being served. Also
+  /// bounds the co-batching wait (a near deadline flushes early).
+  /// time_point::max() (the default) means "no deadline".
+  Clock::time_point deadline = Clock::time_point::max();
+  /// Scheduling hint: higher-priority requests are queued ahead of
+  /// lower-priority ones awaiting the same micro-batch (FIFO within
+  /// one priority). Does not preempt a batch already dispatched.
+  int priority = 0;
+};
+
+/// Typed response for one request. `status` is always meaningful;
+/// the payload fields (raw/predictions/...) are populated only for
+/// kOk. Bit-identity contract: for kOk, `raw` equals what sequential
+/// FixedNetwork::infer_into produces for the same payload.
+struct InferenceResult {
+  Status status = Status::kOk;
+  /// Human-readable detail for non-kOk outcomes ("queue full", ...).
+  std::string message;
+  std::size_t samples = 0;
+  std::size_t output_size = 0;
+  /// samples × output_size raw final-layer accumulators.
+  std::vector<std::int64_t> raw;
+  /// One argmax prediction per sample (shared tie-breaking).
+  std::vector<int> predictions;
+  /// Time spent queued awaiting micro-batch dispatch.
+  std::uint64_t queue_ns = 0;
+  /// Wall time of the micro-batch this request was served in.
+  std::uint64_t compute_ns = 0;
+  /// Kernel backend that served the request ("scalar"/"blocked"/...).
+  std::string backend;
+  /// For kRejectedOverload: suggested client back-off.
+  std::chrono::milliseconds retry_after{0};
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+};
+
+/// Every serving knob in one composable config: micro-batching,
+/// worker pool, kernel backend, and the admission-control bounds the
+/// HTTP front-end enforces. Replaces the ServerOptions/BatchOptions
+/// split where workers/backend/pool lived one level removed from the
+/// batching knobs they interact with.
+struct ServeConfig {
+  // --- micro-batching -------------------------------------------------
+  /// Flush threshold in samples (oversized requests still dispatch
+  /// whole; they are never split).
+  std::size_t max_batch = 64;
+  /// Default co-batching wait for requests without a deadline.
+  std::chrono::microseconds max_wait{500};
+
+  // --- execution ------------------------------------------------------
+  /// Worker threads; 0 auto-detects (clamped to [1, 16]).
+  int workers = 0;
+  /// Below this many samples per worker the shard count shrinks.
+  std::size_t min_samples_per_worker = 1;
+  /// Kernel backend; nullopt defers to MAN_BACKEND then CPU detection.
+  std::optional<man::backend::BackendKind> backend;
+  /// Persistent pool shared across servers; null = private pool.
+  std::shared_ptr<ThreadPool> pool;
+
+  // --- admission control ---------------------------------------------
+  /// Bounded request queue, in samples: a submit that would push the
+  /// queue beyond this resolves kRejectedOverload immediately.
+  std::size_t queue_capacity = 4096;
+  /// Load-shedding SLO: once the estimated queue delay exceeds this,
+  /// the HTTP front-end sheds new work with 429 + Retry-After.
+  std::chrono::microseconds queue_delay_slo{50'000};
+
+  /// Throws std::invalid_argument on nonsense values (zero queue
+  /// capacity, zero max_batch, negative waits/SLO, negative workers,
+  /// zero min_samples_per_worker).
+  void validate() const;
+
+  /// The BatchOptions slice the dispatch BatchRunner consumes.
+  [[nodiscard]] man::engine::BatchOptions batch_options() const;
+};
+
+}  // namespace man::serve
+
+#endif  // MAN_SERVE_SERVE_TYPES_H

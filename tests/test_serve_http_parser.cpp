@@ -1,0 +1,261 @@
+// The incremental HTTP/1.1 request parser: split reads at every byte
+// boundary (mid-request-line, mid-header, mid-chunk), fixed and
+// chunked bodies, pipelined keep-alive, and the full error taxonomy —
+// malformed framing (400), oversized bodies (413), oversized headers
+// (431), unknown transfer-encodings (501), bad versions (505) — with
+// no state leaking between requests on one connection.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "man/serve/http/http_parser.h"
+
+namespace man::serve::http {
+namespace {
+
+using State = RequestParser::State;
+
+ParsedRequest parse_one(std::string_view wire, ParserLimits limits = {}) {
+  RequestParser parser(limits);
+  EXPECT_EQ(parser.feed(wire), State::kComplete);
+  return parser.take();
+}
+
+TEST(HttpParser, SimpleGet) {
+  const ParsedRequest request = parse_one(
+      "GET /healthz HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n");
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_TRUE(request.keep_alive);
+  EXPECT_FALSE(request.chunked);
+  EXPECT_TRUE(request.body.empty());
+  ASSERT_NE(request.find_header("host"), nullptr);
+  EXPECT_EQ(*request.find_header("HOST"), "localhost");
+  EXPECT_EQ(request.find_header("content-length"), nullptr);
+}
+
+TEST(HttpParser, PostWithFixedBody) {
+  const ParsedRequest request = parse_one(
+      "POST /v1/infer/digit HTTP/1.1\r\nContent-Type: application/json\r\n"
+      "Content-Length: 16\r\n\r\n{\"pixels\":[1,2]}");
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "{\"pixels\":[1,2]}");
+}
+
+// The core incremental property: any split of the byte stream —
+// mid-request-line, mid-header, mid-body — parses identically.
+TEST(HttpParser, SplitAtEveryByteBoundary) {
+  const std::string wire =
+      "POST /v1/infer/face HTTP/1.1\r\nHost: a\r\nX-Man-Priority: 2\r\n"
+      "Content-Length: 11\r\n\r\nhello world";
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    RequestParser parser;
+    const State first = parser.feed(std::string_view(wire).substr(0, split));
+    EXPECT_EQ(first, split == wire.size() ? State::kComplete
+                                          : State::kNeedMore)
+        << "split at " << split;
+    if (split < wire.size()) {
+      ASSERT_EQ(parser.feed(std::string_view(wire).substr(split)),
+                State::kComplete)
+          << "split at " << split;
+    }
+    const ParsedRequest request = parser.take();
+    EXPECT_EQ(request.target, "/v1/infer/face") << "split at " << split;
+    EXPECT_EQ(request.body, "hello world") << "split at " << split;
+    ASSERT_NE(request.find_header("x-man-priority"), nullptr);
+    EXPECT_EQ(*request.find_header("x-man-priority"), "2");
+  }
+}
+
+TEST(HttpParser, OneByteAtATime) {
+  const std::string wire =
+      "PUT /thing HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+  RequestParser parser;
+  State state = State::kNeedMore;
+  for (const char c : wire) {
+    ASSERT_NE(state, State::kError);
+    state = parser.feed(std::string_view(&c, 1));
+  }
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_EQ(parser.take().body, "abc");
+}
+
+TEST(HttpParser, ChunkedBodyAssembled) {
+  const ParsedRequest request = parse_one(
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nWiki\r\n5\r\npedia\r\nB;ext=1\r\n in chunks.\r\n0\r\n\r\n");
+  EXPECT_TRUE(request.chunked);
+  EXPECT_EQ(request.body, "Wikipedia in chunks.");
+}
+
+TEST(HttpParser, ChunkedSplitMidSizeAndMidData) {
+  const std::string wire =
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "6\r\nabcdef\r\n10\r\n0123456789abcdef\r\n0\r\nX-Trail: 1\r\n\r\n";
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    RequestParser parser;
+    parser.feed(std::string_view(wire).substr(0, split));
+    ASSERT_EQ(parser.feed(std::string_view(wire).substr(split)),
+              State::kComplete)
+        << "split at " << split;
+    const ParsedRequest request = parser.take();
+    EXPECT_EQ(request.body, "abcdef0123456789abcdef")
+        << "split at " << split;
+    // Trailers are consumed and discarded, not surfaced as headers.
+    EXPECT_EQ(request.find_header("X-Trail"), nullptr);
+  }
+}
+
+TEST(HttpParser, MalformedChunkSizes) {
+  for (const char* size_line : {"zz", "", "-4", "4x", "0x4"}) {
+    RequestParser parser;
+    const std::string wire =
+        std::string("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n") +
+        size_line + "\r\ndata\r\n0\r\n\r\n";
+    EXPECT_EQ(parser.feed(wire), State::kError) << size_line;
+    EXPECT_EQ(parser.error_status(), 400) << size_line;
+  }
+}
+
+TEST(HttpParser, OversizedHeadersRejected431) {
+  ParserLimits limits;
+  limits.max_header_bytes = 64;
+  RequestParser parser(limits);
+  const std::string wire = "GET / HTTP/1.1\r\nX-Big: " +
+                           std::string(100, 'a') + "\r\n\r\n";
+  EXPECT_EQ(parser.feed(wire), State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, OversizedFixedBodyRejected413) {
+  ParserLimits limits;
+  limits.max_body_bytes = 8;
+  RequestParser parser(limits);
+  // Rejected straight from the Content-Length header — before any
+  // body byte arrives.
+  EXPECT_EQ(parser.feed("POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, OversizedChunkedBodyRejected413) {
+  ParserLimits limits;
+  limits.max_body_bytes = 8;
+  RequestParser parser(limits);
+  EXPECT_EQ(
+      parser.feed("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                  "5\r\nabcde\r\n5\r\nfghij\r\n0\r\n\r\n"),
+      State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, ContentLengthOverflowRejected) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("POST /x HTTP/1.1\r\nContent-Length: "
+                        "99999999999999999999999999\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, UnknownTransferEncodingRejected501) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParser, BothLengthHeadersRejected400) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("POST /x HTTP/1.1\r\nContent-Length: 4\r\n"
+                        "Transfer-Encoding: chunked\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParser, BadVersionRejected505) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("GET / HTTP/2.0\r\n\r\n"), State::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpParser, MalformedFramingRejected400) {
+  {
+    RequestParser parser;  // header line without a colon
+    EXPECT_EQ(parser.feed("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+              State::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+  }
+  {
+    RequestParser parser;  // request line with too many parts
+    EXPECT_EQ(parser.feed("GET / extra HTTP/1.1\r\n\r\n"), State::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+  }
+  {
+    RequestParser parser;  // negative Content-Length
+    EXPECT_EQ(parser.feed("POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+              State::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+  }
+}
+
+TEST(HttpParser, KeepAliveSemantics) {
+  EXPECT_TRUE(parse_one("GET / HTTP/1.1\r\n\r\n").keep_alive);
+  EXPECT_FALSE(
+      parse_one("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+  EXPECT_FALSE(parse_one("GET / HTTP/1.0\r\n\r\n").keep_alive);
+  EXPECT_TRUE(parse_one("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                  .keep_alive);
+}
+
+// Pipelining: bytes past one request are retained, and no state leaks
+// into the next request parsed from the same connection.
+TEST(HttpParser, PipelinedRequestsNoLeakedState) {
+  RequestParser parser;
+  const std::string wire =
+      "POST /a HTTP/1.1\r\nContent-Length: 5\r\nX-First: yes\r\n\r\nAAAAA"
+      "GET /b HTTP/1.1\r\n\r\n"
+      "POST /c HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nCCC\r\n0\r\n\r\n";
+  ASSERT_EQ(parser.feed(wire), State::kComplete);
+  const ParsedRequest first = parser.take();
+  EXPECT_EQ(first.target, "/a");
+  EXPECT_EQ(first.body, "AAAAA");
+  EXPECT_GT(parser.buffered_bytes(), 0u);
+
+  ASSERT_EQ(parser.resume(), State::kComplete);
+  const ParsedRequest second = parser.take();
+  EXPECT_EQ(second.target, "/b");
+  EXPECT_TRUE(second.body.empty());
+  EXPECT_EQ(second.find_header("X-First"), nullptr);  // no header leak
+  EXPECT_FALSE(second.chunked);
+
+  ASSERT_EQ(parser.resume(), State::kComplete);
+  const ParsedRequest third = parser.take();
+  EXPECT_EQ(third.target, "/c");
+  EXPECT_EQ(third.body, "CCC");
+  EXPECT_TRUE(third.chunked);
+
+  EXPECT_EQ(parser.resume(), State::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParser, LeadingBlankLinesTolerated) {
+  const ParsedRequest request =
+      parse_one("\r\n\r\nGET /ping HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(request.target, "/ping");
+}
+
+// After kComplete, further bytes buffer without parsing until take().
+TEST(HttpParser, FeedAfterCompleteBuffers) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET /a HTTP/1.1\r\n\r\n"), State::kComplete);
+  EXPECT_EQ(parser.feed("GET /b HTTP/1.1\r\n\r\n"), State::kComplete);
+  EXPECT_EQ(parser.take().target, "/a");
+  ASSERT_EQ(parser.resume(), State::kComplete);
+  EXPECT_EQ(parser.take().target, "/b");
+}
+
+}  // namespace
+}  // namespace man::serve::http
