@@ -16,18 +16,21 @@ const KernelBackend& backend_for(BackendKind kind) {
       return detail::blocked_backend();
     case BackendKind::kSimd:
       return detail::simd_backend();
+    case BackendKind::kAvx512:
+      return detail::avx512_backend();
   }
   throw std::invalid_argument("backend_for: unknown BackendKind");
 }
 
 std::span<const KernelBackend* const> all_backends() {
-  static const std::array<const KernelBackend*, 3> backends = {
+  static const std::array<const KernelBackend*, 4> backends = {
       &detail::scalar_backend(), &detail::blocked_backend(),
-      &detail::simd_backend()};
+      &detail::simd_backend(), &detail::avx512_backend()};
   return backends;
 }
 
 BackendKind detect_best_backend() {
+  if (detail::avx512_backend().accelerated()) return BackendKind::kAvx512;
   return detail::simd_backend().accelerated() ? BackendKind::kSimd
                                               : BackendKind::kBlocked;
 }
@@ -36,9 +39,10 @@ BackendKind parse_backend(std::string_view name) {
   if (name == "scalar") return BackendKind::kScalar;
   if (name == "blocked") return BackendKind::kBlocked;
   if (name == "simd") return BackendKind::kSimd;
+  if (name == "avx512") return BackendKind::kAvx512;
   throw std::invalid_argument(
       "MAN_BACKEND: unknown backend \"" + std::string(name) +
-      "\" (expected scalar, blocked, simd, or auto)");
+      "\" (expected scalar, blocked, simd, avx512, or auto)");
 }
 
 std::optional<BackendKind> env_backend_override() {
@@ -67,6 +71,8 @@ std::string_view to_string(BackendKind kind) noexcept {
       return "blocked";
     case BackendKind::kSimd:
       return "simd";
+    case BackendKind::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }

@@ -1,15 +1,16 @@
 // Multi-backend quartet accumulation: the inner MAC loop of the
 // fixed-point engine abstracted behind a KernelBackend interface, so
 // the same compiled DenseLayerPlan can run on the extracted scalar
-// reference, an auto-vectorizable blocked-scalar kernel, or an
-// explicit AVX2 SIMD kernel — all under one bit-exactness contract
+// reference, an auto-vectorizable blocked-scalar kernel, or explicit
+// AVX2/AVX-512 SIMD kernels — all under one bit-exactness contract
 // (every backend must produce accumulators identical to the scalar
 // reference; the Fig 9 replay gate enforces this in CI).
 //
 // Selection: resolve() picks, in precedence order, a programmatic
 // override (BatchOptions::backend), the MAN_BACKEND environment
-// variable (scalar|blocked|simd; auto/unset defers), then CPU feature
-// detection (AVX2-accelerated SIMD when available, blocked otherwise).
+// variable (scalar|blocked|simd|avx512; auto/unset defers), then CPU
+// feature detection (AVX-512 when live, else AVX2-accelerated SIMD,
+// blocked otherwise).
 #ifndef MAN_BACKEND_KERNEL_BACKEND_H
 #define MAN_BACKEND_KERNEL_BACKEND_H
 
@@ -28,6 +29,9 @@ enum class BackendKind {
   kBlocked,  ///< branch-free blocked-scalar loop over the SoA planes
   kSimd,     ///< AVX2 intrinsics (portable plane loop when not compiled
              ///< with AVX2 or the CPU lacks it)
+  kAvx512,   ///< AVX-512F/VL intrinsics, 8-lane position tiles
+             ///< (portable plane loop when not compiled with AVX-512
+             ///< or the CPU lacks it)
 };
 
 /// One implementation of the inner accumulation loops. Stateless and
@@ -38,8 +42,9 @@ class KernelBackend {
   virtual ~KernelBackend() = default;
 
   [[nodiscard]] virtual BackendKind kind() const noexcept = 0;
-  /// Stable lowercase identifier ("scalar", "blocked", "simd") — the
-  /// MAN_BACKEND spelling and the EngineStats backend label.
+  /// Stable lowercase identifier ("scalar", "blocked", "simd",
+  /// "avx512") — the MAN_BACKEND spelling and the EngineStats backend
+  /// label.
   [[nodiscard]] virtual const char* name() const noexcept = 0;
   /// Human-readable variant description (e.g. which SIMD path is
   /// live on this CPU/build).
@@ -86,16 +91,16 @@ class KernelBackend {
 /// The process-wide instance of one backend kind.
 [[nodiscard]] const KernelBackend& backend_for(BackendKind kind);
 
-/// Every registered backend (all three kinds are always registered;
-/// the SIMD entry may be running its portable fallback).
+/// Every registered backend (all four kinds are always registered;
+/// the SIMD/AVX-512 entries may be running their portable fallback).
 [[nodiscard]] std::span<const KernelBackend* const> all_backends();
 
-/// Best backend for this CPU/build: SIMD when its accelerated path is
-/// live, blocked otherwise.
+/// Best backend for this CPU/build: AVX-512 when its accelerated path
+/// is live, else SIMD when accelerated, blocked otherwise.
 [[nodiscard]] BackendKind detect_best_backend();
 
-/// Parses a MAN_BACKEND spelling ("scalar", "blocked", "simd");
-/// throws std::invalid_argument on anything else.
+/// Parses a MAN_BACKEND spelling ("scalar", "blocked", "simd",
+/// "avx512"); throws std::invalid_argument on anything else.
 [[nodiscard]] BackendKind parse_backend(std::string_view name);
 
 /// The MAN_BACKEND environment override, if set. Unset, empty, or
@@ -112,7 +117,7 @@ class KernelBackend {
 [[nodiscard]] const KernelBackend& resolve(
     std::optional<BackendKind> programmatic = std::nullopt);
 
-/// Backend names for diagnostics ("scalar|blocked|simd").
+/// Backend names for diagnostics ("scalar|blocked|simd|avx512").
 [[nodiscard]] std::string_view to_string(BackendKind kind) noexcept;
 
 }  // namespace man::backend

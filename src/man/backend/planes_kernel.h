@@ -166,6 +166,46 @@ inline void accumulate_conv_planes(const ConvLayerPlan& plan,
   }
 }
 
+/// Scalar tail of the vectorized conv kernels: output positions
+/// [ox0, ow) of rows [oy0, oy0 + rn), every filter, via the exact
+/// per-position reference walk. Shared by the AVX2 and AVX-512 TUs so
+/// every row tail is one (bit-identical) code path.
+inline void conv_positions_scalar(const ConvLayerPlan& plan,
+                                  const std::int64_t* multiples,
+                                  std::int64_t* out, int oy0, int rn,
+                                  int ox0) {
+  const std::size_t stride = plan.plane_stride();
+  const std::size_t positions = plan.positions();
+  const std::uint32_t* idx = plan.idx.data();
+  const std::int64_t* shifts = plan.shifts.data();
+  const std::int64_t* signs = plan.sign_masks.data();
+  for (int ox = ox0; ox < plan.ow; ++ox) {
+    for (int ty = 0; ty < rn; ++ty) {
+      const std::size_t base = static_cast<std::size_t>(oy0 + ty) * plan.iw +
+                               static_cast<std::size_t>(ox);
+      const std::size_t p = static_cast<std::size_t>(oy0 + ty) * plan.ow +
+                            static_cast<std::size_t>(ox);
+      for (int r = 0; r < plan.oc; ++r) {
+        const std::size_t row = static_cast<std::size_t>(r) * plan.cols_padded;
+        std::int64_t acc = plan.biases[static_cast<std::size_t>(r)];
+        for (int c = 0; c < plan.cols_padded; ++c) {
+          const std::size_t cell = row + static_cast<std::size_t>(c);
+          std::int64_t product = 0;
+          for (int q = 0; q < plan.planes; ++q) {
+            const std::size_t pc = q * stride + cell;
+            const std::uint32_t cell_idx = idx[pc];
+            if (cell_idx == plan.zero_base) break;  // steps are packed
+            product += multiples[cell_idx + base] << shifts[pc];
+          }
+          const std::int64_t sign = signs[cell];
+          acc += (product ^ sign) - sign;
+        }
+        out[static_cast<std::size_t>(r) * positions + p] = acc;
+      }
+    }
+  }
+}
+
 /// Exact conv with kLaneWidth independent accumulators per filter and
 /// the degenerate single-multiple plane gather (integer addition
 /// commutes, so the result is bit-identical to the sequential

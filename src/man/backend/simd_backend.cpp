@@ -71,27 +71,30 @@ void accumulate_planes_avx2(const DenseLayerPlan& plan,
   }
 }
 
-/// Output rows processed per AVX2 conv tile: one plan pass feeds
-/// kConvRowTile × 4 output positions, so the (often L1-exceeding)
-/// plan streams through kConvRowTile times less often.
+/// Default conv tile when the plan carries no autotuned shape: 4
+/// output rows × one 4-lane column group per pass (the PR 5 shape).
 inline constexpr int kConvRowTile = 4;
 
 // Conv kernel vectorized over output *positions*, not weight columns:
 // a conv weight fires at every position with the same idx/shift/sign,
-// so 4 consecutive positions of one output row share one broadcast
+// so consecutive positions of one output row share one broadcast
 // plan entry — and in the lane-major multiples layout their reads are
 // *contiguous*, so the inner step is a plain 256-bit load plus one
 // broadcast-count shift (_mm256_sll_epi64); no gather at all. Each
-// plan entry additionally feeds up to kConvRowTile output rows (one
-// vector accumulator per row) before the walk moves on. Packed
-// quartet steps let whole absent planes (and zero-step weights) skip
-// without touching memory. Positions left of a 4-lane row boundary
-// run the same math scalar, so every output is bit-identical to the
+// plan entry additionally feeds a register-blocked grid of RN output
+// rows × CN column groups (one vector accumulator each) before the
+// walk moves on, so the (often L1-exceeding) plan streams through
+// RN·CN·4 times less often. Packed quartet steps let whole absent
+// planes (and zero-step weights) skip without touching memory.
+// Positions left of a 4-lane row boundary run the same math scalar
+// (conv_positions_scalar), so every output is bit-identical to the
 // reference regardless of ow % 4.
-/// One vectorized tile: RN output rows × 4 columns starting at
-/// (oy0, ox), every filter. RN is a compile-time constant so the
-/// accumulator/product arrays live entirely in ymm registers.
-template <int RN>
+/// One vectorized tile: RN output rows × CN 4-lane column groups
+/// starting at (oy0, ox), every filter. RN/CN are compile-time
+/// constants so the accumulator/product arrays live in ymm registers
+/// (shapes near the kMaxConvRowTile × kMaxConvColVecs corner spill;
+/// the autotuner simply measures them and moves on).
+template <int RN, int CN>
 void conv_tile_avx2(const ConvLayerPlan& plan,
                     const std::int64_t* multiples, std::int64_t* out,
                     int oy0, int ox) {
@@ -103,15 +106,15 @@ void conv_tile_avx2(const ConvLayerPlan& plan,
   const std::size_t ebase0 = static_cast<std::size_t>(oy0) * plan.iw + ox;
   for (int r = 0; r < plan.oc; ++r) {
     const std::size_t row = static_cast<std::size_t>(r) * plan.cols_padded;
-    __m256i acc[RN];
+    __m256i acc[RN * CN];
     const __m256i bias =
         _mm256_set1_epi64x(plan.biases[static_cast<std::size_t>(r)]);
-    for (int ty = 0; ty < RN; ++ty) acc[ty] = bias;
+    for (int t = 0; t < RN * CN; ++t) acc[t] = bias;
     for (int c = 0; c < plan.cols_padded; ++c) {
       const std::size_t cell = row + static_cast<std::size_t>(c);
       if (idx[cell] == plan.zero_base) continue;  // zero-step weight
-      __m256i product[RN];
-      for (int ty = 0; ty < RN; ++ty) product[ty] = _mm256_setzero_si256();
+      __m256i product[RN * CN];
+      for (int t = 0; t < RN * CN; ++t) product[t] = _mm256_setzero_si256();
       for (int q = 0; q < plan.planes; ++q) {
         const std::size_t pc = q * stride + cell;
         const std::uint32_t cell_idx = idx[pc];
@@ -119,76 +122,142 @@ void conv_tile_avx2(const ConvLayerPlan& plan,
         const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shifts[pc]));
         const std::int64_t* src = multiples + cell_idx + ebase0;
         for (int ty = 0; ty < RN; ++ty) {
-          const __m256i m = _mm256_loadu_si256(
-              reinterpret_cast<const __m256i*>(
-                  src + static_cast<std::size_t>(ty) * plan.iw));
-          product[ty] =
-              _mm256_add_epi64(product[ty], _mm256_sll_epi64(m, sh));
+          for (int tx = 0; tx < CN; ++tx) {
+            const __m256i m = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(
+                    src + static_cast<std::size_t>(ty) * plan.iw +
+                    static_cast<std::size_t>(tx) * kLaneWidth));
+            product[ty * CN + tx] = _mm256_add_epi64(
+                product[ty * CN + tx], _mm256_sll_epi64(m, sh));
+          }
         }
       }
       const __m256i sign = _mm256_set1_epi64x(signs[cell]);
-      for (int ty = 0; ty < RN; ++ty) {
-        acc[ty] = _mm256_add_epi64(
-            acc[ty],
-            _mm256_sub_epi64(_mm256_xor_si256(product[ty], sign), sign));
+      for (int t = 0; t < RN * CN; ++t) {
+        acc[t] = _mm256_add_epi64(
+            acc[t],
+            _mm256_sub_epi64(_mm256_xor_si256(product[t], sign), sign));
       }
     }
     for (int ty = 0; ty < RN; ++ty) {
-      _mm256_storeu_si256(
-          reinterpret_cast<__m256i*>(
-              out + static_cast<std::size_t>(r) * positions +
-              static_cast<std::size_t>(oy0 + ty) * plan.ow + ox),
-          acc[ty]);
+      for (int tx = 0; tx < CN; ++tx) {
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(
+                out + static_cast<std::size_t>(r) * positions +
+                static_cast<std::size_t>(oy0 + ty) * plan.ow + ox +
+                static_cast<std::size_t>(tx) * kLaneWidth),
+            acc[ty * CN + tx]);
+      }
     }
   }
 }
 
-void accumulate_conv_avx2(const ConvLayerPlan& plan,
-                          const std::int64_t* multiples,
-                          std::int64_t* out) {
+/// Runtime row count → compile-time RN dispatch for one column width.
+template <int CN>
+void conv_tile_rows_avx2(const ConvLayerPlan& plan,
+                         const std::int64_t* multiples, std::int64_t* out,
+                         int oy0, int ox, int rn) {
+  static_assert(kMaxConvRowTile == 8, "extend the dispatch switch");
+  switch (rn) {
+    case 8: conv_tile_avx2<8, CN>(plan, multiples, out, oy0, ox); break;
+    case 7: conv_tile_avx2<7, CN>(plan, multiples, out, oy0, ox); break;
+    case 6: conv_tile_avx2<6, CN>(plan, multiples, out, oy0, ox); break;
+    case 5: conv_tile_avx2<5, CN>(plan, multiples, out, oy0, ox); break;
+    case 4: conv_tile_avx2<4, CN>(plan, multiples, out, oy0, ox); break;
+    case 3: conv_tile_avx2<3, CN>(plan, multiples, out, oy0, ox); break;
+    case 2: conv_tile_avx2<2, CN>(plan, multiples, out, oy0, ox); break;
+    default: conv_tile_avx2<1, CN>(plan, multiples, out, oy0, ox); break;
+  }
+}
+
+// Weight-stationary variant: instead of keeping a tile of output
+// positions in registers and streaming the plan past it, keep one
+// plan entry (idx/shift/sign broadcasts) in registers and stream
+// *every* output position past it — the plan is read exactly once
+// per pass and the output rows become the streaming dimension
+// (profitable when the plan dwarfs the output tile). Applying the
+// sign per *term* instead of per product is exact: two's-complement
+// negation distributes over the wrapping sum, so the accumulated
+// bits match the scalar reference.
+void conv_ws_avx2(const ConvLayerPlan& plan, const std::int64_t* multiples,
+                  std::int64_t* out) {
   const std::size_t stride = plan.plane_stride();
   const std::size_t positions = plan.positions();
   const std::uint32_t* idx = plan.idx.data();
   const std::int64_t* shifts = plan.shifts.data();
   const std::int64_t* signs = plan.sign_masks.data();
-  for (int oy0 = 0; oy0 < plan.oh; oy0 += kConvRowTile) {
-    const int rn = std::min(kConvRowTile, plan.oh - oy0);
-    int ox = 0;
-    for (; ox + kLaneWidth <= plan.ow; ox += kLaneWidth) {
-      switch (rn) {
-        case 4: conv_tile_avx2<4>(plan, multiples, out, oy0, ox); break;
-        case 3: conv_tile_avx2<3>(plan, multiples, out, oy0, ox); break;
-        case 2: conv_tile_avx2<2>(plan, multiples, out, oy0, ox); break;
-        default: conv_tile_avx2<1>(plan, multiples, out, oy0, ox); break;
-      }
+  for (int r = 0; r < plan.oc; ++r) {
+    std::int64_t* dst = out + static_cast<std::size_t>(r) * positions;
+    const std::int64_t bias = plan.biases[static_cast<std::size_t>(r)];
+    const __m256i vbias = _mm256_set1_epi64x(bias);
+    std::size_t p = 0;
+    for (; p + kLaneWidth <= positions; p += kLaneWidth) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + p), vbias);
     }
-    // Row tail (ow % 4 positions): same walk, one position at a time.
-    for (; ox < plan.ow; ++ox) {
-      for (int ty = 0; ty < rn; ++ty) {
-        const std::size_t base =
-            static_cast<std::size_t>(oy0 + ty) * plan.iw + ox;
-        const std::size_t p =
-            static_cast<std::size_t>(oy0 + ty) * plan.ow + ox;
-        for (int r = 0; r < plan.oc; ++r) {
-          const std::size_t row =
-              static_cast<std::size_t>(r) * plan.cols_padded;
-          std::int64_t acc = plan.biases[static_cast<std::size_t>(r)];
-          for (int c = 0; c < plan.cols_padded; ++c) {
-            const std::size_t cell = row + static_cast<std::size_t>(c);
-            std::int64_t product = 0;
-            for (int q = 0; q < plan.planes; ++q) {
-              const std::size_t pc = q * stride + cell;
-              const std::uint32_t cell_idx = idx[pc];
-              if (cell_idx == plan.zero_base) break;  // steps are packed
-              product += multiples[cell_idx + base] << shifts[pc];
-            }
-            const std::int64_t sign = signs[cell];
-            acc += (product ^ sign) - sign;
+    for (; p < positions; ++p) dst[p] = bias;
+    const std::size_t row = static_cast<std::size_t>(r) * plan.cols_padded;
+    for (int c = 0; c < plan.cols_padded; ++c) {
+      const std::size_t cell = row + static_cast<std::size_t>(c);
+      if (idx[cell] == plan.zero_base) continue;  // zero-step weight
+      const std::int64_t sign = signs[cell];
+      const __m256i vsign = _mm256_set1_epi64x(sign);
+      for (int q = 0; q < plan.planes; ++q) {
+        const std::size_t pc = q * stride + cell;
+        const std::uint32_t cell_idx = idx[pc];
+        if (cell_idx == plan.zero_base) break;  // steps are packed
+        const std::int64_t shift = shifts[pc];
+        const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+        for (int oy = 0; oy < plan.oh; ++oy) {
+          const std::int64_t* src =
+              multiples + cell_idx + static_cast<std::size_t>(oy) * plan.iw;
+          std::int64_t* drow = dst + static_cast<std::size_t>(oy) * plan.ow;
+          int ox = 0;
+          for (; ox + kLaneWidth <= plan.ow; ox += kLaneWidth) {
+            const __m256i m = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(src + ox));
+            __m256i t = _mm256_sll_epi64(m, sh);
+            t = _mm256_sub_epi64(_mm256_xor_si256(t, vsign), vsign);
+            __m256i d = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(drow + ox));
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(drow + ox),
+                                _mm256_add_epi64(d, t));
           }
-          out[static_cast<std::size_t>(r) * positions + p] = acc;
+          for (; ox < plan.ow; ++ox) {
+            const std::int64_t t = src[ox] << shift;
+            drow[ox] += (t ^ sign) - sign;
+          }
         }
       }
     }
+  }
+}
+
+void accumulate_conv_avx2_shaped(const ConvLayerPlan& plan,
+                                 const std::int64_t* multiples,
+                                 std::int64_t* out,
+                                 const ConvTileShape& shape) {
+  if (shape.weight_stationary) {
+    conv_ws_avx2(plan, multiples, out);
+    return;
+  }
+  const int row_tile = shape.row_tile > 0
+                           ? std::min(shape.row_tile, kMaxConvRowTile)
+                           : kConvRowTile;
+  const int col_vecs =
+      shape.col_vecs > 0 ? std::min(shape.col_vecs, kMaxConvColVecs) : 1;
+  for (int oy0 = 0; oy0 < plan.oh; oy0 += row_tile) {
+    const int rn = std::min(row_tile, plan.oh - oy0);
+    int ox = 0;
+    if (col_vecs >= 2) {
+      for (; ox + 2 * kLaneWidth <= plan.ow; ox += 2 * kLaneWidth) {
+        conv_tile_rows_avx2<2>(plan, multiples, out, oy0, ox, rn);
+      }
+    }
+    for (; ox + kLaneWidth <= plan.ow; ox += kLaneWidth) {
+      conv_tile_rows_avx2<1>(plan, multiples, out, oy0, ox, rn);
+    }
+    // Row tail (ow % 4 positions): same walk, one position at a time.
+    conv_positions_scalar(plan, multiples, out, oy0, rn, ox);
   }
 }
 
@@ -241,7 +310,7 @@ class SimdBackend final : public KernelBackend {
                        std::int64_t* out) const override {
 #if defined(MAN_HAVE_AVX2) && defined(__AVX2__)
     if (avx2_) {
-      accumulate_conv_avx2(plan, multiples, out);
+      accumulate_conv_avx2_shaped(plan, multiples, out, plan.tile_avx2);
       return;
     }
 #endif
@@ -264,6 +333,23 @@ class SimdBackend final : public KernelBackend {
 const KernelBackend& simd_backend() {
   static const SimdBackend backend;
   return backend;
+}
+
+bool conv_run_shaped_avx2(const ConvLayerPlan& plan,
+                          const std::int64_t* multiples, std::int64_t* out,
+                          const ConvTileShape& shape) {
+#if defined(MAN_HAVE_AVX2) && defined(__AVX2__)
+  if (simd_backend().accelerated()) {
+    accumulate_conv_avx2_shaped(plan, multiples, out, shape);
+    return true;
+  }
+#else
+  (void)plan;
+  (void)multiples;
+  (void)out;
+  (void)shape;
+#endif
+  return false;
 }
 
 }  // namespace man::backend::detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "man/backend/conv_autotune.h"
 #include "man/core/asm_multiplier.h"
 #include "man/core/quartet.h"
 #include "man/core/weight_constraint.h"
@@ -256,6 +257,10 @@ void FixedNetwork::compile_plan() {
       }
       conv_plans_.back().in_min_raw = in_min;
       conv_plans_.back().in_max_raw = in_max;
+      // One-shot register-blocking microbench: pick the vector
+      // kernels' tile shapes for this geometry (construction is
+      // single-threaded; the plan is immutable afterwards).
+      man::backend::autotune_conv_plan(conv_plans_.back());
     }
   }
 }

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "man/serve/http/wire.h"
+
 namespace man::serve::http {
 
 namespace {
@@ -127,20 +129,9 @@ HttpResponse HttpClient::request(
 
 HttpResponse HttpClient::infer(std::string_view model,
                                const std::vector<float>& pixels) {
-  std::string body = "{\"pixels\":[";
-  char number[32];
-  for (std::size_t i = 0; i < pixels.size(); ++i) {
-    if (i > 0) body.push_back(',');
-    // %.9g round-trips any float exactly, preserving the serving
-    // path's bit-identity contract through the JSON encoding.
-    std::snprintf(number, sizeof number, "%.9g",
-                  static_cast<double>(pixels[i]));
-    body += number;
-  }
-  body += "]}";
   std::string target = "/v1/infer/";
   target += model;
-  return request("POST", target, body);
+  return request("POST", target, encode_pixels_json(pixels));
 }
 
 HttpResponse HttpClient::read_response() {

@@ -356,14 +356,19 @@ bool RequestParser::parse_chunk_size(std::string_view line) {
       fail(400, "malformed chunk size");
       return false;
     }
-    if (size > limits_.max_body_bytes) {
+    // Pre-multiply guard (the Content-Length idiom): checking the
+    // accumulated value *after* `size * 16` would let a 16+-hex-digit
+    // size wrap std::size_t under a large configured limit.
+    if (size > limits_.max_body_bytes / 16) {
       fail(413, "chunked body exceeds " +
                     std::to_string(limits_.max_body_bytes) + " bytes");
       return false;
     }
     size = size * 16 + static_cast<std::size_t>(nibble);
   }
-  if (request_.body.size() + size > limits_.max_body_bytes) {
+  // body.size() never exceeds max_body_bytes, so the subtraction is
+  // safe where the sum `body.size() + size` could wrap.
+  if (size > limits_.max_body_bytes - request_.body.size()) {
     fail(413, "chunked body exceeds " +
                   std::to_string(limits_.max_body_bytes) + " bytes");
     return false;

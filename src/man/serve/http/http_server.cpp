@@ -504,7 +504,7 @@ void HttpServer::drain_completions() {
         case Status::kDeadlineExceeded: metrics_.deadline_exceeded += 1;
           break;
         case Status::kBadRequest: metrics_.bad_requests += 1; break;
-        case Status::kShutdown: break;
+        case Status::kShutdown: metrics_.shutdown += 1; break;
       }
     }
     std::string body = result.ok()
@@ -715,6 +715,7 @@ std::string HttpServer::metrics_json() const {
   field("bad_requests", snapshot.bad_requests);
   field("not_found", snapshot.not_found);
   field("deadline_exceeded", snapshot.deadline_exceeded);
+  field("shutdown", snapshot.shutdown);
   field("idle_closed", snapshot.idle_closed);
   field("backpressure_pauses", snapshot.backpressure_pauses);
   field("bytes_in", snapshot.bytes_in);

@@ -78,6 +78,7 @@ class HttpServer {
     std::uint64_t bad_requests = 0;  ///< well-framed HTTP, bad payload
     std::uint64_t not_found = 0;
     std::uint64_t deadline_exceeded = 0;  ///< 504s
+    std::uint64_t shutdown = 0;           ///< 503s (model stopped)
     std::uint64_t idle_closed = 0;
     std::uint64_t backpressure_pauses = 0;
     std::uint64_t bytes_in = 0;

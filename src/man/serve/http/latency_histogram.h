@@ -49,7 +49,7 @@ class LatencyHistogram {
     const std::uint64_t us = nanos / 1000;
     if (us < (1u << kSubBits)) return static_cast<int>(us);
     const int log2 = 63 - __builtin_clzll(us);
-    const int decade = log2 - kSubBits;  // >= 1 here
+    const int decade = log2 - kSubBits;  // >= 0 here (0 for 8-15 us)
     const int sub = static_cast<int>((us >> (log2 - kSubBits)) &
                                      ((1u << kSubBits) - 1));
     const int index = (decade << kSubBits) + sub + (1 << kSubBits);

@@ -1,15 +1,24 @@
 #include "man/serve/http/wire.h"
 
+#include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 namespace man::serve::http {
 
 namespace {
+
+/// Ceiling applied to request deadlines (~31.7 years). Clamping here
+/// keeps the double→int64 cast defined for attacker-controlled values
+/// like 1e300 and leaves later now()+deadline arithmetic (nanosecond
+/// rep) far from overflow.
+constexpr std::int64_t kMaxDeadlineMs = 1'000'000'000'000;
 
 /// Minimal JSON cursor over a NUL-terminated buffer (std::string
 /// guarantees one), sufficient for the flat request schema: objects,
@@ -75,10 +84,12 @@ class JsonCursor {
 
   bool parse_number(double& out) {
     skip_ws();
-    char* parsed_end = nullptr;
-    out = std::strtod(cur_, &parsed_end);
-    if (parsed_end == cur_ || !std::isfinite(out)) return false;
-    cur_ = parsed_end;
+    // std::from_chars, unlike strtod, is locale-independent: a
+    // comma-decimal LC_NUMERIC must not change how "1.5" parses.
+    // (It still accepts "inf"/"nan" spellings, hence the isfinite.)
+    const auto result = std::from_chars(cur_, end_, out);
+    if (result.ec != std::errc{} || !std::isfinite(out)) return false;
+    cur_ = result.ptr;
     return true;
   }
 
@@ -177,15 +188,20 @@ DecodedInfer decode_json(const ParsedRequest& request, DecodedInfer out) {
           out.error = "\"deadline_ms\" must be a non-negative number";
           return out;
         }
-        out.deadline = std::chrono::milliseconds(
-            static_cast<std::int64_t>(value));
+        // Clamp before the cast: a finite double like 1e300 exceeds
+        // int64's range, and that conversion is UB [conv.fpint].
+        out.deadline = std::chrono::milliseconds(static_cast<std::int64_t>(
+            std::min(value, static_cast<double>(kMaxDeadlineMs))));
       } else if (key == "priority") {
         double value;
         if (!cursor.parse_number(value)) {
           out.error = "\"priority\" must be a number";
           return out;
         }
-        out.priority = static_cast<int>(value);
+        // Same clamp-before-cast, to int's range.
+        out.priority = static_cast<int>(std::clamp(
+            value, static_cast<double>(std::numeric_limits<int>::min()),
+            static_cast<double>(std::numeric_limits<int>::max())));
       } else if (!cursor.skip_value()) {
         out.error = "malformed value for key \"" + key + "\"";
         return out;
@@ -261,7 +277,8 @@ DecodedInfer decode_infer_body(const ParsedRequest& request) {
       out.error = "malformed X-Man-Deadline-Ms header";
       return out;
     }
-    out.deadline = std::chrono::milliseconds(value);
+    out.deadline =
+        std::chrono::milliseconds(std::min<long>(value, kMaxDeadlineMs));
   }
   if (const std::string* header = request.find_header("X-Man-Priority")) {
     char* end = nullptr;
@@ -270,7 +287,11 @@ DecodedInfer decode_infer_body(const ParsedRequest& request) {
       out.error = "malformed X-Man-Priority header";
       return out;
     }
-    out.priority = static_cast<int>(value);
+    // long→int narrowing of an out-of-range value is not UB but is
+    // implementation-defined garbage; clamp like the JSON path.
+    out.priority = static_cast<int>(
+        std::clamp<long>(value, std::numeric_limits<int>::min(),
+                         std::numeric_limits<int>::max()));
   }
 
   const std::string* content_type = request.find_header("Content-Type");
@@ -279,6 +300,22 @@ DecodedInfer decode_infer_body(const ParsedRequest& request) {
     return decode_binary(request, std::move(out));
   }
   return decode_json(request, std::move(out));
+}
+
+std::string encode_pixels_json(std::span<const float> pixels) {
+  std::string body = "{\"pixels\":[";
+  char number[32];
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    if (i > 0) body.push_back(',');
+    // std::to_chars: locale-independent (snprintf "%g" would emit
+    // "1,5" under a comma-decimal LC_NUMERIC — invalid JSON) and
+    // shortest-round-trip, so decode recovers the float bit-exactly.
+    const auto result =
+        std::to_chars(number, number + sizeof number, pixels[i]);
+    body.append(number, result.ptr);
+  }
+  body += "]}";
+  return body;
 }
 
 std::string encode_result_json(std::string_view model_key,

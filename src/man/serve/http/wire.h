@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +36,12 @@ struct DecodedInfer {
 /// headers. Unknown JSON keys are skipped; malformed input returns
 /// ok=false with a reason (the caller answers 400).
 [[nodiscard]] DecodedInfer decode_infer_body(const ParsedRequest& request);
+
+/// The JSON request body {"pixels":[...]} (what HttpClient::infer
+/// sends) — locale-independent, shortest-round-trip float formatting,
+/// so decode_infer_body() recovers every float bit-exactly under any
+/// LC_NUMERIC.
+[[nodiscard]] std::string encode_pixels_json(std::span<const float> pixels);
 
 /// The JSON body of a served (kOk) response:
 /// {"status":"ok","model":...,"samples":N,"output_size":N,

@@ -57,18 +57,19 @@ class EnvGuard {
   std::optional<std::string> old_;
 };
 
-TEST(BackendRegistry, AllThreeKindsAreRegisteredAndDistinct) {
+TEST(BackendRegistry, AllFourKindsAreRegisteredAndDistinct) {
   const auto backends = all_backends();
-  ASSERT_EQ(backends.size(), 3u);
+  ASSERT_EQ(backends.size(), 4u);
   EXPECT_EQ(backends[0]->kind(), BackendKind::kScalar);
   EXPECT_EQ(backends[1]->kind(), BackendKind::kBlocked);
   EXPECT_EQ(backends[2]->kind(), BackendKind::kSimd);
+  EXPECT_EQ(backends[3]->kind(), BackendKind::kAvx512);
   for (const auto* backend : backends) {
     EXPECT_EQ(&backend_for(backend->kind()), backend);
     EXPECT_EQ(std::string_view(backend->name()), to_string(backend->kind()));
     EXPECT_NE(backend->description(), nullptr);
   }
-  // Only the SIMD backend may ever report an accelerated code path.
+  // Only the SIMD backends may ever report an accelerated code path.
   EXPECT_FALSE(backends[0]->accelerated());
   EXPECT_FALSE(backends[1]->accelerated());
 }
@@ -77,6 +78,7 @@ TEST(BackendRegistry, ParseAcceptsKnownSpellingsOnly) {
   EXPECT_EQ(parse_backend("scalar"), BackendKind::kScalar);
   EXPECT_EQ(parse_backend("blocked"), BackendKind::kBlocked);
   EXPECT_EQ(parse_backend("simd"), BackendKind::kSimd);
+  EXPECT_EQ(parse_backend("avx512"), BackendKind::kAvx512);
   EXPECT_THROW((void)parse_backend("auto"), std::invalid_argument);
   EXPECT_THROW((void)parse_backend("SCALAR"), std::invalid_argument);
   EXPECT_THROW((void)parse_backend("warp"), std::invalid_argument);

@@ -6,6 +6,8 @@
 // no state leaking between requests on one connection.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -149,6 +151,28 @@ TEST(HttpParser, OversizedChunkedBodyRejected413) {
                   "5\r\nabcde\r\n5\r\nfghij\r\n0\r\n\r\n"),
       State::kError);
   EXPECT_EQ(parser.error_status(), 413);
+}
+
+// Regression: the chunk-size accumulator used to check the limit
+// *after* `size * 16`, so under a large configured limit a 17-hex-
+// digit size like 0x10000000000000000 wrapped std::size_t to 0 — a
+// forged terminating chunk that desyncs the connection. The
+// pre-multiply guard must answer 413 before any wrap can happen.
+TEST(HttpParser, ChunkSizeOverflowRejected413) {
+  for (const char* size_line : {"10000000000000000",    // 2^64: wraps to 0
+                                "ffffffffffffffffff"})  // 18 digits
+  {
+    ParserLimits limits;
+    limits.max_body_bytes = std::numeric_limits<std::size_t>::max() / 2;
+    RequestParser parser(limits);
+    EXPECT_EQ(parser.feed(
+                  std::string("POST /x HTTP/1.1\r\n"
+                              "Transfer-Encoding: chunked\r\n\r\n") +
+                  size_line + "\r\n"),
+              State::kError)
+        << size_line;
+    EXPECT_EQ(parser.error_status(), 413) << size_line;
+  }
 }
 
 TEST(HttpParser, ContentLengthOverflowRejected) {

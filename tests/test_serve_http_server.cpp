@@ -437,6 +437,66 @@ TEST(HttpServer, IdleConnectionsAreReaped) {
   EXPECT_EQ(fixture.server.metrics().connections_active, 0u);
 }
 
+// Every parsed inference request must land in exactly one outcome
+// counter — the sum invariant that catches silently unmetered
+// outcomes (kShutdown 503s used to fall through without a counter).
+TEST(HttpServer, MetricsSumInvariantCoversEveryOutcome) {
+  ServeConfig config;
+  config.max_batch = 2;
+  config.queue_capacity = 2;
+  config.max_wait = 500us;
+  Fixture fixture(config);
+  HttpClient client = fixture.client();
+
+  const auto one = random_samples(1, fixture.digit.input_size(), 301);
+  EXPECT_EQ(client
+                .request("POST", "/v1/infer/digit", binary_payload(one),
+                         "application/octet-stream")
+                .status,
+            200);
+  EXPECT_EQ(client
+                .request("POST", "/v1/infer/cats", binary_payload(one),
+                         "application/octet-stream")
+                .status,
+            404);
+  EXPECT_EQ(client.request("POST", "/v1/infer/digit", "{}").status, 400);
+  EXPECT_EQ(client
+                .request("POST", "/v1/infer/digit", binary_payload(one),
+                         "application/octet-stream",
+                         {"X-Man-Deadline-Ms: 0"})
+                .status,
+            504);
+  const auto big = random_samples(8, fixture.digit.input_size(), 302);
+  EXPECT_EQ(client
+                .request("POST", "/v1/infer/digit", binary_payload(big),
+                         "application/octet-stream")
+                .status,
+            429);
+  fixture.digit_server.shutdown();
+  EXPECT_EQ(client
+                .request("POST", "/v1/infer/digit", binary_payload(one),
+                         "application/octet-stream")
+                .status,
+            503);
+
+  const HttpServer::Metrics m = fixture.server.metrics();
+  EXPECT_EQ(m.requests, 6u);
+  EXPECT_EQ(m.responses_ok, 1u);
+  EXPECT_EQ(m.not_found, 1u);
+  EXPECT_EQ(m.bad_requests, 1u);
+  EXPECT_EQ(m.deadline_exceeded, 1u);
+  EXPECT_EQ(m.shed, 1u);
+  EXPECT_EQ(m.shutdown, 1u);
+  EXPECT_EQ(m.parse_errors, 0u);
+  EXPECT_EQ(m.requests, m.responses_ok + m.shed + m.bad_requests +
+                            m.not_found + m.deadline_exceeded + m.shutdown);
+
+  // The JSON export carries the new counter too.
+  const HttpResponse metrics = client.request("GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("\"shutdown\":1"), std::string::npos);
+}
+
 TEST(HttpServer, ConfigValidationAndLifecycle) {
   HttpServerConfig bad;
   bad.max_inflight = 0;

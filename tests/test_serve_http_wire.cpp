@@ -1,0 +1,179 @@
+// Wire-codec regressions: JSON float parsing/formatting must be
+// locale-independent (a comma-decimal LC_NUMERIC like de_DE must not
+// corrupt "1.5" in either direction), and attacker-controlled numeric
+// metadata (deadline_ms/priority as JSON numbers or X-Man-* headers)
+// must clamp to representable ranges instead of hitting the undefined
+// double→integer conversion of [conv.fpint].
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <clocale>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "man/serve/http/http_parser.h"
+#include "man/serve/http/wire.h"
+
+namespace man::serve::http {
+namespace {
+
+/// Applies a comma-decimal locale for one test and restores the
+/// previous one afterwards. Skip-friendly: glibc only honours locales
+/// the image has generated, so availability is probed at set() time.
+class LocaleGuard {
+ public:
+  LocaleGuard() : old_(std::setlocale(LC_ALL, nullptr)) {}
+  ~LocaleGuard() { std::setlocale(LC_ALL, old_.c_str()); }
+
+  /// Tries the common spellings of the German locale; false when the
+  /// host has not generated it (the caller should GTEST_SKIP).
+  [[nodiscard]] bool set_comma_locale() {
+    return std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr ||
+           std::setlocale(LC_ALL, "de_DE.utf8") != nullptr;
+  }
+
+ private:
+  std::string old_;
+};
+
+ParsedRequest make_json_request(std::string body) {
+  ParsedRequest request;
+  request.method = "POST";
+  request.target = "/v1/infer/digits";
+  request.headers.push_back({"Content-Type", "application/json"});
+  request.body = std::move(body);
+  return request;
+}
+
+TEST(WireLocale, JsonDecodeIgnoresCommaDecimalLocale) {
+  LocaleGuard locale;
+  if (!locale.set_comma_locale()) {
+    GTEST_SKIP() << "de_DE locale not generated on this host";
+  }
+  // Prove the locale is actually live: printf-family now emits a
+  // comma decimal separator (the historic failure mode of strtod).
+  char formatted[16];
+  std::snprintf(formatted, sizeof formatted, "%.1f", 1.5);
+  ASSERT_STREQ(formatted, "1,5");
+
+  const DecodedInfer decoded = decode_infer_body(
+      make_json_request(R"({"pixels":[1.5,-0.25,3.25e2,1e-3]})"));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  ASSERT_EQ(decoded.pixels.size(), 4u);
+  EXPECT_EQ(decoded.pixels[0], 1.5f);
+  EXPECT_EQ(decoded.pixels[1], -0.25f);
+  EXPECT_EQ(decoded.pixels[2], 325.0f);
+  EXPECT_EQ(decoded.pixels[3], 0.001f);
+}
+
+TEST(WireLocale, EncodeDecodeRoundTripsBitExactUnderCommaLocale) {
+  LocaleGuard locale;
+  if (!locale.set_comma_locale()) {
+    GTEST_SKIP() << "de_DE locale not generated on this host";
+  }
+  const std::vector<float> pixels = {
+      0.1f,
+      -1.0f / 3.0f,
+      1.5f,
+      std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::max(),
+      -std::numeric_limits<float>::min(),
+      0.0f,
+      3.14159274f,
+  };
+  const std::string body = encode_pixels_json(pixels);
+  // The only commas in the body separate array elements — a locale
+  // leak would add a "1,5"-style decimal comma and break the framing.
+  std::size_t commas = 0;
+  for (const char c : body) commas += c == ',' ? 1 : 0;
+  EXPECT_EQ(commas, pixels.size() - 1) << body;
+
+  const DecodedInfer decoded = decode_infer_body(make_json_request(body));
+  ASSERT_TRUE(decoded.ok) << decoded.error << " body=" << body;
+  ASSERT_EQ(decoded.pixels.size(), pixels.size());
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(decoded.pixels[i]),
+              std::bit_cast<std::uint32_t>(pixels[i]))
+        << "i=" << i << " body=" << body;
+  }
+}
+
+TEST(WireClamps, HugeJsonDeadlineIsClampedNotUndefined) {
+  // 1e300 is a perfectly finite double far beyond int64's range: the
+  // unclamped cast was UB. It must decode, capped to the deadline
+  // ceiling (~31.7 years in ms).
+  const DecodedInfer decoded = decode_infer_body(
+      make_json_request(R"({"pixels":[0.5],"deadline_ms":1e300})"));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  ASSERT_TRUE(decoded.deadline.has_value());
+  EXPECT_EQ(decoded.deadline->count(), 1'000'000'000'000);
+
+  // Negative deadlines stay rejected (not clamped to zero).
+  EXPECT_FALSE(
+      decode_infer_body(
+          make_json_request(R"({"pixels":[0.5],"deadline_ms":-1e300})"))
+          .ok);
+}
+
+TEST(WireClamps, HugeJsonPriorityIsClampedToIntRange) {
+  const DecodedInfer high = decode_infer_body(
+      make_json_request(R"({"pixels":[0.5],"priority":1e300})"));
+  ASSERT_TRUE(high.ok) << high.error;
+  EXPECT_EQ(high.priority, std::numeric_limits<int>::max());
+
+  const DecodedInfer low = decode_infer_body(
+      make_json_request(R"({"pixels":[0.5],"priority":-1e300})"));
+  ASSERT_TRUE(low.ok) << low.error;
+  EXPECT_EQ(low.priority, std::numeric_limits<int>::min());
+
+  const DecodedInfer normal = decode_infer_body(
+      make_json_request(R"({"pixels":[0.5],"priority":-7})"));
+  ASSERT_TRUE(normal.ok) << normal.error;
+  EXPECT_EQ(normal.priority, -7);
+}
+
+TEST(WireClamps, NumbersBeyondDoubleRangeAreRejected) {
+  // 1e999 overflows double itself — from_chars reports out-of-range
+  // and the body must be answered with 400, not a garbage value.
+  EXPECT_FALSE(
+      decode_infer_body(make_json_request(R"({"pixels":[1e999]})")).ok);
+  EXPECT_FALSE(
+      decode_infer_body(
+          make_json_request(R"({"pixels":[0.5],"deadline_ms":1e999})"))
+          .ok);
+  // from_chars accepts "inf"/"nan" spellings; the schema does not.
+  EXPECT_FALSE(
+      decode_infer_body(make_json_request(R"({"pixels":[inf]})")).ok);
+  EXPECT_FALSE(
+      decode_infer_body(make_json_request(R"({"pixels":[nan]})")).ok);
+}
+
+TEST(WireClamps, HeaderMetadataClampsLikeJson) {
+  ParsedRequest request;
+  request.method = "POST";
+  request.target = "/v1/infer/digits";
+  request.headers.push_back({"Content-Type", "application/json"});
+  // strtol saturates at LONG_MAX for this, then the clamp applies.
+  request.headers.push_back({"X-Man-Deadline-Ms", "99999999999999999999999"});
+  request.headers.push_back({"X-Man-Priority", "99999999999999999999999"});
+  request.body = R"({"pixels":[0.5]})";
+
+  const DecodedInfer decoded = decode_infer_body(request);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  ASSERT_TRUE(decoded.deadline.has_value());
+  EXPECT_EQ(decoded.deadline->count(), 1'000'000'000'000);
+  EXPECT_EQ(decoded.priority, std::numeric_limits<int>::max());
+
+  request.headers[2].value = "-99999999999999999999999";
+  EXPECT_EQ(decode_infer_body(request).priority,
+            std::numeric_limits<int>::min());
+
+  request.headers[1].value = "-1";
+  EXPECT_FALSE(decode_infer_body(request).ok);  // negative: rejected
+}
+
+}  // namespace
+}  // namespace man::serve::http
