@@ -1,4 +1,4 @@
-// Serving-layer throughput/latency bench, in three phases:
+// Serving-layer throughput/latency bench, in four phases:
 //
 //  1. In-process closed loop (the historical `serve_throughput`
 //     section): concurrent clients hammer InferenceServer front-ends
@@ -17,6 +17,24 @@
 //     up, and p99 of accepted traffic recovering once load drops.
 //     If 2C fails to overload (capacity was underestimated), the
 //     overload step escalates 4C, 8C and reports the factor used.
+//  4. Tiered QoS (graceful degradation): a digit server compiled as
+//     an asm4/asm2/exact precision ladder, driven at [0.6C, 1.15C,
+//     2C] of its own digit-only capacity. Tier 0 is the
+//     energy-efficient ASM engine the paper argues for; under
+//     deadline pressure the dispatcher steps down to cheaper staging
+//     (asm2) and finally to the conventional-multiplier engine
+//     (exact), which on CPU backends is ~2x faster per sample —
+//     trading the paper's energy savings for throughput instead of
+//     shedding (ASM planes cost the same kernel work regardless of
+//     alphabet count, so asm-to-asm rungs buy little CPU time; the
+//     exact fallback is the big rung). Emits the degradation curve
+//     (per-tier 200 mix and shed rate per step, tallied from the
+//     X-Man-Accuracy-Tier response header) plus a shed-only 2C
+//     reference on an untiered tier-0 server with the identical
+//     config — the gate being that degrading under overload sheds
+//     strictly less than shedding alone. Per-tier bit-identity is
+//     checked by pinning min-tier and comparing against that tier's
+//     sequential engine.
 //
 // Env knobs: MAN_SERVE_CLIENTS (default 4), MAN_SERVE_REQUESTS per
 // client (default 200), MAN_SERVE_MAX_BATCH (default 64),
@@ -38,6 +56,7 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -127,9 +146,19 @@ struct SweepStep {
   std::size_t shed = 0;        ///< 429 with Retry-After
   std::size_t retry_after_missing = 0;
   std::size_t errors = 0;      ///< transport/5xx/anything else
+  /// 200s split by their X-Man-Accuracy-Tier header value ("full" on
+  /// an untiered server); 200s lacking the header are counted apart.
+  std::map<std::string, std::size_t> tier_ok;
+  std::size_t tier_header_missing = 0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double p999_ms = 0.0;
+
+  [[nodiscard]] double shed_rate() const {
+    return ok + shed > 0
+               ? static_cast<double>(shed) / static_cast<double>(ok + shed)
+               : 0.0;
+  }
 };
 
 /// Closed-loop HTTP phase: `threads` connections each running
@@ -161,7 +190,8 @@ double http_closed_loop(const HttpTarget& target, int threads, int requests,
             continue;
           }
           if (!target.external && r % 32 == 0) {
-            const auto& engine = *target.models[model % 2].second;
+            const auto& engine =
+                *target.models[model % target.models.size()].second;
             auto stats = engine.make_stats();
             auto scratch = engine.make_scratch();
             std::vector<std::int64_t> expected(samples_per_request *
@@ -201,6 +231,8 @@ SweepStep http_open_loop(const HttpTarget& target, double rate_qps,
   struct SenderTally {
     std::vector<double> ok_ms;
     std::size_t ok = 0, shed = 0, retry_missing = 0, errors = 0;
+    std::map<std::string, std::size_t> tier_ok;
+    std::size_t tier_missing = 0;
   };
   std::vector<SenderTally> tallies(static_cast<std::size_t>(senders));
   std::vector<std::thread> workers;
@@ -237,6 +269,12 @@ SweepStep http_open_loop(const HttpTarget& target, double rate_qps,
           if (response.status == 200) {
             mine.ok += 1;
             mine.ok_ms.push_back(latency_ms);
+            if (const std::string* tier =
+                    response.find_header("X-Man-Accuracy-Tier")) {
+              mine.tier_ok[*tier] += 1;
+            } else {
+              mine.tier_missing += 1;
+            }
           } else if (response.status == 429) {
             mine.shed += 1;
             if (response.find_header("Retry-After") == nullptr) {
@@ -265,6 +303,10 @@ SweepStep http_open_loop(const HttpTarget& target, double rate_qps,
     step.shed += tally.shed;
     step.retry_after_missing += tally.retry_missing;
     step.errors += tally.errors;
+    for (const auto& [name, count] : tally.tier_ok) {
+      step.tier_ok[name] += count;
+    }
+    step.tier_header_missing += tally.tier_missing;
   }
   const double wall_s = wall.seconds();
   step.achieved_qps =
@@ -424,6 +466,12 @@ int main() {
   std::unique_ptr<InferenceServer> http_digit;
   std::unique_ptr<InferenceServer> http_face;
   std::unique_ptr<man::serve::http::HttpServer> http_server;
+  // A deliberately small bounded queue is the overload mechanism
+  // under test (see below); phase 4's servers reuse the same config
+  // so the shed-only vs tiered comparison differs only in the ladder.
+  ServeConfig http_config = config;
+  http_config.queue_capacity = std::max(http_queue, http_config.max_batch);
+  http_config.queue_delay_slo = std::chrono::microseconds(http_slo_us);
   if (const char* addr = std::getenv("MAN_HTTP_ADDR")) {
     const std::string spec(addr);
     const std::size_t colon = spec.rfind(':');
@@ -434,14 +482,9 @@ int main() {
     target.external_input =
         static_cast<std::size_t>(env_int("MAN_HTTP_INPUT", 1024));
   } else {
-    // A deliberately small bounded queue is the overload mechanism
-    // under test: once senders outpace the engine, admission control
-    // turns the excess into immediate 429s instead of letting latency
-    // grow without bound. The SLO backstops it for slow engines.
-    ServeConfig http_config = config;
-    http_config.queue_capacity =
-        std::max(http_queue, http_config.max_batch);
-    http_config.queue_delay_slo = std::chrono::microseconds(http_slo_us);
+    // Once senders outpace the engine, admission control turns the
+    // excess into immediate 429s instead of letting latency grow
+    // without bound. The SLO backstops it for slow engines.
     http_digit =
         std::make_unique<InferenceServer>(*digit_engine, http_config);
     http_face = std::make_unique<InferenceServer>(*face_engine, http_config);
@@ -477,9 +520,25 @@ int main() {
                            std::to_string(senders) + " senders");
 
   // Let the queue drain between load changes so each step measures
-  // its own rate, not the previous step's backlog.
-  const auto settle = [] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  // its own rate, not the previous step's backlog. A fixed sleep is
+  // not enough on slow machines (the post-overload queue can take
+  // seconds to drain), so probe with single-sample requests until one
+  // is served fast — a probe's latency IS the residual queue delay.
+  const auto settle = [&](const HttpTarget& t) {
+    try {
+      HttpClient probe(t.host, t.port);
+      std::vector<float> pixels(t.input_size(0), 0.5F);
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        man::util::Stopwatch probe_wall;
+        const HttpResponse response = probe.request(
+            "POST", "/v1/infer/" + t.model_key(0), binary_payload(pixels),
+            "application/octet-stream");
+        if (response.status == 200 && probe_wall.seconds() < 0.025) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
   };
   const auto step_requests = [&](double rate) {
     const double want = rate * step_seconds;
@@ -492,7 +551,7 @@ int main() {
   // the pre-overload baseline measures steady state.
   http_open_loop(target, half, step_requests(half) / 4, senders,
                  http_samples);
-  settle();
+  settle(target);
   sweep.emplace_back("0.5C pre",
                      http_open_loop(target, half, step_requests(half),
                                     senders, http_samples));
@@ -515,7 +574,7 @@ int main() {
   }
   sweep.emplace_back(man::util::format_double(overload_factor, 0) + "C",
                      overload);
-  settle();
+  settle(target);
   sweep.emplace_back("0.5C post",
                      http_open_loop(target, half, step_requests(half),
                                     senders, http_samples));
@@ -558,6 +617,160 @@ int main() {
             << (http_mismatches.load() == 0 ? "all matched" : "MISMATCH")
             << "\n";
 
+  // -------------------------------------------- phase 4: tiered QoS sweep
+  const std::vector<man::serve::QosTier> ladder =
+      man::serve::parse_qos_tiers("asm4,asm2,exact");
+  man::bench::print_banner(
+      "HTTP tiered QoS (asm4,asm2,exact): degradation sweep [0.6C, 1.15C, "
+      "2C]" + std::string(target.external ? " [external]" : ""));
+
+  double tiered_capacity = capacity_qps;
+  SweepStep shed_only_2c;
+  std::vector<std::pair<double, SweepStep>> curve;
+  std::size_t tier_mismatches = 0;
+
+  std::unique_ptr<InferenceServer> qos_server;
+  std::unique_ptr<man::serve::http::HttpServer> qos_http;
+  HttpTarget tiered_target = target;
+  if (!target.external) {
+    // Digit-only capacity on the untiered phase-3 server: the common
+    // normalizer, so the shed-only and tiered 2C steps offer the same
+    // absolute rate to identically configured servers.
+    HttpTarget digit_target = target;
+    digit_target.models = {{"digit", digit_engine}};
+    tiered_capacity = http_closed_loop(digit_target, 4, 300, http_samples,
+                                       http_mismatches, http_failures);
+    std::cout << "digit-only capacity: "
+              << man::util::format_double(tiered_capacity, 0)
+              << " requests/s\n";
+
+    const double overload_rate = tiered_capacity * 2;
+    shed_only_2c =
+        http_open_loop(digit_target, overload_rate,
+                       step_requests(overload_rate), senders, http_samples);
+    settle(digit_target);
+
+    ServeConfig qos_config = http_config;
+    qos_config.qos_tiers = ladder;
+    qos_server = std::make_unique<InferenceServer>(
+        engine_cache.tiered(digit_spec, ladder), qos_config);
+    qos_http = std::make_unique<man::serve::http::HttpServer>();
+    qos_http->add_model("digit", *qos_server);
+    qos_http->start();
+    tiered_target = HttpTarget{};
+    tiered_target.port = qos_http->port();
+    tiered_target.models = {{"digit", digit_engine}};
+  }
+
+  // Discarded warm step: calibrates the tiered server's queue-delay
+  // EWMA (and pays connection setup) before the measured curve.
+  {
+    const double rate = tiered_capacity * 0.6;
+    http_open_loop(tiered_target, rate, step_requests(rate) / 4, senders,
+                   http_samples);
+    settle(tiered_target);
+  }
+  for (const double factor : {0.6, 1.15, 2.0}) {
+    const double rate = tiered_capacity * factor;
+    curve.emplace_back(factor,
+                       http_open_loop(tiered_target, rate,
+                                      step_requests(rate), senders,
+                                      http_samples));
+    settle(tiered_target);
+  }
+
+  // Per-tier bit-identity: pin min-tier to force each rung, then
+  // compare the served raw output against that rung's own sequential
+  // engine (each tier is exact w.r.t. its own precision scheme).
+  if (!target.external) {
+    for (std::size_t pin = 0; pin < ladder.size(); ++pin) {
+      ServeConfig pin_config = http_config;
+      pin_config.qos_tiers = ladder;
+      pin_config.qos_min_tier = pin;
+      man::serve::TieredEngine pin_tiered =
+          engine_cache.tiered(digit_spec, ladder);
+      const auto pin_engine = pin_tiered.tiers[pin].engine;
+      InferenceServer pin_server(std::move(pin_tiered), pin_config);
+
+      man::util::Rng rng(13000 + static_cast<std::uint64_t>(pin));
+      std::vector<float> pixels(pin_engine->input_size());
+      for (float& p : pixels) p = static_cast<float>(rng.next_double());
+      man::serve::InferenceRequest request;
+      request.payload = pixels;
+      const auto result = pin_server.submit(std::move(request)).get();
+
+      auto check_stats = pin_engine->make_stats();
+      auto scratch = pin_engine->make_scratch();
+      std::vector<std::int64_t> expected(pin_engine->output_size());
+      pin_engine->infer_into(pixels, expected, check_stats, scratch);
+      if (!result.ok() || result.tier_name != ladder[pin].name ||
+          result.raw != expected) {
+        tier_mismatches += 1;
+      }
+    }
+  }
+
+  const auto format_tiers = [](const SweepStep& step) {
+    std::string out;
+    for (const auto& [name, count] : step.tier_ok) {
+      if (!out.empty()) out.push_back(' ');
+      out += name + "=" + std::to_string(count);
+    }
+    return out.empty() ? std::string("-") : out;
+  };
+  man::util::Table tier_table(
+      {"step", "offered", "ok", "shed", "shed %", "tiers", "p99 ms"});
+  if (!target.external) {
+    tier_table.add_row(
+        {"2C shed-only", man::util::format_double(shed_only_2c.offered_qps, 0),
+         std::to_string(shed_only_2c.ok), std::to_string(shed_only_2c.shed),
+         man::util::format_double(shed_only_2c.shed_rate() * 100, 1),
+         format_tiers(shed_only_2c),
+         man::util::format_double(shed_only_2c.p99_ms, 3)});
+  }
+  for (const auto& [factor, step] : curve) {
+    tier_table.add_row(
+        {man::util::format_double(factor, 2) + "C tiered",
+         man::util::format_double(step.offered_qps, 0),
+         std::to_string(step.ok), std::to_string(step.shed),
+         man::util::format_double(step.shed_rate() * 100, 1),
+         format_tiers(step), man::util::format_double(step.p99_ms, 3)});
+  }
+  std::cout << tier_table.to_string();
+
+  const SweepStep& tiered_2c = curve.back().second;
+  std::size_t lower_tier_ok_2c = 0;
+  std::size_t tier_header_missing = 0;
+  for (const auto& [name, count] : tiered_2c.tier_ok) {
+    if (name != ladder.front().name) lower_tier_ok_2c += count;
+  }
+  for (const auto& [factor, step] : curve) {
+    tier_header_missing += step.tier_header_missing;
+  }
+  const double lower_tier_share_2c =
+      tiered_2c.ok > 0 ? static_cast<double>(lower_tier_ok_2c) /
+                             static_cast<double>(tiered_2c.ok)
+                       : 0.0;
+  std::cout << "tiered shed rate at 2C: "
+            << man::util::format_double(tiered_2c.shed_rate() * 100, 1)
+            << "%"
+            << (target.external
+                    ? std::string()
+                    : " (shed-only reference " +
+                          man::util::format_double(
+                              shed_only_2c.shed_rate() * 100, 1) +
+                          "%)")
+            << ", lower-tier share "
+            << man::util::format_double(lower_tier_share_2c * 100, 1)
+            << "%, 200s missing tier header: " << tier_header_missing
+            << "\n";
+  std::cout << "per-tier bit-identity (min-tier pinned): "
+            << (target.external
+                    ? "skipped [external]"
+                    : (tier_mismatches == 0 ? "all matched" : "MISMATCH"))
+            << "\n";
+
+  if (qos_http) qos_http->stop();
   if (http_server) http_server->stop();
 
   if (const std::string json = man::bench::bench_json_path(); !json.empty()) {
@@ -586,7 +799,44 @@ int main() {
         << man::util::format_double(recovery_p99_ratio, 4)
         << ",\n    \"external\": " << (target.external ? "true" : "false")
         << ",\n    \"bit_identical\": "
-        << (http_mismatches.load() == 0 ? "true" : "false") << "\n  }\n}\n";
+        << (http_mismatches.load() == 0 ? "true" : "false") << "\n  },\n"
+        << "  \"serve_http_tiered\": {\n    \"capacity_qps\": "
+        << man::util::format_double(tiered_capacity, 2)
+        << ",\n    \"ladder\": [";
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "\"" << ladder[i].name << "\"";
+    }
+    out << "],\n    \"shed_only_shed_rate_2c\": "
+        << (target.external
+                ? std::string("-1")
+                : man::util::format_double(shed_only_2c.shed_rate(), 4))
+        << ",\n    \"tiered_shed_rate_2c\": "
+        << man::util::format_double(tiered_2c.shed_rate(), 4)
+        << ",\n    \"lower_tier_share_2c\": "
+        << man::util::format_double(lower_tier_share_2c, 4)
+        << ",\n    \"tier_header_missing\": " << tier_header_missing
+        << ",\n    \"curve\": [";
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      const auto& [factor, step] = curve[i];
+      out << (i == 0 ? "" : ", ") << "{\"offered_factor\": "
+          << man::util::format_double(factor, 2)
+          << ", \"ok\": " << step.ok << ", \"shed\": " << step.shed
+          << ", \"tiers\": {";
+      bool first_tier = true;
+      for (const auto& [name, count] : step.tier_ok) {
+        out << (first_tier ? "" : ", ") << "\"" << name << "\": " << count;
+        first_tier = false;
+      }
+      out << "}}";
+    }
+    out << "],\n    \"external\": " << (target.external ? "true" : "false")
+        << ",\n    \"bit_identical\": "
+        << (tier_mismatches == 0 ? "true" : "false") << "\n  }\n}\n";
   }
-  return mismatches == 0 && http_ok ? 0 : 1;
+  const bool tiers_ok = tier_mismatches == 0 && tier_header_missing == 0;
+  // Re-read http_mismatches: phase 4's closed-loop warmup also spot-checks
+  // bit-identity, after the phase-3 http_ok snapshot was taken.
+  return mismatches == 0 && http_ok && http_mismatches.load() == 0 && tiers_ok
+             ? 0
+             : 1;
 }

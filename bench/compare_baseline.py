@@ -14,6 +14,11 @@ bench/baseline.json:
     means overload is buffered instead of shed with 429s), a
     post-overload p99 recovery ratio of at most max_recovery_p99_ratio,
     and a p999 at capacity under max_p999_ms;
+  * serve_http_tiered (the QoS precision-ladder sweep) must report
+    zero 200s missing the X-Man-Accuracy-Tier header, per-tier
+    bit-identity, a 2C shed rate strictly below the shed-only
+    reference (in-process runs), and a lower-tier 200 share at 2C of
+    at least the baseline's min_lower_tier_share_overload;
   * fig9_replay / fig9_cnn_replay backend speedups below the
     baseline's min_speedup floors fail the job — the floors are set
     at roughly half the measured speedup so runner variance cannot
@@ -168,6 +173,83 @@ def check_http(serve, baseline, failures, warnings):
             print(line)
 
 
+def check_http_tiered(serve, baseline, failures, warnings):
+    tiered = serve.get("serve_http_tiered")
+    if not isinstance(tiered, dict):
+        failures.append(
+            "serve JSON has no serve_http_tiered section - did "
+            "bench_serve_throughput run its tiered QoS phase?")
+        return
+    if not tiered.get("bit_identical", False):
+        failures.append("serve_http_tiered reported bit_identical: false")
+    missing = tiered.get("tier_header_missing")
+    if missing != 0:
+        failures.append(
+            f"serve_http_tiered: {missing!r} 200s lacked the "
+            f"X-Man-Accuracy-Tier header - every served response must "
+            f"declare its tier")
+
+    shed_rate = tiered.get("tiered_shed_rate_2c")
+    if isinstance(shed_rate, bool) or not isinstance(shed_rate, (int, float)):
+        failures.append(
+            f"serve_http_tiered reported unusable tiered_shed_rate_2c: "
+            f"{shed_rate!r}")
+        shed_rate = None
+    lower_share = tiered.get("lower_tier_share_2c")
+    if (isinstance(lower_share, bool) or
+            not isinstance(lower_share, (int, float))):
+        failures.append(
+            f"serve_http_tiered reported unusable lower_tier_share_2c: "
+            f"{lower_share!r}")
+        lower_share = None
+
+    if tiered.get("external"):
+        # An external target has no in-process shed-only twin to
+        # compare against; the header/bit-identity checks above and
+        # the http-smoke curve assertion still apply.
+        warnings.append(
+            "skip: serve_http_tiered ran against an external server; "
+            "shed-only comparison not enforced")
+        return
+
+    # The tentpole gate: at 2x capacity, degrading precision must shed
+    # strictly less than the shed-only server under identical config.
+    shed_only = tiered.get("shed_only_shed_rate_2c")
+    if not usable_number(shed_only):
+        failures.append(
+            f"serve_http_tiered reported unusable shed_only_shed_rate_2c "
+            f"({shed_only!r}) - the shed-only 2C reference did not "
+            f"overload, so the comparison is meaningless")
+        return
+    if shed_rate is not None:
+        line = (f"serve_http_tiered: 2C shed rate {shed_rate:.1%} tiered "
+                f"vs {shed_only:.1%} shed-only")
+        if shed_rate >= shed_only:
+            failures.append(
+                f"{line} - the precision ladder is not absorbing "
+                f"overload that plain admission control sheds")
+        else:
+            print(line)
+
+    base = baseline.get("serve_http_tiered")
+    if not isinstance(base, dict):
+        warnings.append(
+            "skip: bench/baseline.json has no serve_http_tiered entry; "
+            "lower-tier share floor not enforced - add one via the "
+            "refresh workflow")
+        return
+    min_share = base.get("min_lower_tier_share_overload")
+    if usable_number(min_share) and lower_share is not None:
+        line = (f"serve_http_tiered: lower-tier share {lower_share:.1%} "
+                f"at 2C")
+        if lower_share < min_share:
+            failures.append(
+                f"{line} is below the floor {min_share:.1%} - the "
+                f"degradation ladder never engaged under overload")
+        else:
+            print(line)
+
+
 def check_replay(name, fig9, baseline, failures, warnings):
     replay = fig9.get(name)
     if not isinstance(replay, dict):
@@ -261,6 +343,7 @@ def main():
 
     check_throughput(serve, baseline, failures, warnings)
     check_http(serve, baseline, failures, warnings)
+    check_http_tiered(serve, baseline, failures, warnings)
     check_replay("fig9_replay", fig9, baseline, failures, warnings)
     check_replay("fig9_cnn_replay", fig9, baseline, failures, warnings)
 

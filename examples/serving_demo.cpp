@@ -4,17 +4,25 @@
 // single persistent ThreadPool — speaking the typed request/response
 // API (ServeConfig + InferenceRequest/InferenceResult).
 //
+// The digit model is served *tiered*: an asm4,asm2,exact QoS ladder
+// (override via MAN_QOS_TIERS, e.g. "asm4,asm2;min=1") lets the
+// dispatcher step precision down under deadline pressure before the
+// admission controller sheds. The face model stays untiered for
+// contrast.
+//
 // Two modes:
 //   serving_demo [dataset_scale]
 //     in-process demo: concurrent clients drive interleaved
 //     digit/face traffic from the synthetic test splits; reports
-//     accuracy per app, micro-batching behaviour, and verifies
-//     responses against the sequential engine path.
+//     accuracy per app, micro-batching behaviour, and verifies every
+//     sampled response against the sequential path of the engine the
+//     serving tier says it used.
 //   serving_demo [dataset_scale] --listen [port]
 //     network demo: exposes both models over the epoll HTTP/1.1
 //     front-end (POST /v1/infer/digit, /v1/infer/face, GET /healthz,
-//     GET /metrics), port 0 = ephemeral, and serves until
-//     SIGINT/SIGTERM; prints final serving metrics on shutdown.
+//     GET /metrics), port 0 = ephemeral, prints the digit QoS ladder,
+//     and serves until SIGINT/SIGTERM; prints final serving metrics
+//     (including the per-tier 200 split) on shutdown.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +68,15 @@ int run_listen_mode(AppTraffic (&apps_traffic)[2], std::uint16_t port) {
   server.start();
   std::printf("listening on 127.0.0.1:%u\n",
               static_cast<unsigned>(server.port()));
+  for (auto& app : apps_traffic) {
+    if (app.server->tier_count() < 2) continue;
+    std::printf("%s QoS ladder:", app.model_key);
+    for (std::size_t t = 0; t < app.server->tier_count(); ++t) {
+      std::printf(" %zu=%s", t, app.server->tier_spec(t).name.c_str());
+    }
+    std::printf(" (min tier %zu; override via MAN_QOS_TIERS)\n",
+                app.server->config().qos_min_tier);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, handle_signal);
@@ -84,6 +101,12 @@ int run_listen_mode(AppTraffic (&apps_traffic)[2], std::uint16_t port) {
       static_cast<unsigned long long>(metrics.p50_ns / 1000),
       static_cast<unsigned long long>(metrics.p99_ns / 1000),
       static_cast<unsigned long long>(metrics.p999_ns / 1000));
+  std::printf("tier_ok=[");
+  for (std::size_t t = 0; t < metrics.tier_ok.size(); ++t) {
+    std::printf("%s%llu", t ? "," : "",
+                static_cast<unsigned long long>(metrics.tier_ok[t]));
+  }
+  std::printf("]\n");
   return 0;
 }
 
@@ -114,12 +137,14 @@ int run_inprocess_demo(AppTraffic (&apps_traffic)[2],
           app.served.fetch_add(1);
           if (result.predictions[0] == example.label) app.correct.fetch_add(1);
           // Cross-check a sample of responses against the sequential
-          // engine path (must be bit-identical).
+          // path of the engine the serving tier says it used (each
+          // tier must be bit-identical to its own precision scheme).
           if (i % 16 == 0) {
-            auto stats = app.engine->make_stats();
-            auto scratch = app.engine->make_scratch();
-            std::vector<std::int64_t> expected(app.engine->output_size());
-            app.engine->infer_into(example.pixels, expected, stats, scratch);
+            const auto& engine = app.server->tier_engine(result.tier);
+            auto stats = engine.make_stats();
+            auto scratch = engine.make_scratch();
+            std::vector<std::int64_t> expected(engine.output_size());
+            engine.infer_into(example.pixels, expected, stats, scratch);
             if (result.raw != expected) app.mismatches.fetch_add(1);
           }
         }
@@ -213,9 +238,16 @@ int main(int argc, char** argv) {
   // modest loopback load instead of buffering seconds of backlog.
   config.queue_capacity = 256;
   config.queue_delay_slo = std::chrono::milliseconds(20);
-  for (auto& app : apps_traffic) {
-    app.server = std::make_unique<serve::InferenceServer>(*app.engine, config);
-  }
+  // Digit rides the accuracy/energy QoS ladder (tier 0 is the same
+  // ASM-4 engine compiled above; asm2/exact variants come from the
+  // shared EngineCache). Face stays untiered for contrast.
+  serve::ServeConfig digit_config = config;
+  digit_config.qos_tiers = serve::parse_qos_tiers("asm4,asm2,exact");
+  digit_config.apply_qos_env();
+  apps_traffic[0].server = std::make_unique<serve::InferenceServer>(
+      cache.tiered(digit_spec, digit_config.qos_tiers), digit_config);
+  apps_traffic[1].server = std::make_unique<serve::InferenceServer>(
+      *apps_traffic[1].engine, config);
 
   const auto& kernel = man::backend::resolve(config.backend);
   std::printf("kernel backend: %s — %s (override via MAN_BACKEND)\n",

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Doc-drift lint: runtime MAN_* knobs must match between code and docs.
+
+Every runtime environment variable referenced in src/, bench/, or
+examples/ must be documented somewhere under docs/ or README.md, and
+every documented knob must still exist in the code — so the docs
+cannot silently rot as knobs are added or removed.
+
+Build-time identifiers are excluded on both sides: include guards
+(MAN_*_H), CMake feature macros (MAN_HAVE_*, MAN_COMPILER_HAS_*),
+CMake options (MAN_ENABLE_*, MAN_WERROR, MAN_SANITIZE*), and CMake
+list variables (MAN_*_TESTS, MAN_*_SOURCES). They are configuration
+of the *build*, not of a running binary, and the docs discuss them
+prose-style where relevant.
+
+Usage: python3 scripts/check_doc_drift.py [repo_root]
+Exit 0 when the sets match, 1 with a report when they drift.
+"""
+
+import pathlib
+import re
+import sys
+
+TOKEN = re.compile(r"MAN_[A-Z0-9_]+")
+
+CODE_DIRS = ["src", "bench", "examples"]
+CODE_SUFFIXES = {".h", ".hpp", ".cpp", ".cc", ".py"}
+DOC_SUFFIXES = {".md"}
+
+EXCLUDE = re.compile(
+    r"""
+    _H$                       # include guards
+    | ^MAN_HAVE_              # CMake-detected feature macros
+    | ^MAN_COMPILER_HAS_      # CMake compiler probes
+    | ^MAN_ENABLE_            # CMake ISA options
+    | ^MAN_WERROR$            # CMake option
+    | ^MAN_SANITIZE           # CMake options (ASan/UBSan, TSan)
+    | _TESTS$                 # CMake list variables
+    | _SOURCES$               # CMake list variables
+    """,
+    re.VERBOSE,
+)
+
+
+def harvest(paths, suffixes):
+    found = {}
+    for root in paths:
+        if not root.exists():
+            continue
+        files = [root] if root.is_file() else sorted(root.rglob("*"))
+        for path in files:
+            if path.suffix not in suffixes or not path.is_file():
+                continue
+            try:
+                text = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            for token in TOKEN.findall(text):
+                if EXCLUDE.search(token):
+                    continue
+                found.setdefault(token, set()).add(str(path))
+    return found
+
+
+def main() -> int:
+    repo = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        pathlib.Path(__file__).resolve().parent.parent
+    )
+    code = harvest([repo / d for d in CODE_DIRS], CODE_SUFFIXES)
+    docs = harvest([repo / "docs", repo / "README.md"], DOC_SUFFIXES)
+
+    undocumented = sorted(set(code) - set(docs))
+    stale = sorted(set(docs) - set(code))
+
+    for name in undocumented:
+        where = ", ".join(sorted(code[name])[:3])
+        print(f"UNDOCUMENTED: {name} (referenced in {where}) "
+              f"has no mention under docs/ or README.md")
+    for name in stale:
+        where = ", ".join(sorted(docs[name])[:3])
+        print(f"STALE DOC: {name} (documented in {where}) "
+              f"no longer exists in src/, bench/, or examples/")
+
+    if undocumented or stale:
+        print(f"\ndoc drift: {len(undocumented)} undocumented, "
+              f"{len(stale)} stale (of {len(code)} runtime knobs)")
+        return 1
+    print(f"doc drift: OK — {len(code)} runtime MAN_* knobs, "
+          f"all documented and all live")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

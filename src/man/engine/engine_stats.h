@@ -36,6 +36,11 @@ struct EngineStats {
   /// "blocked", "simd"; "mixed" after merging runs from different
   /// backends; empty when unset — e.g. raw make_stats() shapes).
   std::string backend;
+  /// Accuracy tier the work was served at ("asm4", "exact", ...;
+  /// "mixed" after merging runs from different tiers; empty when the
+  /// recorder is not tier-aware — e.g. a bare BatchRunner). Follows
+  /// the exact same merge policy as `backend`.
+  std::string tier;
 
   [[nodiscard]] std::uint64_t total_macs() const noexcept {
     std::uint64_t total = 0;
@@ -73,19 +78,26 @@ struct EngineStats {
     for (std::size_t i = 0; i < layers.size(); ++i) {
       layers[i] += other.layers[i];
     }
-    // The label reflects where work actually ran: a side that recorded
-    // zero inferences (a freshly constructed runner's stats, a
-    // make_stats() shape, an idle shard) carries no vote, so merging
-    // it can neither flip a real result to "mixed" nor overwrite a
-    // real label with an idle runner's.
-    if (!other.backend.empty() && other.inferences > 0) {
-      if (backend.empty() || inferences == 0) {
-        backend = other.backend;
-      } else if (other.backend != backend) {
-        backend = "mixed";
-      }
-    }
+    // One policy for every label (backend and tier alike): the label
+    // reflects where work actually ran, so a side that recorded zero
+    // inferences (a freshly constructed runner's stats, a
+    // make_stats() shape, an idle shard) carries no vote — merging it
+    // can neither flip a real result to "mixed" nor overwrite a real
+    // label with an idle runner's.
+    merge_label(backend, other.backend, other.inferences);
+    merge_label(tier, other.tier, other.inferences);
     inferences += other.inferences;
+  }
+
+ private:
+  void merge_label(std::string& label, const std::string& other_label,
+                   std::uint64_t other_inferences) const {
+    if (other_label.empty() || other_inferences == 0) return;
+    if (label.empty() || inferences == 0) {
+      label = other_label;
+    } else if (other_label != label) {
+      label = "mixed";
+    }
   }
 };
 

@@ -76,6 +76,19 @@ std::shared_ptr<const man::engine::FixedNetwork> EngineCache::get(
   }
 }
 
+TieredEngine EngineCache::tiered(const EngineSpec& base,
+                                 const std::vector<QosTier>& ladder) {
+  TieredEngine tiered;
+  tiered.tiers.reserve(ladder.size());
+  for (const QosTier& tier : ladder) {
+    EngineSpec spec = base;
+    spec.alphabets = tier.alphabets;
+    tiered.tiers.push_back({tier, get(spec)});
+  }
+  tiered.validate();
+  return tiered;
+}
+
 std::shared_ptr<const man::data::Dataset> EngineCache::dataset(
     man::apps::AppId app, double scale) {
   const auto& app_spec = man::apps::get_app(app);

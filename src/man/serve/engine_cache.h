@@ -22,6 +22,7 @@
 #include "man/apps/model_cache.h"
 #include "man/data/dataset.h"
 #include "man/engine/fixed_network.h"
+#include "man/serve/serve_types.h"
 
 namespace man::serve {
 
@@ -63,6 +64,16 @@ class EngineCache {
   /// is dropped so a later call can retry.
   [[nodiscard]] std::shared_ptr<const man::engine::FixedNetwork> get(
       const EngineSpec& spec);
+
+  /// N compiled precision variants of `base` as one TieredEngine,
+  /// ordered as `ladder` is (full precision first, by convention):
+  /// each tier reuses `base` with its `alphabets` swapped in, so the
+  /// variants differ only in precision scheme and share every cached
+  /// build. The result is validated (same-app tiers always share
+  /// geometry). Tier keys overlap ordinary get() keys — a ladder rung
+  /// equal to an engine already served standalone is the same engine.
+  [[nodiscard]] TieredEngine tiered(const EngineSpec& base,
+                                    const std::vector<QosTier>& ladder);
 
   /// The synthetic dataset for an app at a scale, built once and
   /// shared (servers and demos use the test split as traffic).

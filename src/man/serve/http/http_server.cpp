@@ -489,6 +489,13 @@ void HttpServer::drain_completions() {
 
     const int code = http_status_for(result.status);
     std::vector<ExtraHeader> extra;
+    if (result.status == Status::kOk) {
+      // Every 200 declares the accuracy tier it was served at, so a
+      // client (or the bench harness) can see degradation engage
+      // without parsing bodies. "full" covers untiered servers.
+      extra.push_back({"X-Man-Accuracy-Tier",
+                       result.tier_name.empty() ? "full" : result.tier_name});
+    }
     if (result.status == Status::kRejectedOverload) {
       extra.push_back({"Retry-After", retry_after_seconds(
                                           result.retry_after.count() > 0
@@ -499,7 +506,13 @@ void HttpServer::drain_completions() {
     {
       std::lock_guard<std::mutex> lock(metrics_mutex_);
       switch (result.status) {
-        case Status::kOk: metrics_.responses_ok += 1; break;
+        case Status::kOk:
+          metrics_.responses_ok += 1;
+          if (metrics_.tier_ok.size() <= result.tier) {
+            metrics_.tier_ok.resize(result.tier + 1, 0);
+          }
+          metrics_.tier_ok[result.tier] += 1;
+          break;
         case Status::kRejectedOverload: metrics_.shed += 1; break;
         case Status::kDeadlineExceeded: metrics_.deadline_exceeded += 1;
           break;
@@ -710,6 +723,12 @@ std::string HttpServer::metrics_json() const {
   field("connections_active", snapshot.connections_active);
   field("requests", snapshot.requests);
   field("responses_ok", snapshot.responses_ok);
+  out += "\"tier_ok\":[";
+  for (std::size_t i = 0; i < snapshot.tier_ok.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(snapshot.tier_ok[i]);
+  }
+  out += "],";
   field("shed", snapshot.shed);
   field("parse_errors", snapshot.parse_errors);
   field("bad_requests", snapshot.bad_requests);

@@ -73,6 +73,10 @@ class HttpServer {
     std::size_t connections_active = 0;
     std::uint64_t requests = 0;  ///< complete HTTP requests parsed
     std::uint64_t responses_ok = 0;
+    /// 200s split by the accuracy tier that served them (index =
+    /// ladder position; untiered servers land in tier 0). Grows to
+    /// the deepest tier observed; sums to responses_ok.
+    std::vector<std::uint64_t> tier_ok;
     std::uint64_t shed = 0;  ///< 429s (SLO, inflight bound, queue full)
     std::uint64_t parse_errors = 0;  ///< malformed HTTP (400/413/431/...)
     std::uint64_t bad_requests = 0;  ///< well-framed HTTP, bad payload

@@ -346,6 +346,10 @@ std::string encode_result_json(std::string_view model_key,
   out += std::to_string(result.compute_ns);
   out += ",\"backend\":\"";
   append_escaped(out, result.backend);
+  out += "\",\"tier\":";
+  out += std::to_string(result.tier);
+  out += ",\"tier_name\":\"";
+  append_escaped(out, result.tier_name.empty() ? "full" : result.tier_name);
   out += "\"}";
   return out;
 }

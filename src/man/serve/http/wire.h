@@ -46,7 +46,8 @@ struct DecodedInfer {
 /// The JSON body of a served (kOk) response:
 /// {"status":"ok","model":...,"samples":N,"output_size":N,
 ///  "predictions":[...],"raw":[...],"queue_ns":N,"compute_ns":N,
-///  "backend":"..."}.
+///  "backend":"...","tier":N,"tier_name":"..."} — tier_name matches
+/// the X-Man-Accuracy-Tier response header ("full" when untiered).
 [[nodiscard]] std::string encode_result_json(std::string_view model_key,
                                              const InferenceResult& result);
 

@@ -59,15 +59,103 @@ void InferenceServer::Pending::deliver(InferenceResult&& result) {
 
 InferenceServer::InferenceServer(const man::engine::FixedNetwork& engine,
                                  ServeConfig config)
-    : engine_(&engine),
-      config_(std::move(config)),
-      runner_(engine, (config_.validate(), config_.batch_options())),
-      backend_name_(runner_.kernel().name()) {
-  stats_snapshot_ = runner_.stats();
+    : engine_(&engine), config_(std::move(config)) {
+  config_.validate();
+  if (!config_.qos_tiers.empty()) {
+    throw std::invalid_argument(
+        "InferenceServer: config carries a QoS ladder but only one engine "
+        "was given — compile the ladder with EngineCache::tiered() and use "
+        "the TieredEngine constructor");
+  }
+  TierRunner full;
+  full.spec = {"full", 0};
+  full.engine = engine_;
+  full.runner = std::make_unique<man::engine::BatchRunner>(
+      engine, config_.batch_options());
+  tiers_.push_back(std::move(full));
+  finish_init();
+}
+
+InferenceServer::InferenceServer(TieredEngine tiered, ServeConfig config)
+    : engine_(nullptr), config_(std::move(config)) {
+  tiered.validate();
+  if (!config_.qos_tiers.empty() &&
+      config_.qos_tiers.size() != tiered.size()) {
+    throw std::invalid_argument(
+        "InferenceServer: config.qos_tiers describes " +
+        std::to_string(config_.qos_tiers.size()) +
+        " tiers but the TieredEngine compiled " +
+        std::to_string(tiered.size()));
+  }
+  if (config_.qos_min_tier >= tiered.size()) {
+    throw std::invalid_argument(
+        "InferenceServer: qos_min_tier (" +
+        std::to_string(config_.qos_min_tier) +
+        ") is past the last tier (ladder has " +
+        std::to_string(tiered.size()) + ")");
+  }
+  // Keep config() self-describing when the caller built the
+  // TieredEngine directly rather than from config.qos_tiers — and do
+  // it before validate(), which checks the pin against the ladder.
+  if (config_.qos_tiers.empty()) {
+    for (const TieredEngine::Tier& tier : tiered.tiers) {
+      config_.qos_tiers.push_back(tier.spec);
+    }
+  }
+  config_.validate();
+  tiers_.reserve(tiered.size());
+  for (TieredEngine::Tier& tier : tiered.tiers) {
+    TierRunner rung;
+    rung.spec = tier.spec;
+    rung.owned = std::move(tier.engine);
+    rung.engine = rung.owned.get();
+    rung.runner = std::make_unique<man::engine::BatchRunner>(
+        *rung.engine, config_.batch_options());
+    tiers_.push_back(std::move(rung));
+  }
+  engine_ = tiers_.front().engine;
+  finish_init();
+}
+
+void InferenceServer::finish_init() {
+  backend_name_ = tiers_.front().runner->kernel().name();
+  metrics_.tier_batches.assign(tiers_.size(), 0);
+  metrics_.tier_samples.assign(tiers_.size(), 0);
+  stats_snapshot_ = merged_runner_stats();
   dispatcher_ = std::thread([this] {
     name_this_thread("man-dispatch");
     dispatch_loop();
   });
+}
+
+man::engine::EngineStats InferenceServer::merged_runner_stats() const {
+  man::engine::EngineStats merged;
+  for (const TierRunner& rung : tiers_) {
+    man::engine::EngineStats stats = rung.runner->stats();
+    stats.tier = rung.spec.name;
+    merged.merge(stats);
+  }
+  return merged;
+}
+
+std::size_t InferenceServer::pick_tier(std::chrono::nanoseconds estimated_delay,
+                                       std::chrono::microseconds slo,
+                                       std::size_t tier_count,
+                                       std::size_t min_tier) noexcept {
+  if (tier_count == 0) return 0;
+  const std::size_t last = tier_count - 1;
+  const std::size_t floor_tier = std::min(min_tier, last);
+  const std::int64_t slice =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(slo).count() /
+      static_cast<std::int64_t>(tier_count);
+  if (slice <= 0) return last;  // degenerate SLO: always cheapest
+  const std::int64_t delay_ns = estimated_delay.count();
+  if (delay_ns <= 0) return floor_tier;
+  const std::int64_t pressure = delay_ns / slice;
+  const std::size_t tier = pressure >= static_cast<std::int64_t>(last)
+                               ? last
+                               : static_cast<std::size_t>(pressure);
+  return std::max(tier, floor_tier);
 }
 
 InferenceServer::InferenceServer(const man::engine::FixedNetwork& engine,
@@ -289,6 +377,16 @@ void InferenceServer::dispatch_loop() {
       deadline_flush = true;  // drain counts as a deadline flush
     }
 
+    // Pick the accuracy tier for this micro-batch from the same
+    // deadline-pressure signal the HTTP front-end sheds on — before
+    // the batch is extracted, so the full queue depth (including the
+    // work about to dispatch) is what votes. Serving a cheaper tier
+    // shrinks the EWMA, which lowers the next estimate and upgrades
+    // the tier back once the queue clears: negative feedback.
+    const std::size_t tier =
+        pick_tier(estimated_delay_locked(), config_.queue_delay_slo,
+                  tiers_.size(), config_.qos_min_tier);
+
     // Close the micro-batch: whole requests only, in queue order, up
     // to max_batch samples — except that a single oversized request
     // is dispatched alone rather than split or rejected. Requests
@@ -342,7 +440,7 @@ void InferenceServer::dispatch_loop() {
     std::uint64_t batch_ns = 0;
     if (!batch.empty()) {
       const auto started = Clock::now();
-      run_batch(batch, total_samples);
+      run_batch(batch, total_samples, tier);
       batch_ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                                started)
@@ -350,7 +448,9 @@ void InferenceServer::dispatch_loop() {
     }
     lock.lock();
     if (!batch.empty()) {
-      stats_snapshot_ = runner_.stats();
+      metrics_.tier_batches[tier] += 1;
+      metrics_.tier_samples[tier] += total_samples;
+      stats_snapshot_ = merged_runner_stats();
       const std::uint64_t per_sample =
           batch_ns / std::max<std::size_t>(total_samples, 1);
       ewma_ns_per_sample_ =
@@ -362,7 +462,8 @@ void InferenceServer::dispatch_loop() {
 }
 
 void InferenceServer::run_batch(std::vector<Pending>& batch,
-                                std::size_t total_samples) {
+                                std::size_t total_samples, std::size_t tier) {
+  TierRunner& rung = tiers_[tier];
   const std::size_t in_size = engine_->input_size();
   const std::size_t out_size = engine_->output_size();
   const Clock::time_point started = Clock::now();
@@ -375,7 +476,7 @@ void InferenceServer::run_batch(std::vector<Pending>& batch,
 
   std::vector<std::int64_t> raw(total_samples * out_size);
   try {
-    runner_.run(inputs, raw);
+    rung.runner->run(inputs, raw);
   } catch (const std::exception& error) {
     // An engine failure is not expressible as a per-request Status
     // beyond "cannot serve": promise holders get the exception (the
@@ -432,6 +533,8 @@ void InferenceServer::run_batch(std::vector<Pending>& batch,
             .count());
     result.compute_ns = compute_ns;
     result.backend = backend_name_;
+    result.tier = tier;
+    result.tier_name = rung.spec.name;
     sample_offset += pending.count;
     pending.deliver(std::move(result));
   }

@@ -28,6 +28,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -52,11 +53,17 @@ struct ServerOptions {
   [[nodiscard]] ServeConfig to_config() const;
 };
 
-/// Deadline-aware micro-batching front-end for one compiled engine.
-/// submit()/submit_async() are thread-safe; the engine must outlive
-/// the server. Run several servers over different engines on one
-/// shared ThreadPool to serve many model configurations from a single
-/// process.
+/// Deadline-aware micro-batching front-end for one compiled engine —
+/// or, given a TieredEngine, for a ladder of precision variants of
+/// one model: each micro-batch is dispatched at the accuracy tier the
+/// current deadline pressure calls for (full precision while the
+/// queue is clear, stepping down as the estimated queue delay climbs
+/// toward queue_delay_slo — the paper's accuracy/energy trade applied
+/// per micro-batch, so overload degrades precision before the HTTP
+/// front-end sheds with 429). submit()/submit_async() are
+/// thread-safe; the engine(s) must outlive the server. Run several
+/// servers over different engines on one shared ThreadPool to serve
+/// many model configurations from a single process.
 class InferenceServer {
  public:
   using Clock = std::chrono::steady_clock;
@@ -86,11 +93,25 @@ class InferenceServer {
     std::uint64_t rejected_bad_request = 0;
     std::uint64_t deadline_expired = 0;
     std::uint64_t rejected_shutdown = 0;
+    /// Micro-batches / samples dispatched per accuracy tier (index =
+    /// ladder position; one entry on an untiered server).
+    std::vector<std::uint64_t> tier_batches;
+    std::vector<std::uint64_t> tier_samples;
   };
 
   /// Starts the dispatcher thread. ServeConfig::validate() applies —
-  /// nonsense configs throw std::invalid_argument.
+  /// nonsense configs throw std::invalid_argument, as does a config
+  /// carrying a QoS ladder (single-engine servers are untiered; pass
+  /// a TieredEngine to serve a ladder).
   InferenceServer(const man::engine::FixedNetwork& engine, ServeConfig config);
+
+  /// Tiered flavour: serves `tiered` (validated; tier 0 = full
+  /// precision), picking a tier per micro-batch from deadline
+  /// pressure. When config.qos_tiers is non-empty its length must
+  /// match the ladder (the config is the spec the engine was built
+  /// from); config.qos_min_tier pins the minimum degradation rung.
+  /// The server keeps the tier engines alive (shared ownership).
+  InferenceServer(TieredEngine tiered, ServeConfig config);
 
   /// DEPRECATED: legacy-options constructor (and the default), kept
   /// for pre-typed-API call sites.
@@ -141,8 +162,33 @@ class InferenceServer {
   /// Estimated time a newly queued sample would wait before compute:
   /// queued samples × EWMA per-sample batch time. Zero until the
   /// first batch calibrates the estimate. The HTTP front-end sheds
-  /// load once this exceeds config().queue_delay_slo.
+  /// load once this exceeds config().queue_delay_slo; the tier picker
+  /// steps precision down as it climbs toward that SLO.
   [[nodiscard]] std::chrono::nanoseconds estimated_queue_delay() const;
+
+  /// The deterministic tier-selection policy, exposed pure for tests:
+  /// tier t serves while the estimated delay sits in
+  /// [t·slo/tier_count, (t+1)·slo/tier_count); at or past the SLO the
+  /// last (cheapest) tier serves — shedding beyond it is the
+  /// front-end's job. `min_tier` pins the floor (ServeConfig::
+  /// qos_min_tier); a non-positive SLO degenerates to the last tier.
+  [[nodiscard]] static std::size_t pick_tier(
+      std::chrono::nanoseconds estimated_delay, std::chrono::microseconds slo,
+      std::size_t tier_count, std::size_t min_tier) noexcept;
+
+  /// Ladder shape: 1 on an untiered server.
+  [[nodiscard]] std::size_t tier_count() const noexcept {
+    return tiers_.size();
+  }
+  /// The tier's spec ({"full", 0-alphabet placeholder} when untiered).
+  [[nodiscard]] const QosTier& tier_spec(std::size_t tier) const {
+    return tiers_.at(tier).spec;
+  }
+  /// The engine a tier dispatches to.
+  [[nodiscard]] const man::engine::FixedNetwork& tier_engine(
+      std::size_t tier) const {
+    return *tiers_.at(tier).engine;
+  }
 
   [[nodiscard]] const man::engine::FixedNetwork& engine() const noexcept {
     return *engine_;
@@ -175,14 +221,37 @@ class InferenceServer {
   /// otherwise `rejection` holds the immediate result to deliver.
   bool try_enqueue(Pending&& pending, InferenceResult& rejection);
 
+  /// One rung of the serving ladder: the spec, the engine (owned when
+  /// the server was built from a TieredEngine, borrowed on the
+  /// single-engine path), and the rung's dedicated BatchRunner (each
+  /// runner binds one engine; they share the config's pool/backend).
+  struct TierRunner {
+    QosTier spec;
+    std::shared_ptr<const man::engine::FixedNetwork> owned;
+    const man::engine::FixedNetwork* engine = nullptr;
+    std::unique_ptr<man::engine::BatchRunner> runner;
+  };
+
+  /// Common constructor tail once tiers_ is populated: resolves the
+  /// backend name, sizes the per-tier metrics, seeds the stats
+  /// snapshot and starts the dispatcher.
+  void finish_init();
+  /// Every tier runner's stats merged into one EngineStats, each
+  /// labelled with its tier name (idle runners contribute layer
+  /// geometry but no label vote). Only the dispatcher (or the
+  /// constructor, before it starts) may call this — runner stats are
+  /// not synchronized against a running batch.
+  [[nodiscard]] man::engine::EngineStats merged_runner_stats() const;
+
   void dispatch_loop();
-  void run_batch(std::vector<Pending>& batch, std::size_t total_samples);
+  void run_batch(std::vector<Pending>& batch, std::size_t total_samples,
+                 std::size_t tier);
   [[nodiscard]] std::chrono::nanoseconds estimated_delay_locked()
       const noexcept;
 
   const man::engine::FixedNetwork* engine_;
   ServeConfig config_;
-  man::engine::BatchRunner runner_;
+  std::vector<TierRunner> tiers_;
   std::string backend_name_;  ///< resolved once; immutable thereafter
 
   mutable std::mutex mutex_;

@@ -1,5 +1,7 @@
 #include "man/serve/serve_types.h"
 
+#include <cstdlib>
+#include <set>
 #include <stdexcept>
 #include <string>
 
@@ -37,6 +39,114 @@ int http_status_for(Status status) noexcept {
   return 500;
 }
 
+namespace {
+
+/// One scheme token of a tier-ladder spec: `exact` or `asm<1..8>`
+/// (8 is the AlphabetSet::first_n ceiling — the 8th odd number is
+/// its kMaxAlphabetValue, 15).
+QosTier parse_scheme(std::string_view token) {
+  if (token == "exact") return {"exact", 0};
+  if (token.size() == 4 && token.substr(0, 3) == "asm" &&
+      token[3] >= '1' && token[3] <= '8') {
+    return {std::string(token),
+            static_cast<std::size_t>(token[3] - '0')};
+  }
+  throw std::invalid_argument(
+      "QoS tier scheme \"" + std::string(token) +
+      "\" is not `exact` or `asm<1..8>`");
+}
+
+}  // namespace
+
+std::vector<QosTier> parse_qos_tiers(std::string_view spec,
+                                     std::size_t* min_tier) {
+  if (min_tier != nullptr) *min_tier = 0;
+  std::size_t parsed_min = 0;
+  std::string_view ladder = spec;
+  if (const std::size_t semi = spec.find(';'); semi != std::string_view::npos) {
+    const std::string_view suffix = spec.substr(semi + 1);
+    constexpr std::string_view kMinPrefix = "min=";
+    if (suffix.substr(0, kMinPrefix.size()) != kMinPrefix) {
+      throw std::invalid_argument(
+          "QoS ladder spec \"" + std::string(spec) +
+          "\": only a `;min=N` suffix is understood");
+    }
+    const std::string digits(suffix.substr(kMinPrefix.size()));
+    char* end = nullptr;
+    const long value = std::strtol(digits.c_str(), &end, 10);
+    if (digits.empty() || *end != '\0' || value < 0) {
+      throw std::invalid_argument(
+          "QoS ladder spec \"" + std::string(spec) +
+          "\": min= wants a non-negative integer");
+    }
+    parsed_min = static_cast<std::size_t>(value);
+    if (min_tier != nullptr) *min_tier = parsed_min;
+    ladder = spec.substr(0, semi);
+  }
+
+  std::vector<QosTier> tiers;
+  std::set<std::string> seen;
+  while (!ladder.empty()) {
+    const std::size_t comma = ladder.find(',');
+    const std::string_view token = ladder.substr(0, comma);
+    tiers.push_back(parse_scheme(token));
+    if (!seen.insert(tiers.back().name).second) {
+      throw std::invalid_argument("QoS ladder spec \"" + std::string(spec) +
+                                  "\": duplicate tier \"" +
+                                  tiers.back().name + "\"");
+    }
+    if (comma == std::string_view::npos) break;
+    ladder.remove_prefix(comma + 1);
+    if (ladder.empty()) {
+      throw std::invalid_argument("QoS ladder spec \"" + std::string(spec) +
+                                  "\": trailing comma");
+    }
+  }
+  if (tiers.empty()) {
+    throw std::invalid_argument("QoS ladder spec is empty");
+  }
+  // The pin is part of the spec: an out-of-range pin is malformed even
+  // when the caller did not ask for the parsed value.
+  if (parsed_min >= tiers.size()) {
+    throw std::invalid_argument(
+        "QoS ladder spec \"" + std::string(spec) + "\": min= pin " +
+        std::to_string(parsed_min) + " is past the last tier (ladder has " +
+        std::to_string(tiers.size()) + ")");
+  }
+  return tiers;
+}
+
+void TieredEngine::validate() const {
+  if (tiers.empty()) {
+    throw std::invalid_argument("TieredEngine: no tiers");
+  }
+  std::set<std::string> seen;
+  for (const Tier& tier : tiers) {
+    if (tier.engine == nullptr) {
+      throw std::invalid_argument("TieredEngine: tier \"" + tier.spec.name +
+                                  "\" has no engine");
+    }
+    if (tier.spec.name.empty() || !seen.insert(tier.spec.name).second) {
+      throw std::invalid_argument(
+          "TieredEngine: tier names must be non-empty and unique (\"" +
+          tier.spec.name + "\")");
+    }
+    if (tier.engine->input_size() != tiers.front().engine->input_size() ||
+        tier.engine->output_size() != tiers.front().engine->output_size()) {
+      throw std::invalid_argument(
+          "TieredEngine: tier \"" + tier.spec.name +
+          "\" has a different input/output geometry than tier 0 — all "
+          "tiers must compile the same app");
+    }
+  }
+}
+
+void ServeConfig::apply_qos_env() {
+  const char* env = std::getenv("MAN_QOS_TIERS");
+  if (env == nullptr || *env == '\0') return;
+  qos_tiers = parse_qos_tiers(env, &qos_min_tier);
+}
+
 void ServeConfig::validate() const {
   if (max_batch == 0) {
     throw std::invalid_argument("ServeConfig: max_batch must be >= 1");
@@ -65,6 +175,27 @@ void ServeConfig::validate() const {
         "ServeConfig: queue_capacity (" + std::to_string(queue_capacity) +
         ") must be >= max_batch (" + std::to_string(max_batch) +
         ") or full batches could never form");
+  }
+  std::set<std::string> names;
+  for (const QosTier& tier : qos_tiers) {
+    if (tier.name.empty() || !names.insert(tier.name).second) {
+      throw std::invalid_argument(
+          "ServeConfig: QoS tier names must be non-empty and unique (\"" +
+          tier.name + "\")");
+    }
+    if (tier.alphabets > 8) {
+      throw std::invalid_argument(
+          "ServeConfig: QoS tier \"" + tier.name + "\" wants " +
+          std::to_string(tier.alphabets) +
+          " alphabets; AlphabetSet::first_n supports at most 8");
+    }
+  }
+  const std::size_t tier_count = qos_tiers.empty() ? 1 : qos_tiers.size();
+  if (qos_min_tier >= tier_count) {
+    throw std::invalid_argument(
+        "ServeConfig: qos_min_tier (" + std::to_string(qos_min_tier) +
+        ") must be below the tier count (" + std::to_string(tier_count) +
+        ")");
   }
 }
 

@@ -40,6 +40,46 @@ enum class Status : std::uint8_t {
 /// The HTTP status code a Status maps to: 200 / 504 / 429 / 400 / 503.
 [[nodiscard]] int http_status_for(Status status) noexcept;
 
+/// One rung of the accuracy/energy QoS ladder: a named precision
+/// scheme the dispatcher may serve a micro-batch at. Tier 0 is the
+/// model's full-precision compile; higher indices trade accuracy for
+/// per-sample time (the paper's error-resiliency knob, moved to
+/// serving time). `alphabets` follows EngineSpec: 0 compiles the
+/// conventional exact-multiplier plan, n > 0 the uniform ASM plan
+/// over AlphabetSet::first_n(n).
+struct QosTier {
+  std::string name;       ///< wire label ("asm4", "exact", ...)
+  std::size_t alphabets;  ///< EngineSpec::alphabets for this rung
+};
+
+/// Parses a tier-ladder spec "scheme[,scheme...][;min=N]" where each
+/// scheme is `exact` or `asm<1..8>`, e.g. "asm4,asm2,asm1;min=1".
+/// Tier names are the scheme tokens and must be unique. When
+/// `min_tier` is non-null the optional ";min=N" suffix is stored
+/// there (0 when absent). Throws std::invalid_argument on a malformed
+/// spec, a duplicate scheme, or min >= the ladder length.
+[[nodiscard]] std::vector<QosTier> parse_qos_tiers(
+    std::string_view spec, std::size_t* min_tier = nullptr);
+
+/// N compiled variants of one model, ordered full-precision first —
+/// what a tier-aware InferenceServer dispatches over. Built by
+/// EngineCache::tiered(); every tier shares the app (and therefore
+/// input/output geometry), differing only in precision scheme.
+struct TieredEngine {
+  struct Tier {
+    QosTier spec;
+    std::shared_ptr<const man::engine::FixedNetwork> engine;
+  };
+  std::vector<Tier> tiers;
+
+  [[nodiscard]] std::size_t size() const noexcept { return tiers.size(); }
+
+  /// Throws std::invalid_argument when empty, a tier engine is null,
+  /// a tier name is empty or duplicated, or input/output sizes differ
+  /// across tiers (they must, by construction, agree).
+  void validate() const;
+};
+
 /// One typed inference request: a contiguous payload of one or more
 /// samples plus per-request scheduling metadata.
 struct InferenceRequest {
@@ -82,6 +122,12 @@ struct InferenceResult {
   std::uint64_t compute_ns = 0;
   /// Kernel backend that served the request ("scalar"/"blocked"/...).
   std::string backend;
+  /// Accuracy tier the request was served at: ladder index (0 = full
+  /// precision) and its wire label ("asm4", ...; "full" on a server
+  /// without a configured ladder). The HTTP front-end surfaces the
+  /// label as the X-Man-Accuracy-Tier response header.
+  std::size_t tier = 0;
+  std::string tier_name;
   /// For kRejectedOverload: suggested client back-off.
   std::chrono::milliseconds retry_after{0};
 
@@ -116,12 +162,34 @@ struct ServeConfig {
   /// queue beyond this resolves kRejectedOverload immediately.
   std::size_t queue_capacity = 4096;
   /// Load-shedding SLO: once the estimated queue delay exceeds this,
-  /// the HTTP front-end sheds new work with 429 + Retry-After.
+  /// the HTTP front-end sheds new work with 429 + Retry-After. On a
+  /// tiered server this is also the degradation scale: tier t engages
+  /// once the estimated delay reaches t/T of the SLO, so precision
+  /// steps down before the 429 threshold is reached.
   std::chrono::microseconds queue_delay_slo{50'000};
+
+  // --- accuracy/energy QoS ladder -------------------------------------
+  /// Tier ladder spec, full precision first (see QosTier). Empty
+  /// means untiered: the server serves its one engine as tier 0
+  /// ("full"). Call sites build the matching TieredEngine from this
+  /// via EngineCache::tiered().
+  std::vector<QosTier> qos_tiers;
+  /// Min-tier pin: the dispatcher never serves a tier *below* this
+  /// index, pinning the server at (or past) that degradation rung —
+  /// e.g. 1 on an asm4/asm2/asm1 ladder permanently forgoes asm4.
+  /// Must be < the ladder length (or 0 when untiered).
+  std::size_t qos_min_tier = 0;
+
+  /// Applies the MAN_QOS_TIERS environment override (same grammar as
+  /// parse_qos_tiers, including the ";min=N" pin) to
+  /// qos_tiers/qos_min_tier. No-op when the variable is unset; throws
+  /// std::invalid_argument when it is set but malformed.
+  void apply_qos_env();
 
   /// Throws std::invalid_argument on nonsense values (zero queue
   /// capacity, zero max_batch, negative waits/SLO, negative workers,
-  /// zero min_samples_per_worker).
+  /// zero min_samples_per_worker, a malformed tier ladder or an
+  /// out-of-range min-tier pin).
   void validate() const;
 
   /// The BatchOptions slice the dispatch BatchRunner consumes.
