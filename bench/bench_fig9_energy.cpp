@@ -11,16 +11,19 @@
 // when set.
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <span>
 
 #include "bench_common.h"
+#include "man/artifact/plan_artifact.h"
 #include "man/backend/kernel_backend.h"
 #include "man/engine/batch_runner.h"
 #include "man/hw/network_cost.h"
 #include "man/nn/constraint_projection.h"
 #include "man/util/rng.h"
+#include "man/util/stopwatch.h"
 
 namespace {
 
@@ -230,6 +233,59 @@ ReplayResult run_replay(const man::engine::FixedNetwork& engine,
   return result;
 }
 
+struct ColdStartResult {
+  double compile_s = 0.0;
+  double load_s = 0.0;
+  bool identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return load_s > 0 ? compile_s / load_s : 0.0;
+  }
+};
+
+/// Cold-start cost of the digit MLP engine: a fresh in-process build
+/// (network construction, constraint projection, schedule
+/// compilation, conv autotune) vs mmap-loading a published plan
+/// artifact, bit-identity checked between the two on a shared sample
+/// batch. This is the serving cold-start path: a process with a warm
+/// MAN_PLAN_CACHE does the `load` column, one without does `compile`.
+ColdStartResult run_cold_start(const man::engine::FixedNetwork& engine) {
+  ColdStartResult result;
+  man::util::Stopwatch compile_watch;
+  const man::engine::FixedNetwork rebuilt =
+      build_replay_engine(AppId::kDigitMlp8);
+  result.compile_s = compile_watch.seconds();
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "man_fig9_cold_start";
+  std::filesystem::create_directories(dir);
+  const std::string key = "fig9_cold_start|digit_mlp8|asm4";
+  const std::string path = man::artifact::artifact_path(dir.string(), key);
+  man::artifact::save_engine(engine, path, key);
+
+  man::util::Stopwatch load_watch;
+  const auto loaded = man::artifact::load_engine(path, key);
+  result.load_s = load_watch.seconds();
+
+  result.identical = true;
+  man::util::Rng rng(77);
+  auto scratch = engine.make_scratch();
+  auto stats = engine.make_stats();
+  auto loaded_scratch = loaded->make_scratch();
+  auto loaded_stats = loaded->make_stats();
+  std::vector<float> pixels(engine.input_size());
+  std::vector<std::int64_t> expected(engine.output_size());
+  std::vector<std::int64_t> raw(loaded->output_size());
+  for (int sample = 0; sample < 8; ++sample) {
+    for (float& p : pixels) p = static_cast<float>(rng.next_double());
+    engine.infer_into(pixels, expected, stats, scratch);
+    loaded->infer_into(pixels, raw, loaded_stats, loaded_scratch);
+    if (raw != expected) result.identical = false;
+  }
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
 void emit_json_section(std::ofstream& out, const char* name,
                        const ReplayResult& result, bool last) {
   out << "  \"" << name << "\": {\n    \"samples\": " << result.samples
@@ -371,7 +427,19 @@ int main() {
       build_replay_engine(AppId::kDigitCnn12);
   const ReplayResult cnn = run_replay(cnn_engine, cnn_samples, workers);
 
-  const bool identical = mlp.identical && cnn.identical;
+  man::bench::print_banner(
+      "Plan-artifact cold start: mmap load vs in-process build, digit MLP");
+  const ColdStartResult cold = run_cold_start(mlp_engine);
+  std::cout << "build (projection + compile + autotune): "
+            << man::util::format_double(cold.compile_s * 1e3, 2)
+            << " ms, artifact mmap load: "
+            << man::util::format_double(cold.load_s * 1e3, 3)
+            << " ms (speedup "
+            << man::util::format_double(cold.speedup(), 1)
+            << "x), outputs "
+            << (cold.identical ? "bit-identical" : "MISMATCH") << "\n";
+
+  const bool identical = mlp.identical && cnn.identical && cold.identical;
   std::cout << "per-backend raw outputs + per-layer EngineStats "
             << "(MLP + CNN): " << (identical ? "bit-identical" : "MISMATCH")
             << "\n";
@@ -380,7 +448,15 @@ int main() {
     std::ofstream out(json);
     out << "{\n";
     emit_json_section(out, "fig9_replay", mlp, /*last=*/false);
-    emit_json_section(out, "fig9_cnn_replay", cnn, /*last=*/true);
+    emit_json_section(out, "fig9_cnn_replay", cnn, /*last=*/false);
+    out << "  \"artifact_cold_start\": {\n    \"compile_ms\": "
+        << man::util::format_double(cold.compile_s * 1e3, 3)
+        << ",\n    \"load_ms\": "
+        << man::util::format_double(cold.load_s * 1e3, 4)
+        << ",\n    \"speedup\": "
+        << man::util::format_double(cold.speedup(), 2)
+        << ",\n    \"bit_identical\": "
+        << (cold.identical ? "true" : "false") << "\n  }\n";
     out << "}\n";
   }
   return identical ? 0 : 1;

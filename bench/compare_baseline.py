@@ -25,6 +25,9 @@ bench/baseline.json:
     flap them, and they catch a backend silently degrading to the
     scalar path (the hard bit-exactness gate stays the bench's own
     exit code);
+  * artifact_cold_start (the plan-artifact mmap-load vs in-process
+    build comparison) must be bit-identical and its load-vs-build
+    speedup must meet the baseline's min_speedup floor;
   * each replay's scalar_ms_per_sample is compared against the
     baseline's reference_scalar_ms_per_sample (a dev-container
     measurement recorded when the staging/LUT work landed) and the
@@ -320,6 +323,50 @@ def check_replay(name, fig9, baseline, failures, warnings):
             f"comparison skipped")
 
 
+def check_cold_start(fig9, baseline, failures, warnings):
+    cold = fig9.get("artifact_cold_start")
+    if not isinstance(cold, dict):
+        failures.append(
+            "fig9 JSON has no artifact_cold_start section - did "
+            "bench_fig9_energy run its plan-artifact phase?")
+        return
+    if not cold.get("bit_identical", False):
+        failures.append(
+            "artifact_cold_start reported bit_identical: false - the "
+            "mmap-loaded engine diverged from the compiled one")
+    compile_ms = cold.get("compile_ms")
+    load_ms = cold.get("load_ms")
+    speedup = cold.get("speedup")
+    for label, value in (("compile_ms", compile_ms), ("load_ms", load_ms),
+                         ("speedup", speedup)):
+        if not usable_number(value):
+            failures.append(
+                f"artifact_cold_start reported unusable {label}: {value!r}")
+            return
+
+    base = baseline.get("artifact_cold_start")
+    if not isinstance(base, dict):
+        warnings.append(
+            "skip: bench/baseline.json has no artifact_cold_start entry; "
+            "cold-start floor not enforced - add one via the refresh "
+            "workflow")
+        return
+    floor = base.get("min_speedup")
+    if not usable_number(floor):
+        failures.append(
+            f"baseline artifact_cold_start.min_speedup is unusable "
+            f"({floor!r}); the floor would be a no-op")
+        return
+    line = (f"artifact_cold_start: load {load_ms:.3f} ms vs build "
+            f"{compile_ms:.2f} ms ({speedup:.2f}x)")
+    if speedup < floor:
+        failures.append(
+            f"{line} is below the floor {floor:.2f}x - artifact loading "
+            f"is not meaningfully faster than recompiling")
+    else:
+        print(line)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--serve", required=True,
@@ -346,6 +393,7 @@ def main():
     check_http_tiered(serve, baseline, failures, warnings)
     check_replay("fig9_replay", fig9, baseline, failures, warnings)
     check_replay("fig9_cnn_replay", fig9, baseline, failures, warnings)
+    check_cold_start(fig9, baseline, failures, warnings)
 
     # Written after the checks so the artifact carries their
     # annotations (speedup_vs_reference); it is written on failure

@@ -23,6 +23,16 @@
 //     GET /metrics), port 0 = ephemeral, prints the digit QoS ladder,
 //     and serves until SIGINT/SIGTERM; prints final serving metrics
 //     (including the per-tier 200 split) on shutdown.
+//
+// Plan-artifact cache (either mode):
+//   serving_demo --save-plans [dir]
+//     train + compile every engine (both models and the digit QoS
+//     ladder), publish each as an mmap-able plan artifact under dir
+//     (default MAN_PLAN_CACHE or plan_cache/), and exit.
+//   serving_demo --load-plans [dir] [--listen ...]
+//     cold-start from the saved artifacts: engines are mmap'ed, not
+//     trained or compiled, then the demo proceeds normally. Setting
+//     MAN_PLAN_CACHE enables the same tier without any flag.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -189,6 +199,9 @@ int main(int argc, char** argv) {
 
   double scale = 0.05;
   bool listen = false;
+  bool save_plans = false;
+  bool use_plans = false;
+  std::string plan_dir;
   std::uint16_t port = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--listen") == 0) {
@@ -197,13 +210,32 @@ int main(int argc, char** argv) {
           std::strcmp(argv[i + 1], "--listen") != 0) {
         port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
       }
+    } else if (std::strcmp(argv[i], "--save-plans") == 0 ||
+               std::strcmp(argv[i], "--load-plans") == 0) {
+      save_plans = save_plans || std::strcmp(argv[i], "--save-plans") == 0;
+      use_plans = true;
+      // Optional directory operand: the next arg, unless it is
+      // another flag or the bare dataset-scale number.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        char* end = nullptr;
+        std::strtod(argv[i + 1], &end);
+        if (end == argv[i + 1] || *end != '\0') plan_dir = argv[++i];
+      }
     } else {
       scale = std::atof(argv[i]);
     }
   }
+  if (use_plans && plan_dir.empty()) {
+    const char* env = std::getenv("MAN_PLAN_CACHE");
+    plan_dir = (env != nullptr && env[0] != '\0') ? env : "plan_cache";
+  }
   std::printf("== man::serve demo: digit + face from one process ==\n");
 
-  serve::EngineCache cache;
+  serve::EngineCache cache("bench_cache", plan_dir);
+  if (!cache.plan_dir().empty()) {
+    std::printf("plan-artifact cache: %s/ (%s)\n", cache.plan_dir().c_str(),
+                save_plans ? "publish" : "mmap on hit");
+  }
   serve::EngineSpec digit_spec;
   digit_spec.app = apps::AppId::kDigitMlp8;
   digit_spec.alphabets = 4;  // ASM {1,3,5,7}
@@ -252,6 +284,15 @@ int main(int argc, char** argv) {
   const auto& kernel = man::backend::resolve(config.backend);
   std::printf("kernel backend: %s — %s (override via MAN_BACKEND)\n",
               kernel.name(), kernel.description());
+
+  if (save_plans) {
+    // Constructing the servers above forced every engine — both
+    // models plus each digit QoS-ladder rung — through the cache,
+    // which published their artifacts. Nothing left to serve.
+    std::printf("plan artifacts published under %s/ (%zu engines)\n",
+                cache.plan_dir().c_str(), cache.size());
+    return 0;
+  }
 
   if (listen) return run_listen_mode(apps_traffic, port);
 

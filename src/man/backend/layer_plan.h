@@ -15,10 +15,102 @@
 #ifndef MAN_BACKEND_LAYER_PLAN_H
 #define MAN_BACKEND_LAYER_PLAN_H
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace man::backend {
+
+/// Contiguous read-mostly plan storage with two modes: *owned* (a
+/// plain vector, as compile_plan() builds it) or *borrowed* (a raw
+/// pointer into storage someone else keeps alive — an mmap'ed
+/// artifact blob). Kernels only ever read through data()/operator[]
+/// const, so they cannot tell the modes apart; mutation (assign and
+/// the non-const operator[]) is for builders and is valid only in
+/// owned mode. A borrowed array never outlives its backing mapping:
+/// FixedNetwork pins the mapping for the life of the engine.
+template <typename T>
+class PlanArray {
+ public:
+  PlanArray() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): vectors are the
+  // builders' native currency; plans assign them directly.
+  PlanArray(std::vector<T> values) { *this = std::move(values); }
+
+  PlanArray(const PlanArray& other)
+      : owned_(other.owned_), size_(other.size_), borrowed_(other.borrowed_) {
+    data_ = borrowed_ ? other.data_ : owned_.data();
+  }
+  PlanArray(PlanArray&& other) noexcept { *this = std::move(other); }
+  PlanArray& operator=(const PlanArray& other) {
+    if (this != &other) {
+      owned_ = other.owned_;
+      size_ = other.size_;
+      borrowed_ = other.borrowed_;
+      data_ = borrowed_ ? other.data_ : owned_.data();
+    }
+    return *this;
+  }
+  PlanArray& operator=(PlanArray&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      size_ = other.size_;
+      borrowed_ = other.borrowed_;
+      data_ = borrowed_ ? other.data_ : owned_.data();
+      other.owned_.clear();
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.borrowed_ = false;
+    }
+    return *this;
+  }
+  PlanArray& operator=(std::vector<T> values) {
+    owned_ = std::move(values);
+    data_ = owned_.data();
+    size_ = owned_.size();
+    borrowed_ = false;
+    return *this;
+  }
+
+  /// Borrowed mode: a read-only view of `n` elements at `data`. The
+  /// caller owns the storage and must keep it alive and immutable for
+  /// the array's lifetime.
+  [[nodiscard]] static PlanArray borrow(const T* data, std::size_t n) noexcept {
+    PlanArray array;
+    array.data_ = data;
+    array.size_ = n;
+    array.borrowed_ = true;
+    return array;
+  }
+
+  /// Owned-mode fill (builders); drops any borrowed view.
+  void assign(std::size_t n, const T& value) {
+    owned_.assign(n, value);
+    data_ = owned_.data();
+    size_ = n;
+    borrowed_ = false;
+  }
+
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool borrowed() const noexcept { return borrowed_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  /// Element mutation — owned mode only (builders run before any
+  /// borrow exists; borrowed storage is immutable by contract).
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return owned_[i]; }
+
+ private:
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool borrowed_ = false;
+};
 
 /// One select/shift step of a compiled ASM weight (paper Fig 4: one
 /// quartet = one pre-computer lane selected, shifted into place).
@@ -61,8 +153,10 @@ struct ConvTileShape {
 
 /// Self-contained per-layer plan consumed by KernelBackend
 /// implementations. Built once per dense stage by
-/// FixedNetwork::compile_plan(); owns copies of everything it needs so
-/// it cannot dangle into engine internals.
+/// FixedNetwork::compile_plan() (owned arrays — it cannot dangle into
+/// engine internals) or reconstructed from an mmap'ed plan artifact
+/// (borrowed arrays pointing into the mapping, which the loading
+/// engine keeps alive).
 struct DenseLayerPlan {
   int rows = 0;         ///< output neurons
   int cols = 0;         ///< input features
@@ -72,21 +166,21 @@ struct DenseLayerPlan {
   bool exact = false;   ///< conventional layer: use `weights`, no planes
 
   /// Exact path: quantized weights, row-major rows × cols.
-  std::vector<std::int32_t> weights;
+  PlanArray<std::int32_t> weights;
   /// Biases at product scale, one per row (both paths).
-  std::vector<std::int64_t> biases;
+  PlanArray<std::int64_t> biases;
 
   /// ASM path, AoS schedule (the scalar reference walks this).
-  std::vector<AsmWeight> asm_weights;  ///< rows × cols
-  std::vector<AsmStep> steps;
+  PlanArray<AsmWeight> asm_weights;  ///< rows × cols
+  PlanArray<AsmStep> steps;
 
   /// ASM path, SoA planes (blocked/SIMD kernels walk these).
   /// Plane-major: entry for plane q, row r, column c lives at
   /// q * rows * cols_padded + r * cols_padded + c.
-  std::vector<std::uint32_t> idx;
-  std::vector<std::int64_t> shifts;
+  PlanArray<std::uint32_t> idx;
+  PlanArray<std::int64_t> shifts;
   /// Per-weight sign masks, rows × cols_padded (0 or -1).
-  std::vector<std::int64_t> sign_masks;
+  PlanArray<std::int64_t> sign_masks;
   /// Index of the always-zero multiples slot (== cols * k).
   std::uint32_t zero_slot = 0;
 
@@ -162,27 +256,27 @@ struct ConvLayerPlan {
   bool exact = false;   ///< conventional layer: weights × gathered acts
 
   /// Exact path: quantized weights, oc × cols_padded (padding 0).
-  std::vector<std::int32_t> weights;
+  PlanArray<std::int32_t> weights;
   /// Biases at product scale, one per filter (both paths).
-  std::vector<std::int64_t> biases;
+  PlanArray<std::int64_t> biases;
   /// Degenerate single-multiple plane: input element offset of each
   /// padded patch column at output position (0,0); padding columns
   /// read element 0 under weight 0.
-  std::vector<std::uint32_t> patch_elems;
+  PlanArray<std::uint32_t> patch_elems;
 
   /// ASM path, AoS schedule (the scalar reference walks this).
-  std::vector<AsmWeight> asm_weights;  ///< oc × cols
-  std::vector<AsmStep> steps;
+  PlanArray<AsmWeight> asm_weights;  ///< oc × cols
+  PlanArray<AsmStep> steps;
 
   /// ASM path, SoA planes, laid out exactly like the dense plan with
   /// rows ≡ oc: entry for plane q, filter r, column c lives at
   /// q · oc · cols_padded + r · cols_padded + c. Offsets index the
   /// lane-major multiples buffer (lane · ic·ih·iw + patch element);
   /// kernels add the position base oy·iw + ox.
-  std::vector<std::uint32_t> idx;
-  std::vector<std::int64_t> shifts;
+  PlanArray<std::uint32_t> idx;
+  PlanArray<std::int64_t> shifts;
   /// Per-weight sign masks, oc × cols_padded (0 or -1).
-  std::vector<std::int64_t> sign_masks;
+  PlanArray<std::int64_t> sign_masks;
   /// First slot of the always-zero region (== k · ic·ih·iw).
   std::uint32_t zero_base = 0;
 

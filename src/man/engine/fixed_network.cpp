@@ -168,6 +168,12 @@ FixedNetwork::FixedNetwork(man::nn::Network& network,
     }
   }
 
+  link_stages();
+  compile_plan();
+  default_kernel_ = &man::backend::resolve();
+}
+
+void FixedNetwork::link_stages() {
   // Static stage-graph geometry: records input/output sizes (span
   // validation, batch buffer pre-allocation) and rejects mis-chained
   // networks up front — infer_into() itself no longer re-checks every
@@ -201,9 +207,159 @@ FixedNetwork::FixedNetwork(man::nn::Network& network,
     }
   }
   output_size_ = current;
+}
 
-  compile_plan();
+namespace {
+
+std::vector<LayerScheme> synapse_schemes(const CompiledModel& model) {
+  std::vector<LayerScheme> schemes;
+  for (const CompiledStage& stage : model.stages) {
+    if (const auto* dense = std::get_if<CompiledDenseStage>(&stage)) {
+      schemes.push_back(dense->synapse.scheme);
+    } else if (const auto* conv = std::get_if<CompiledConvStage>(&stage)) {
+      schemes.push_back(conv->synapse.scheme);
+    }
+  }
+  return schemes;
+}
+
+}  // namespace
+
+FixedNetwork::FixedNetwork(const CompiledModel& model,
+                           std::vector<man::backend::DenseLayerPlan> plans,
+                           std::vector<man::backend::ConvLayerPlan> conv_plans,
+                           std::shared_ptr<const void> storage)
+    : spec_(model.spec),
+      plan_(LayerAlphabetPlan(synapse_schemes(model))),
+      lanes_(model.lanes),
+      plans_(std::move(plans)),
+      conv_plans_(std::move(conv_plans)),
+      storage_(std::move(storage)) {
+  if (lanes_ < 1) {
+    throw std::invalid_argument("FixedNetwork: lanes must be >= 1");
+  }
+  const auto acc_format = accumulator_format(spec_);
+  const auto restore_synapse = [](SynapseData& syn,
+                                  const CompiledSynapse& cs) {
+    syn.scheme = cs.scheme;
+    // Banks are cheap deterministic functions of the alphabet set —
+    // rebuilt here instead of serialized.
+    syn.bank = man::core::PrecomputerBank(cs.scheme.effective_alphabets());
+    syn.macs = cs.macs;
+    syn.bank_activations = cs.bank_activations;
+    syn.ops_per_inference = cs.ops_per_inference;
+  };
+
+  std::size_t dense_count = 0;
+  std::size_t conv_count = 0;
+  for (const CompiledStage& cs : model.stages) {
+    if (const auto* d = std::get_if<CompiledDenseStage>(&cs)) {
+      if (dense_count >= plans_.size()) {
+        throw std::invalid_argument(
+            "FixedNetwork: more dense stages than dense plans");
+      }
+      const auto& plan = plans_[dense_count];
+      const bool exact =
+          d->synapse.scheme.multiplier == MultiplierKind::kExact;
+      if (plan.rows != d->out || plan.cols != d->in || plan.exact != exact) {
+        throw std::invalid_argument(
+            "FixedNetwork: dense plan disagrees with its stage descriptor");
+      }
+      DenseStage stage;
+      stage.in = d->in;
+      stage.out = d->out;
+      stage.plan_index = static_cast<int>(dense_count++);
+      restore_synapse(stage.synapse, d->synapse);
+      synapse_stage_indices_.push_back(stages_.size());
+      stats_.layers.push_back(LayerStats{d->synapse.name, 0, 0, {}});
+      stages_.emplace_back(std::move(stage));
+    } else if (const auto* c = std::get_if<CompiledConvStage>(&cs)) {
+      if (conv_count >= conv_plans_.size()) {
+        throw std::invalid_argument(
+            "FixedNetwork: more conv stages than conv plans");
+      }
+      const auto& plan = conv_plans_[conv_count];
+      const bool exact =
+          c->synapse.scheme.multiplier == MultiplierKind::kExact;
+      if (plan.oc != c->oc || plan.ic != c->ic || plan.kernel != c->k ||
+          plan.ih != c->ih || plan.iw != c->iw || plan.oh != c->oh ||
+          plan.ow != c->ow || plan.exact != exact) {
+        throw std::invalid_argument(
+            "FixedNetwork: conv plan disagrees with its stage descriptor");
+      }
+      ConvStage stage;
+      stage.ic = c->ic;
+      stage.oc = c->oc;
+      stage.k = c->k;
+      stage.ih = c->ih;
+      stage.iw = c->iw;
+      stage.oh = c->oh;
+      stage.ow = c->ow;
+      stage.plan_index = static_cast<int>(conv_count++);
+      restore_synapse(stage.synapse, c->synapse);
+      synapse_stage_indices_.push_back(stages_.size());
+      stats_.layers.push_back(LayerStats{c->synapse.name, 0, 0, {}});
+      stages_.emplace_back(std::move(stage));
+    } else if (const auto* p = std::get_if<CompiledPoolStage>(&cs)) {
+      PoolStage stage;
+      stage.c = p->c;
+      stage.ih = p->ih;
+      stage.iw = p->iw;
+      stage.window = p->window;
+      stage.oh = p->oh;
+      stage.ow = p->ow;
+      stages_.emplace_back(stage);
+    } else if (const auto* l = std::get_if<CompiledLutStage>(&cs)) {
+      stages_.emplace_back(LutStage{man::core::FixedActivationLut(
+          l->kind, acc_format, spec_.activation_format)});
+    }
+  }
+  if (dense_count != plans_.size() || conv_count != conv_plans_.size()) {
+    throw std::invalid_argument(
+        "FixedNetwork: plan count disagrees with stage descriptors");
+  }
+
+  link_stages();
+  // Plans saved on a host without live vector backends arrive with
+  // untuned tiles; finish the pick here (no-op when already tuned,
+  // exact, or tiny).
+  for (auto& plan : conv_plans_) {
+    if (!plan.tiles_tuned) man::backend::autotune_conv_plan(plan);
+  }
   default_kernel_ = &man::backend::resolve();
+}
+
+CompiledModel FixedNetwork::compiled_model() const {
+  CompiledModel model;
+  model.spec = spec_;
+  model.lanes = lanes_;
+  model.stages.reserve(stages_.size());
+  std::size_t synapse_counter = 0;
+  const auto export_synapse = [&](const SynapseData& syn) {
+    CompiledSynapse cs;
+    cs.scheme = syn.scheme;
+    cs.name = stats_.layers[synapse_counter++].name;
+    cs.macs = syn.macs;
+    cs.bank_activations = syn.bank_activations;
+    cs.ops_per_inference = syn.ops_per_inference;
+    return cs;
+  };
+  for (const Stage& stage : stages_) {
+    if (const auto* dense = std::get_if<DenseStage>(&stage)) {
+      model.stages.emplace_back(CompiledDenseStage{
+          dense->in, dense->out, export_synapse(dense->synapse)});
+    } else if (const auto* conv = std::get_if<ConvStage>(&stage)) {
+      model.stages.emplace_back(CompiledConvStage{
+          conv->ic, conv->oc, conv->k, conv->ih, conv->iw, conv->oh,
+          conv->ow, export_synapse(conv->synapse)});
+    } else if (const auto* pool = std::get_if<PoolStage>(&stage)) {
+      model.stages.emplace_back(CompiledPoolStage{
+          pool->c, pool->ih, pool->iw, pool->window, pool->oh, pool->ow});
+    } else if (const auto* lut = std::get_if<LutStage>(&stage)) {
+      model.stages.emplace_back(CompiledLutStage{lut->lut.kind()});
+    }
+  }
+  return model;
 }
 
 void FixedNetwork::compile_plan() {

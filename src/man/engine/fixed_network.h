@@ -16,7 +16,9 @@
 #define MAN_ENGINE_FIXED_NETWORK_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -63,6 +65,46 @@ struct PhaseProfile {
   std::uint64_t lut_values = 0;     ///< values run through apply_raw
 };
 
+/// Everything compile_plan() distilled out of one synapse stage
+/// besides its plan: the scheme (to rebuild the pre-computer bank),
+/// the stats label, and the static per-inference activity. Part of
+/// the CompiledModel export the artifact layer serializes.
+struct CompiledSynapse {
+  LayerScheme scheme;
+  std::string name;  ///< stats layer label
+  std::uint64_t macs = 0;
+  std::uint64_t bank_activations = 0;
+  man::core::OpCounts ops_per_inference;
+};
+
+struct CompiledDenseStage {
+  int in = 0, out = 0;
+  CompiledSynapse synapse;
+};
+struct CompiledConvStage {
+  int ic = 0, oc = 0, k = 0, ih = 0, iw = 0, oh = 0, ow = 0;
+  CompiledSynapse synapse;
+};
+struct CompiledPoolStage {
+  int c = 0, ih = 0, iw = 0, window = 0, oh = 0, ow = 0;
+};
+struct CompiledLutStage {
+  man::core::ActivationKind kind = man::core::ActivationKind::kIdentity;
+};
+using CompiledStage = std::variant<CompiledDenseStage, CompiledConvStage,
+                                   CompiledPoolStage, CompiledLutStage>;
+
+/// Post-compilation engine description: with plans()/conv_plans()
+/// this is everything needed to reconstruct a serving-equivalent
+/// FixedNetwork with zero train/compile work — banks and LUT tables
+/// are cheap deterministic functions of the descriptors, so they are
+/// rebuilt at load instead of being serialized.
+struct CompiledModel {
+  man::nn::QuantSpec spec;
+  int lanes = 4;
+  std::vector<CompiledStage> stages;
+};
+
 /// Bit-accurate fixed-point inference engine.
 class FixedNetwork {
  public:
@@ -73,6 +115,24 @@ class FixedNetwork {
   /// value (Algorithm 1 semantics) during compilation.
   FixedNetwork(man::nn::Network& network, man::nn::QuantSpec spec,
                LayerAlphabetPlan plan, int lanes = 4);
+
+  /// Reconstructs an engine from an exported CompiledModel plus its
+  /// compiled plans, in stage order (the artifact loader's path): no
+  /// float network, no training, no projection — pre-computer banks
+  /// and activation LUTs are rebuilt deterministically from the
+  /// descriptors, and the result is bit-identical to the engine the
+  /// model was exported from. `storage` (may be null) is pinned for
+  /// the engine's lifetime; plans with borrowed arrays point into it.
+  /// Throws std::invalid_argument when plans and descriptors disagree
+  /// (count, geometry, or exact/ASM mode).
+  FixedNetwork(const CompiledModel& model,
+               std::vector<man::backend::DenseLayerPlan> plans,
+               std::vector<man::backend::ConvLayerPlan> conv_plans,
+               std::shared_ptr<const void> storage);
+
+  /// Stage descriptors of this engine — the serializable complement
+  /// of plans()/conv_plans() (see CompiledModel).
+  [[nodiscard]] CompiledModel compiled_model() const;
 
   [[nodiscard]] const man::nn::QuantSpec& quant_spec() const noexcept {
     return spec_;
@@ -234,6 +294,11 @@ class FixedNetwork {
   /// SynapseData into the plans — every synapse hot path runs on the
   /// kernel backends.
   void compile_plan();
+
+  /// Static stage-graph pass shared by both constructors: validates
+  /// that consecutive stages agree on activation counts and records
+  /// input_size_/output_size_.
+  void link_stages();
   [[nodiscard]] const SynapseData& synapse_at(std::size_t stage_index) const;
 
   /// The staging window every synapse stage's inputs lie in (the
@@ -248,6 +313,10 @@ class FixedNetwork {
   std::vector<std::size_t> synapse_stage_indices_;
   std::vector<man::backend::DenseLayerPlan> plans_;
   std::vector<man::backend::ConvLayerPlan> conv_plans_;
+  /// Keeps the backing storage of borrowed plan arrays (an mmap'ed
+  /// artifact) alive for the engine's lifetime; null for compiled
+  /// engines, whose plans own their arrays.
+  std::shared_ptr<const void> storage_;
   const man::backend::KernelBackend* default_kernel_ = nullptr;
   std::size_t input_size_ = 0;
   std::size_t output_size_ = 0;

@@ -1,6 +1,7 @@
 #include "man/nn/model_io.h"
 
 #include <fstream>
+#include <sstream>
 
 #include "man/util/serialize.h"
 
@@ -14,8 +15,10 @@ constexpr std::uint32_t kMagic = 0x4D414E31;  // "MAN1"
 
 bool save_params(Network& network, const std::string& path,
                  const std::string& config_key) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
+  // Serialize to memory, then publish with an atomic temp-file +
+  // rename so a reader racing this save (a second process warming the
+  // same cache entry) never loads a torn file.
+  std::ostringstream out(std::ios::binary);
   man::util::BinaryWriter writer(out);
   writer.write_u32(kMagic);
   writer.write_u64(man::util::fnv1a(config_key));
@@ -26,7 +29,14 @@ bool save_params(Network& network, const std::string& path,
     writer.write_f32_vector(
         std::vector<float>(ref.value.begin(), ref.value.end()));
   }
-  return static_cast<bool>(out);
+  if (!out) return false;
+  const std::string bytes = out.str();
+  try {
+    man::util::write_file_atomic(path, bytes.data(), bytes.size());
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  return true;
 }
 
 bool load_params(Network& network, const std::string& path,

@@ -1,17 +1,27 @@
 #include "man/serve/engine_cache.h"
 
+#include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <utility>
 
+#include "man/artifact/plan_artifact.h"
 #include "man/core/alphabet_set.h"
 #include "man/engine/layer_alphabet_plan.h"
 #include "man/nn/constraint_projection.h"
+#include "man/util/serialize.h"
 
 namespace man::serve {
 
 namespace {
 
 constexpr std::uint64_t kUntrainedSeed = 42;
+
+std::string resolve_plan_dir(std::string plan_dir) {
+  if (!plan_dir.empty()) return plan_dir;
+  const char* env = std::getenv("MAN_PLAN_CACHE");
+  return env == nullptr ? std::string() : std::string(env);
+}
 
 }  // namespace
 
@@ -29,8 +39,9 @@ std::string EngineSpec::key() const {
   return key;
 }
 
-EngineCache::EngineCache(std::string model_dir)
-    : models_(std::move(model_dir)) {}
+EngineCache::EngineCache(std::string model_dir, std::string plan_dir)
+    : models_(std::move(model_dir)),
+      plan_dir_(resolve_plan_dir(std::move(plan_dir))) {}
 
 EngineCache::Shard& EngineCache::shard_for(const std::string& key) {
   return shards_[std::hash<std::string>{}(key) % kShards];
@@ -61,7 +72,7 @@ std::shared_ptr<const man::engine::FixedNetwork> EngineCache::get(
   // Build outside the shard lock: a slow training run must not block
   // lookups of unrelated keys that hash to the same shard.
   try {
-    auto engine = build(spec);
+    auto engine = load_or_build(spec, key);
     promise.set_value(engine);
     return engine;
   } catch (...) {
@@ -119,6 +130,33 @@ std::size_t EngineCache::size() const {
     }
   }
   return total;
+}
+
+std::shared_ptr<const man::engine::FixedNetwork> EngineCache::load_or_build(
+    const EngineSpec& spec, const std::string& key) {
+  if (!plan_dir_.empty()) {
+    const std::string path = man::artifact::artifact_path(plan_dir_, key);
+    try {
+      return man::artifact::load_engine(path, key);
+    } catch (const man::util::SerializationError&) {
+      // Missing, torn, corrupt, other version, other config: compile
+      // below and republish.
+    }
+  }
+  auto engine = build(spec);
+  if (!plan_dir_.empty()) {
+    // Best-effort publish for the next cold start; this process
+    // already has its engine, so a full disk or read-only cache
+    // directory must not fail the request.
+    try {
+      std::error_code ec;
+      std::filesystem::create_directories(plan_dir_, ec);
+      man::artifact::save_engine(
+          *engine, man::artifact::artifact_path(plan_dir_, key), key);
+    } catch (const std::exception&) {
+    }
+  }
+  return engine;
 }
 
 std::shared_ptr<const man::engine::FixedNetwork> EngineCache::build(

@@ -55,15 +55,28 @@ struct EngineSpec {
 /// and runners).
 class EngineCache {
  public:
-  /// `model_dir` roots the on-disk trained-model cache.
-  explicit EngineCache(std::string model_dir = "bench_cache");
+  /// `model_dir` roots the on-disk trained-model cache. `plan_dir`
+  /// roots the compiled-plan artifact tier: non-empty enables it,
+  /// empty falls back to the MAN_PLAN_CACHE environment variable
+  /// (unset/empty disables the tier — every miss trains + compiles).
+  explicit EngineCache(std::string model_dir = "bench_cache",
+                       std::string plan_dir = {});
 
-  /// Returns the engine for `spec`, building (and, for trained specs,
-  /// training via the ModelCache) on first use. A failed build is not
+  /// Returns the engine for `spec`, building on first use. With the
+  /// plan-artifact tier enabled, a process-local miss first tries to
+  /// mmap a saved artifact keyed by spec.key() (instant, zero
+  /// train/compile work); otherwise it builds (for trained specs,
+  /// training via the ModelCache) and publishes the artifact
+  /// best-effort for the next cold start. A failed build is not
   /// poisoned: the error propagates to every waiter, then the entry
   /// is dropped so a later call can retry.
   [[nodiscard]] std::shared_ptr<const man::engine::FixedNetwork> get(
       const EngineSpec& spec);
+
+  /// Root of the plan-artifact tier; empty when disabled.
+  [[nodiscard]] const std::string& plan_dir() const noexcept {
+    return plan_dir_;
+  }
 
   /// N compiled precision variants of `base` as one TieredEngine,
   /// ordered as `ladder` is (full precision first, by convention):
@@ -98,8 +111,11 @@ class EngineCache {
   [[nodiscard]] Shard& shard_for(const std::string& key);
   [[nodiscard]] std::shared_ptr<const man::engine::FixedNetwork> build(
       const EngineSpec& spec);
+  [[nodiscard]] std::shared_ptr<const man::engine::FixedNetwork>
+  load_or_build(const EngineSpec& spec, const std::string& key);
 
   man::apps::ModelCache models_;
+  std::string plan_dir_;
   std::array<Shard, kShards> shards_;
 
   std::mutex dataset_mutex_;

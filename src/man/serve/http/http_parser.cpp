@@ -269,6 +269,23 @@ bool RequestParser::finish_headers() {
   const std::string* transfer_encoding =
       request_.find_header("Transfer-Encoding");
   const std::string* content_length = request_.find_header("Content-Length");
+  // Duplicate framing headers are a smuggling vector: a front proxy
+  // and this parser may honor different copies. Reject them outright,
+  // even when the copies agree textually.
+  std::size_t transfer_encoding_count = 0;
+  std::size_t content_length_count = 0;
+  for (const Header& header : request_.headers) {
+    if (iequals(header.name, "Transfer-Encoding")) ++transfer_encoding_count;
+    if (iequals(header.name, "Content-Length")) ++content_length_count;
+  }
+  if (transfer_encoding_count > 1) {
+    fail(400, "duplicate Transfer-Encoding headers");
+    return false;
+  }
+  if (content_length_count > 1) {
+    fail(400, "duplicate Content-Length headers");
+    return false;
+  }
   if (transfer_encoding != nullptr) {
     if (content_length != nullptr) {
       fail(400, "both Transfer-Encoding and Content-Length present");
@@ -297,15 +314,6 @@ bool RequestParser::finish_headers() {
         return false;
       }
       length = length * 10 + static_cast<std::size_t>(c - '0');
-    }
-    // A request may carry several Content-Length copies only if they
-    // all agree.
-    for (const Header& header : request_.headers) {
-      if (iequals(header.name, "Content-Length") &&
-          trim_ows(header.value) != digits) {
-        fail(400, "conflicting Content-Length values");
-        return false;
-      }
     }
     if (length > limits_.max_body_bytes) {
       fail(413, "declared body exceeds " +

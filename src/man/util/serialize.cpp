@@ -1,8 +1,13 @@
 #include "man/util/serialize.h"
 
+#include <unistd.h>
+
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 
 namespace man::util {
@@ -61,6 +66,30 @@ void BinaryReader::read_bytes(void* dst, std::size_t n) {
   }
 }
 
+void BinaryReader::check_payload(std::uint64_t count, std::size_t elem_size) {
+  // Hard plausibility cap first (also covers non-seekable streams and
+  // makes the multiplication below overflow-free).
+  if (count > (1ULL << 32)) {
+    throw SerializationError("implausible length: " + std::to_string(count));
+  }
+  // A seekable stream knows how many bytes actually remain; a length
+  // prefix promising more than that is corrupt — fail before the
+  // allocation, not after a multi-GB new[] and a truncation error.
+  const auto pos = in_.tellg();
+  if (pos < 0) return;  // non-seekable: the cap above is the only guard
+  in_.seekg(0, std::ios::end);
+  const auto end = in_.tellg();
+  in_.seekg(pos);
+  if (end < 0) return;
+  const auto available = static_cast<std::uint64_t>(end - pos);
+  if (count * elem_size > available) {
+    throw SerializationError(
+        "corrupt length: " + std::to_string(count) + " elements (" +
+        std::to_string(count * elem_size) + " bytes) but only " +
+        std::to_string(available) + " bytes remain");
+  }
+}
+
 std::uint32_t BinaryReader::read_u32() {
   std::uint32_t v = 0;
   read_bytes(&v, sizeof v);
@@ -93,7 +122,7 @@ double BinaryReader::read_f64() {
 
 std::string BinaryReader::read_string() {
   const std::uint64_t n = read_u64();
-  if (n > (1ULL << 32)) throw SerializationError("implausible string length");
+  check_payload(n, 1);
   std::string s(n, '\0');
   read_bytes(s.data(), n);
   return s;
@@ -101,7 +130,7 @@ std::string BinaryReader::read_string() {
 
 std::vector<float> BinaryReader::read_f32_vector() {
   const std::uint64_t n = read_u64();
-  if (n > (1ULL << 32)) throw SerializationError("implausible vector length");
+  check_payload(n, sizeof(float));
   std::vector<float> v(n);
   read_bytes(v.data(), n * sizeof(float));
   return v;
@@ -109,19 +138,72 @@ std::vector<float> BinaryReader::read_f32_vector() {
 
 std::vector<std::int32_t> BinaryReader::read_i32_vector() {
   const std::uint64_t n = read_u64();
-  if (n > (1ULL << 32)) throw SerializationError("implausible vector length");
+  check_payload(n, sizeof(std::int32_t));
   std::vector<std::int32_t> v(n);
   read_bytes(v.data(), n * sizeof(std::int32_t));
   return v;
 }
 
 std::uint64_t fnv1a(const std::string& bytes) noexcept {
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
   std::uint64_t hash = 0xCBF29CE484222325ULL;
-  for (unsigned char c : bytes) {
-    hash ^= c;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
     hash *= 0x100000001B3ULL;
   }
   return hash;
+}
+
+std::uint64_t blob_checksum(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes + i, sizeof word);
+    hash ^= word;
+    hash *= 0x100000001B3ULL;
+  }
+  for (; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void write_file_atomic(const std::string& path, const void* data,
+                       std::size_t size) {
+  // The temp file lives in the destination directory so the final
+  // rename(2) stays within one filesystem (and is therefore atomic).
+  // pid + counter keeps concurrent writers off each other's temp.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+      out.flush();
+    }
+    if (!out) {
+      std::error_code discard;
+      std::filesystem::remove(tmp, discard);
+      throw std::runtime_error("write_file_atomic: cannot write " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code discard;
+    std::filesystem::remove(tmp, discard);
+    throw std::runtime_error("write_file_atomic: rename to " + path +
+                             " failed: " + ec.message());
+  }
 }
 
 }  // namespace man::util

@@ -1,14 +1,26 @@
 // Minimal binary serialization for model caching. Little-endian,
 // versioned, with a magic header so stale/corrupt cache files are
 // detected instead of silently mis-read.
+//
+// Two families share the idiom:
+//  - BinaryWriter/BinaryReader: streaming field-at-a-time (model
+//    parameter files).
+//  - BlobWriter/SpanReader: offset-table flat blobs (plan artifacts):
+//    the writer appends into one contiguous byte buffer, recording
+//    aligned (offset, count) references to bulk arrays; the reader is
+//    a bounds-checked cursor over an in-memory mapping that hands out
+//    typed spans pointing directly into it — no per-element parse.
 #ifndef MAN_UTIL_SERIALIZE_H
 #define MAN_UTIL_SERIALIZE_H
 
 #include <cstdint>
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace man::util {
@@ -38,6 +50,10 @@ class BinaryWriter {
 };
 
 /// Streaming binary reader; throws SerializationError on truncation.
+/// Length-prefixed reads (strings, vectors) clamp the on-disk count
+/// against the bytes actually remaining in a seekable stream, so a
+/// corrupt length field fails fast instead of attempting a multi-GB
+/// allocation.
 class BinaryReader {
  public:
   explicit BinaryReader(std::istream& in) : in_(in) {}
@@ -53,12 +69,152 @@ class BinaryReader {
 
  private:
   void read_bytes(void* dst, std::size_t n);
+  /// Validates a length-prefixed payload of `count` elements of
+  /// `elem_size` bytes against the remaining stream size (when the
+  /// stream is seekable) and a hard plausibility cap; throws
+  /// SerializationError if the stream cannot possibly satisfy it.
+  void check_payload(std::uint64_t count, std::size_t elem_size);
   std::istream& in_;
+};
+
+/// Append-only builder for offset-table flat blobs: primitives go in
+/// little-endian at the current offset (the BinaryWriter idiom);
+/// bulk arrays are appended aligned and referenced by the byte
+/// offset append_array() returns. The finished buffer is written out
+/// in one piece.
+class BlobWriter {
+ public:
+  [[nodiscard]] std::size_t offset() const noexcept { return bytes_.size(); }
+  [[nodiscard]] const std::vector<unsigned char>& bytes() const noexcept {
+    return bytes_;
+  }
+
+  void write_u32(std::uint32_t v) { append(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { append(&v, sizeof v); }
+  void write_i32(std::int32_t v) { append(&v, sizeof v); }
+  void write_i64(std::int64_t v) { append(&v, sizeof v); }
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    append(s.data(), s.size());
+  }
+
+  /// Zero-pads to the next multiple of `alignment` (a power of two).
+  void align(std::size_t alignment) {
+    const std::size_t rem = bytes_.size() % alignment;
+    if (rem != 0) bytes_.resize(bytes_.size() + (alignment - rem), 0);
+  }
+
+  /// Appends `n` elements of trivially-copyable T, aligned for
+  /// direct typed access, and returns the byte offset of the first
+  /// element within the blob.
+  template <typename T>
+  std::uint64_t append_array(const T* data, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    align(alignof(T) < 8 ? std::size_t{8} : alignof(T));
+    const std::uint64_t at = bytes_.size();
+    append(data, n * sizeof(T));
+    return at;
+  }
+
+  /// Raw bytes at the current offset (no length prefix).
+  void append_bytes(const void* data, std::size_t n) { append(data, n); }
+
+ private:
+  void append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+  std::vector<unsigned char> bytes_;
+};
+
+/// Bounds-checked cursor over an in-memory byte buffer (typically an
+/// mmap'ed artifact). Non-owning; every read and every typed_span()
+/// is validated against the buffer bounds, so a truncated or
+/// length-corrupted blob throws SerializationError instead of reading
+/// out of the mapping.
+class SpanReader {
+ public:
+  SpanReader(const void* data, std::size_t size)
+      : base_(static_cast<const unsigned char*>(data)), size_(size) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_ - offset_;
+  }
+
+  [[nodiscard]] std::uint32_t read_u32() { return read_scalar<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t read_u64() { return read_scalar<std::uint64_t>(); }
+  [[nodiscard]] std::int32_t read_i32() { return read_scalar<std::int32_t>(); }
+  [[nodiscard]] std::int64_t read_i64() { return read_scalar<std::int64_t>(); }
+  [[nodiscard]] std::string read_string() {
+    const std::uint64_t n = read_u64();
+    if (n > remaining()) {
+      throw SerializationError("string length exceeds buffer");
+    }
+    std::string s(reinterpret_cast<const char*>(base_ + offset_),
+                  static_cast<std::size_t>(n));
+    offset_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  /// Typed read-only view of `count` elements of T at absolute byte
+  /// offset `at` — bounds- and alignment-checked against the buffer.
+  /// The span points directly into the buffer (zero copy); the buffer
+  /// must outlive it.
+  template <typename T>
+  [[nodiscard]] std::span<const T> typed_span(std::uint64_t at,
+                                              std::uint64_t count) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count > size_ / sizeof(T) || at > size_ - count * sizeof(T)) {
+      throw SerializationError("array reference exceeds buffer");
+    }
+    const auto addr = reinterpret_cast<std::uintptr_t>(base_ + at);
+    if (addr % alignof(T) != 0) {
+      throw SerializationError("misaligned array reference");
+    }
+    return std::span<const T>(reinterpret_cast<const T*>(base_ + at),
+                              static_cast<std::size_t>(count));
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T read_scalar() {
+    if (sizeof(T) > remaining()) {
+      throw SerializationError("truncated buffer: expected " +
+                               std::to_string(sizeof(T)) + " bytes");
+    }
+    T v;
+    std::memcpy(&v, base_ + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return v;
+  }
+
+  const unsigned char* base_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
 };
 
 /// FNV-1a hash of a byte string; used to key model-cache entries by
 /// configuration so a changed config never reuses a stale model.
 [[nodiscard]] std::uint64_t fnv1a(const std::string& bytes) noexcept;
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t size) noexcept;
+
+/// FNV-1a folded over 8-byte little-endian words (byte-wise tail) —
+/// the plan-artifact payload checksum. Same detection strength for
+/// torn/flipped blobs as byte-wise fnv1a at ~8x fewer multiplies,
+/// which matters on multi-MB payloads hashed on every cold-start
+/// load. Not interchangeable with fnv1a(); the artifact format pins
+/// this definition.
+[[nodiscard]] std::uint64_t blob_checksum(const void* data,
+                                          std::size_t size) noexcept;
+
+/// Atomic publish: writes `size` bytes to a same-directory temp file,
+/// then rename()s it over `path`, so a concurrent reader sees either
+/// the previous file or the complete new one — never a torn write.
+/// Throws std::runtime_error if the bytes cannot be written.
+void write_file_atomic(const std::string& path, const void* data,
+                       std::size_t size);
 
 }  // namespace man::util
 

@@ -1,9 +1,11 @@
 // Model serialization cache: round-trips, key binding, corruption.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "man/nn/activation_layer.h"
 #include "man/nn/dense.h"
@@ -94,6 +96,40 @@ TEST_F(ModelIoTest, TruncatedFileRejected) {
   std::filesystem::resize_file(path("model.bin"), full_size / 2);
   Network other = make_net(11);
   EXPECT_FALSE(load_params(other, path("model.bin"), "key"));
+}
+
+// Regression: save_params used to stream straight into the target
+// file, so a reader racing the writer (two processes warming the same
+// cache entry) could load a torn prefix. With temp-file + rename()
+// publishing, every load observes a complete file: either the old
+// params or the new ones, never a blend or a truncation.
+TEST_F(ModelIoTest, InterleavedReaderNeverSeesTornFile) {
+  Network net_a = make_net(20);
+  Network net_b = make_net(21);
+  const auto snap_a = net_a.snapshot_params();
+  const auto snap_b = net_b.snapshot_params();
+  const std::string file = path("model.bin");
+  ASSERT_TRUE(save_params(net_a, file, "key"));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread reader([&] {
+    Network scratch = make_net(22);
+    while (!stop.load()) {
+      if (!load_params(scratch, file, "key")) {
+        failures.fetch_add(1);
+        continue;
+      }
+      const auto got = scratch.snapshot_params();
+      if (got != snap_a && got != snap_b) failures.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(save_params((i % 2 != 0) ? net_b : net_a, file, "key"));
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace

@@ -198,6 +198,31 @@ TEST(HttpParser, BothLengthHeadersRejected400) {
   EXPECT_EQ(parser.error_status(), 400);
 }
 
+TEST(HttpParser, DuplicateContentLengthRejected400) {
+  {
+    RequestParser parser;  // agreeing copies are still a smuggling vector
+    EXPECT_EQ(parser.feed("POST /x HTTP/1.1\r\nContent-Length: 4\r\n"
+                          "Content-Length: 4\r\n\r\nabcd"),
+              State::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+  }
+  {
+    RequestParser parser;  // conflicting copies
+    EXPECT_EQ(parser.feed("POST /x HTTP/1.1\r\nContent-Length: 4\r\n"
+                          "Content-Length: 5\r\n\r\nabcd"),
+              State::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+  }
+}
+
+TEST(HttpParser, DuplicateTransferEncodingRejected400) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                        "Transfer-Encoding: chunked\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
 TEST(HttpParser, BadVersionRejected505) {
   RequestParser parser;
   EXPECT_EQ(parser.feed("GET / HTTP/2.0\r\n\r\n"), State::kError);

@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace man::util {
 namespace {
@@ -63,6 +68,77 @@ TEST(Serialize, ImplausibleLengthRejected) {
   writer.write_u64(1ULL << 40);
   BinaryReader reader(stream);
   EXPECT_THROW((void)reader.read_string(), SerializationError);
+}
+
+TEST(Serialize, CorruptVectorLengthWithPartialPayloadThrows) {
+  // Claims 1 << 20 elements but only a handful of bytes follow: the
+  // reader must reject the length against the remaining stream size
+  // instead of allocating for it and then failing element-by-element.
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.write_u64(1ULL << 20);
+  writer.write_u32(7);
+  BinaryReader reader(stream);
+  EXPECT_THROW((void)reader.read_i32_vector(), SerializationError);
+}
+
+TEST(BlobWriter, AppendArrayAlignsAndRoundTrips) {
+  BlobWriter blob;
+  blob.write_u32(0xABCD1234);  // offset now 4: next i64 array must pad
+  const std::vector<std::int64_t> values{-1, 0, 42};
+  const std::uint64_t at = blob.append_array(values.data(), values.size());
+  EXPECT_EQ(at % 8, 0u);
+  blob.write_string("tail");
+
+  SpanReader reader(blob.bytes().data(), blob.bytes().size());
+  EXPECT_EQ(reader.read_u32(), 0xABCD1234);
+  const auto span = reader.typed_span<std::int64_t>(at, values.size());
+  EXPECT_EQ(std::vector<std::int64_t>(span.begin(), span.end()), values);
+}
+
+TEST(SpanReader, TruncatedScalarAndStringThrow) {
+  const unsigned char bytes[6] = {5, 0, 0, 0, 0, 0};
+  SpanReader scalar_reader(bytes, sizeof bytes);
+  EXPECT_THROW((void)scalar_reader.read_u64(), SerializationError);
+
+  // A string length prefix larger than the remaining buffer.
+  BlobWriter blob;
+  blob.write_u64(100);
+  blob.append_bytes("abc", 3);
+  SpanReader string_reader(blob.bytes().data(), blob.bytes().size());
+  EXPECT_THROW((void)string_reader.read_string(), SerializationError);
+}
+
+TEST(SpanReader, TypedSpanRejectsOverflowAndMisalignment) {
+  alignas(8) const unsigned char bytes[16] = {};
+  SpanReader reader(bytes, sizeof bytes);
+  // Count × sizeof(T) overflows past the buffer (and past SIZE_MAX).
+  EXPECT_THROW((void)reader.typed_span<std::int64_t>(0, ~0ULL),
+               SerializationError);
+  EXPECT_THROW((void)reader.typed_span<std::int64_t>(8, 2),
+               SerializationError);
+  EXPECT_THROW((void)reader.typed_span<std::int64_t>(4, 1),
+               SerializationError);  // misaligned
+  EXPECT_EQ((reader.typed_span<std::int64_t>(8, 1).size()), 1u);
+}
+
+TEST(WriteFileAtomic, PublishesWholeFileAndLeavesNoTemp) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "man_serialize_atomic_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "blob.bin").string();
+  const std::string payload = "published in one piece";
+  write_file_atomic(path, payload.data(), payload.size());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string read_back((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_EQ(read_back, payload);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << "temp file leaked: " << entry.path();
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Fnv1a, StableAndDiscriminating) {
